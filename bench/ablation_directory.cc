@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ablation: the directory-coherence extension (Section 4.3). Under a
+ * directory protocol a cache stops observing a line's transactions
+ * after evicting it dirty, so RelaxReplay_Opt conservatively bumps the
+ * Snoop Table on dirty evictions — turning any still-uncounted access
+ * to that line into a reordered entry. This bench measures the cost of
+ * that conservatism: extra reordered accesses and log bits, with
+ * correctness (verified by the integration tests) unaffected.
+ */
+
+#include "bench/common.hh"
+
+int
+main()
+{
+    using namespace rrbench;
+
+    printTitle("Ablation: Section 4.3 dirty-eviction bump "
+               "(Opt-INF, 8 cores)");
+    printColumns({"app", "snoopy reord%", "directory reord%",
+                  "snoopy bits/ki", "dir bits/ki"});
+
+    double s_sum = 0, d_sum = 0;
+    for (const App &app : apps()) {
+        std::vector<rr::sim::RecorderConfig> pol(2);
+        pol[0].mode = rr::sim::RecorderMode::Opt;
+        pol[1].mode = rr::sim::RecorderMode::Opt;
+        pol[1].directoryEvictionBump = true;
+        Recorded r = record(app, 8, pol);
+        const double mem = static_cast<double>(r.countedMem());
+        const double s = 100.0 * r.logStats(0).reordered() / mem;
+        const double d = 100.0 * r.logStats(1).reordered() / mem;
+        s_sum += s;
+        d_sum += d;
+        printCell(app.name);
+        printCell(s, 4);
+        printCell(d, 4);
+        printCell(bitsPerKinst(r, 0), 1);
+        printCell(bitsPerKinst(r, 1), 1);
+        endRow();
+    }
+    printCell("average");
+    printCell(s_sum / apps().size(), 4);
+    printCell(d_sum / apps().size(), 4);
+    endRow();
+    std::printf("(the conservative bump preserves correctness at a "
+                "modest increase in reordered entries)\n");
+    return 0;
+}

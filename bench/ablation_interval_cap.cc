@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Ablation: maximum interval size (Section 5.1's 4K-vs-INF design
+ * axis). Small caps are what parallel-replay schemes (Karma, Cyrus)
+ * need; large caps are what sequential-replay schemes (CoreRacer,
+ * QuickRec) prefer. The sweep shows the cost curve: log size and
+ * Base-mode reordered fraction fall as intervals grow, flattening once
+ * conflicts (not the cap) terminate intervals.
+ */
+
+#include "bench/common.hh"
+
+int
+main()
+{
+    using namespace rrbench;
+
+    const std::uint64_t caps[] = {256, 1024, 4096, 16384, 65536, 0};
+    const App fft{"fft", 8};
+
+    printTitle("Ablation: max interval size (fft, 8 cores)");
+    printColumns({"cap", "intervals", "Base reord%", "Base bits/ki",
+                  "Opt bits/ki"});
+
+    for (std::uint64_t cap : caps) {
+        std::vector<rr::sim::RecorderConfig> pol(2);
+        pol[0].mode = rr::sim::RecorderMode::Base;
+        pol[0].maxIntervalInstructions = cap;
+        pol[1].mode = rr::sim::RecorderMode::Opt;
+        pol[1].maxIntervalInstructions = cap;
+        Recorded r = record(fft, 8, pol);
+        printCell(cap == 0 ? "INF" : std::to_string(cap));
+        printCell(static_cast<double>(r.logStats(0).intervals), 0);
+        printCell(100.0 * r.logStats(0).reordered() / r.countedMem(), 4);
+        printCell(bitsPerKinst(r, 0), 1);
+        printCell(bitsPerKinst(r, 1), 1);
+        endRow();
+    }
+    std::printf("(shorter intervals -> more replay parallelism but "
+                "bigger logs and more Base reorders)\n");
+    return 0;
+}

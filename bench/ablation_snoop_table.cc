@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ablation: Snoop Table geometry (Section 4.2). The table filters the
+ * accesses whose perform-to-counting window crossed an interval
+ * boundary; aliasing in its counter arrays turns unobserved accesses
+ * into (false) reordered entries. Sweeping the per-array entry count
+ * shows why the paper's 64 entries suffice: the false-positive tail
+ * vanishes well before that size, and beyond it the residual reorders
+ * are real conflicts.
+ */
+
+#include "bench/common.hh"
+
+int
+main()
+{
+    using namespace rrbench;
+
+    const std::uint32_t sizes[] = {4, 8, 16, 32, 64, 128};
+    const App fft{"fft", 8};
+    const App water{"water-sp", 16};
+
+    printTitle("Ablation: Snoop Table entries per array vs Opt-INF "
+               "reordered accesses (8 cores)");
+    printColumns({"entries", "fft %", "water-sp %", "fft bits/ki",
+                  "water bits/ki"});
+
+    for (std::uint32_t entries : sizes) {
+        std::vector<rr::sim::RecorderConfig> pol(1);
+        pol[0].mode = rr::sim::RecorderMode::Opt;
+        pol[0].maxIntervalInstructions = 0;
+        pol[0].snoopTableEntries = entries;
+
+        Recorded rf = record(fft, 8, pol);
+        Recorded rw = record(water, 8, pol);
+        printCell(std::to_string(entries));
+        printCell(100.0 * rf.logStats(0).reordered() / rf.countedMem(),
+                  4);
+        printCell(100.0 * rw.logStats(0).reordered() / rw.countedMem(),
+                  4);
+        printCell(bitsPerKinst(rf, 0), 1);
+        printCell(bitsPerKinst(rw, 0), 1);
+        endRow();
+    }
+    std::printf("(paper uses 2 x 64 x 16-bit; larger tables buy little "
+                "because the residue is true conflicts)\n");
+    return 0;
+}

@@ -1,0 +1,156 @@
+#include "bench/common.hh"
+
+namespace rrbench
+{
+
+using namespace rr;
+
+const std::vector<App> &
+apps()
+{
+    static const std::vector<App> suite = {
+        {"barnes", 8},   {"cholesky", 8}, {"fft", 8},
+        {"fmm", 16},     {"lu", 24},       {"ocean", 2},
+        {"radix", 16},   {"raytrace", 24}, {"water-nsq", 8},
+        {"water-sp", 16},
+    };
+    return suite;
+}
+
+const char *
+policyName(int idx)
+{
+    switch (idx) {
+      case kBase4K: return "Base-4K";
+      case kBaseInf: return "Base-INF";
+      case kOpt4K: return "Opt-4K";
+      case kOptInf: return "Opt-INF";
+    }
+    return "?";
+}
+
+std::vector<sim::RecorderConfig>
+fourPolicies()
+{
+    std::vector<sim::RecorderConfig> p(kNumPolicies);
+    p[kBase4K].mode = sim::RecorderMode::Base;
+    p[kBase4K].maxIntervalInstructions = 4096;
+    p[kBaseInf].mode = sim::RecorderMode::Base;
+    p[kBaseInf].maxIntervalInstructions = 0;
+    p[kOpt4K].mode = sim::RecorderMode::Opt;
+    p[kOpt4K].maxIntervalInstructions = 4096;
+    p[kOptInf].mode = sim::RecorderMode::Opt;
+    p[kOptInf].maxIntervalInstructions = 0;
+    return p;
+}
+
+std::uint64_t
+Recorded::countedMem() const
+{
+    return hubCounter("counted_mem");
+}
+
+rnr::LogStats
+Recorded::logStats(int policy) const
+{
+    rnr::LogStats stats;
+    for (const auto &log : result.logs.at(policy))
+        stats.accumulate(log);
+    return stats;
+}
+
+std::uint64_t
+Recorded::recorderCounter(int policy, const std::string &c) const
+{
+    std::uint64_t sum = 0;
+    for (sim::CoreId core = 0; core < machine->config().numCores; ++core)
+        sum += machine->hub(core).recorder(policy).stats().counterValue(c);
+    return sum;
+}
+
+std::uint64_t
+Recorded::hubCounter(const std::string &c) const
+{
+    std::uint64_t sum = 0;
+    for (sim::CoreId core = 0; core < machine->config().numCores; ++core)
+        sum += machine->hub(core).stats().counterValue(c);
+    return sum;
+}
+
+Recorded
+record(const App &app, std::uint32_t cores,
+       std::vector<sim::RecorderConfig> policies)
+{
+    workloads::WorkloadParams wp;
+    wp.numThreads = cores;
+    wp.scale = app.scale;
+    Recorded r;
+    r.workload = workloads::buildKernel(app.name, wp);
+
+    sim::MachineConfig cfg;
+    cfg.numCores = cores;
+    r.machine = std::make_unique<machine::Machine>(
+        cfg, r.workload.program, policies);
+    r.initial = r.machine->initialMemory();
+    r.result = r.machine->run(5'000'000'000ULL);
+    return r;
+}
+
+double
+bitsPerKinst(const Recorded &r, int policy)
+{
+    const rnr::LogStats stats = r.logStats(policy);
+    return 1000.0 * static_cast<double>(stats.totalBits) /
+           static_cast<double>(r.result.totalInstructions);
+}
+
+double
+logRateMBps(const Recorded &r, int policy)
+{
+    const rnr::LogStats stats = r.logStats(policy);
+    const double bits_per_cycle = static_cast<double>(stats.totalBits) /
+                                  static_cast<double>(r.result.cycles);
+    return bits_per_cycle * 2e9 / 8.0 / 1e6;
+}
+
+void
+printTitle(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void
+printColumns(const std::vector<std::string> &cols)
+{
+    for (std::size_t i = 0; i < cols.size(); ++i)
+        std::printf(i == 0 ? "%-12s" : "%12s", cols[i].c_str());
+    std::printf("\n");
+}
+
+namespace
+{
+bool rowStart = true;
+}
+
+void
+printCell(const std::string &text)
+{
+    std::printf(rowStart ? "%-12s" : "%12s", text.c_str());
+    rowStart = false;
+}
+
+void
+printCell(double value, int precision)
+{
+    std::printf("%12.*f", precision, value);
+    rowStart = false;
+}
+
+void
+endRow()
+{
+    std::printf("\n");
+    rowStart = true;
+}
+
+} // namespace rrbench

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared infrastructure for the evaluation benches: the application
+ * suite with its calibrated scales, the four recorder configurations
+ * of the paper's evaluation, a record-once helper, and table printing.
+ */
+
+#ifndef RR_BENCH_COMMON_HH
+#define RR_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "rnr/log.hh"
+#include "workloads/kernels.hh"
+
+namespace rrbench
+{
+
+/** One application of the evaluation suite. */
+struct App
+{
+    std::string name;
+    /** Scale calibrated for roughly 1-3M instructions on 8 cores. */
+    std::uint64_t scale;
+};
+
+/** The ten SPLASH-2-style applications, in the figures' order. */
+const std::vector<App> &apps();
+
+/** Indices into fourPolicies() / RecordingResult::logs. */
+enum PolicyIndex
+{
+    kBase4K = 0,
+    kBaseInf = 1,
+    kOpt4K = 2,
+    kOptInf = 3,
+    kNumPolicies = 4,
+};
+
+const char *policyName(int idx);
+
+/** Base/Opt x 4K/INF, as evaluated throughout Section 5. */
+std::vector<rr::sim::RecorderConfig> fourPolicies();
+
+/** A completed recording, with the machine kept alive for its stats. */
+struct Recorded
+{
+    rr::workloads::Workload workload;
+    std::unique_ptr<rr::machine::Machine> machine;
+    rr::mem::BackingStore initial;
+    rr::machine::RecordingResult result;
+
+    /** Counted memory-access instructions, summed over cores. */
+    std::uint64_t countedMem() const;
+    /** Aggregate a policy's logs. */
+    rr::rnr::LogStats logStats(int policy) const;
+    /** Sum of a recorder-stat counter over all cores. */
+    std::uint64_t recorderCounter(int policy, const std::string &c) const;
+    /** Sum of a hub-stat counter over all cores. */
+    std::uint64_t hubCounter(const std::string &c) const;
+};
+
+/** Record one app; uses the calibrated scale unless overridden. */
+Recorded record(const App &app, std::uint32_t cores,
+                std::vector<rr::sim::RecorderConfig> policies);
+
+/** Bits-per-kiloinstruction of a policy's aggregate log. */
+double bitsPerKinst(const Recorded &r, int policy);
+
+/**
+ * Log generation rate in MB/s at the paper's 2 GHz clock:
+ * bits / cycles * 2e9 / 8 / 1e6.
+ */
+double logRateMBps(const Recorded &r, int policy);
+
+/** Simple fixed-width table printing. */
+void printTitle(const std::string &title);
+void printColumns(const std::vector<std::string> &cols);
+void printCell(const std::string &text);
+void printCell(double value, int precision = 2);
+void endRow();
+
+} // namespace rrbench
+
+#endif // RR_BENCH_COMMON_HH

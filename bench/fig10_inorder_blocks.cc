@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 10 reproduction: number of InorderBlock entries in the log,
+ * normalized to RelaxReplay_Base, for 4K and INF intervals.
+ * Paper reference: Opt logs on average only 13% (4K) and 48% (INF) as
+ * many InorderBlocks as Base.
+ */
+
+#include "bench/common.hh"
+
+int
+main()
+{
+    using namespace rrbench;
+
+    printTitle("Figure 10: InorderBlock entries, normalized to Base "
+               "(8 cores)");
+    printColumns({"app", "Opt/Base-4K", "Opt/Base-INF", "Base-4K(abs)",
+                  "Base-INF(abs)"});
+
+    double sum4k = 0, suminf = 0;
+    for (const App &app : apps()) {
+        Recorded r = record(app, 8, fourPolicies());
+        const double b4 =
+            static_cast<double>(r.logStats(kBase4K).inorderBlocks);
+        const double o4 =
+            static_cast<double>(r.logStats(kOpt4K).inorderBlocks);
+        const double bi =
+            static_cast<double>(r.logStats(kBaseInf).inorderBlocks);
+        const double oi =
+            static_cast<double>(r.logStats(kOptInf).inorderBlocks);
+        sum4k += o4 / b4;
+        suminf += oi / bi;
+        printCell(app.name);
+        printCell(o4 / b4, 3);
+        printCell(oi / bi, 3);
+        printCell(b4, 0);
+        printCell(bi, 0);
+        endRow();
+    }
+    printCell("average");
+    printCell(sum4k / apps().size(), 3);
+    printCell(suminf / apps().size(), 3);
+    endRow();
+    std::printf("(paper averages: 0.13 for 4K, 0.48 for INF)\n");
+    return 0;
+}

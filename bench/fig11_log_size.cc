@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 11 reproduction: uncompressed log size in bits per 1000
+ * instructions for Base/Opt under 4K/INF intervals, plus the aggregate
+ * log generation rates (MB/s at 2GHz) quoted in Section 5.2.
+ * Paper reference: 4K: Base 360 -> Opt 22 bits/kinst; INF: 42 -> 12.
+ * Rates: Opt 48/25 MB/s (4K/INF); Base 840/90 MB/s.
+ */
+
+#include "bench/common.hh"
+
+int
+main()
+{
+    using namespace rrbench;
+
+    printTitle("Figure 11: uncompressed log size (bits per 1000 "
+               "instructions, 8 cores)");
+    printColumns({"app", "Base-4K", "Opt-4K", "Base-INF", "Opt-INF"});
+
+    double bit_sum[kNumPolicies] = {};
+    double rate_sum[kNumPolicies] = {};
+    for (const App &app : apps()) {
+        Recorded r = record(app, 8, fourPolicies());
+        printCell(app.name);
+        for (int p : {kBase4K, kOpt4K, kBaseInf, kOptInf}) {
+            const double bits = bitsPerKinst(r, p);
+            bit_sum[p] += bits;
+            rate_sum[p] += logRateMBps(r, p);
+            printCell(bits, 1);
+        }
+        endRow();
+    }
+    printCell("average");
+    for (int p : {kBase4K, kOpt4K, kBaseInf, kOptInf})
+        printCell(bit_sum[p] / apps().size(), 1);
+    endRow();
+    std::printf("(paper averages: Base-4K 360, Opt-4K 22, Base-INF 42, "
+                "Opt-INF 12)\n");
+
+    printTitle("Log generation rate (MB/s at 2GHz, average over apps)");
+    printColumns({"", "Base-4K", "Opt-4K", "Base-INF", "Opt-INF"});
+    printCell("MB/s");
+    for (int p : {kBase4K, kOpt4K, kBaseInf, kOptInf})
+        printCell(rate_sum[p] / apps().size(), 1);
+    endRow();
+    std::printf("(paper: Base 840/90, Opt 48/25 for 4K/INF)\n");
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 12 reproduction: TRAQ utilization. Chart (a): average number
+ * of occupied TRAQ entries per application (all < 64 of 176 in the
+ * paper). Chart (b): occupancy distribution in bins of 10 entries for
+ * four representative applications.
+ */
+
+#include "bench/common.hh"
+
+int
+main()
+{
+    using namespace rrbench;
+    using rr::sim::CoreId;
+
+    std::vector<rr::sim::RecorderConfig> policy(1);
+    policy[0].mode = rr::sim::RecorderMode::Opt;
+
+    printTitle("Figure 12(a): average TRAQ occupancy (176 entries, "
+               "8 cores)");
+    printColumns({"app", "avg-entries", "max-seen"});
+
+    std::vector<Recorded> kept;
+    const std::vector<std::string> representatives = {"fft", "ocean",
+                                                      "radix",
+                                                      "water-nsq"};
+    for (const App &app : apps()) {
+        Recorded r = record(app, 8, policy);
+        double mean = 0, maxv = 0;
+        for (CoreId c = 0; c < 8; ++c) {
+            const auto &occ =
+                r.machine->hub(c).stats().scalars().at("traq_occupancy");
+            mean += occ.mean();
+            maxv = std::max(maxv, occ.max());
+        }
+        printCell(app.name);
+        printCell(mean / 8, 1);
+        printCell(maxv, 0);
+        endRow();
+        for (const auto &rep : representatives) {
+            if (rep == app.name)
+                kept.push_back(std::move(r));
+        }
+    }
+
+    printTitle("Figure 12(b): occupancy distribution, bins of 10 "
+               "(fraction of cycles)");
+    for (const Recorded &r : kept) {
+        std::printf("%s:\n", r.workload.name.c_str());
+        // Merge the 8 per-core histograms.
+        const auto &h0 = r.machine->hub(0).occupancyHistogram();
+        for (std::size_t bin = 0; bin < h0.numBins(); ++bin) {
+            std::uint64_t count = 0, total = 0;
+            for (CoreId c = 0; c < 8; ++c) {
+                const auto &h = r.machine->hub(c).occupancyHistogram();
+                count += h.binCount(bin);
+                total += h.total();
+            }
+            const double frac =
+                total ? static_cast<double>(count) / total : 0.0;
+            if (frac < 0.001)
+                continue;
+            const bool overflow = bin == h0.numBins() - 1;
+            if (overflow) {
+                std::printf("  [%3zu+      ) %6.1f%% ",
+                            bin * h0.binWidth(), 100 * frac);
+            } else {
+                std::printf("  [%3zu - %3zu) %6.1f%% ",
+                            bin * h0.binWidth(),
+                            (bin + 1) * h0.binWidth(), 100 * frac);
+            }
+            for (int i = 0; i < static_cast<int>(frac * 60); ++i)
+                std::printf("#");
+            std::printf("\n");
+        }
+    }
+    std::printf("(paper: all averages < 64 entries; mass below ~80 "
+                "entries)\n");
+    return 0;
+}

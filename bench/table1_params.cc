@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Table 1 reproduction: print the architectural parameters of the
+ * simulated machine and account for the per-processor RelaxReplay
+ * structure sizes the paper quotes (MRR module ~2.3KB for Base /
+ * ~3.3KB for Opt, TRAQ 1.8KB / 2.5KB).
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "rnr/log.hh"
+
+int
+main()
+{
+    using namespace rr;
+    sim::MachineConfig cfg;
+    sim::RecorderConfig rc;
+
+    std::printf("Table 1: architectural parameters (defaults)\n");
+    std::printf("--------------------------------------------\n");
+    std::printf("Multicore            ring-based MESI snoopy, %u cores "
+                "(4/8/16 supported)\n",
+                cfg.numCores);
+    std::printf("Core                 %u-way OoO @ 2GHz, %u-entry ROB, "
+                "%u Ld/St units, %u-entry LSQ\n",
+                cfg.core.issueWidth, cfg.core.robEntries,
+                cfg.core.numLdStUnits, cfg.core.lsqEntries);
+    std::printf("L1                   private %uKB, %u-way, %uB lines, "
+                "%u MSHRs, %u-cycle hit\n",
+                cfg.l1.sizeBytes / 1024, cfg.l1.associativity,
+                sim::kLineBytes, cfg.l1.mshrEntries, cfg.l1.hitLatency);
+    std::printf("L2                   shared %uKB per core, %u-way, "
+                "%u-cycle avg round-trip\n",
+                cfg.l2.sizeBytes / 1024, cfg.l2.associativity,
+                cfg.uncore.l2Latency);
+    std::printf("Ring                 %u-cycle hop delay\n",
+                cfg.uncore.ringHopDelay);
+    std::printf("Memory               %u-cycle round-trip from L2\n",
+                cfg.uncore.memLatency);
+    std::printf("Signatures           %u x %u-bit Bloom filters (H3)\n",
+                rc.signatureBanks, rc.signatureBitsPerBank);
+    std::printf("TRAQ                 %u entries\n", rc.traqEntries);
+    std::printf("Snoop Table          %u arrays x %u entries x 16-bit\n",
+                rc.snoopTableArrays, rc.snoopTableEntries);
+
+    // Per-processor structure accounting (bits).
+    const unsigned addr = 48, value = 64, pisn = 16, nmi = rc.nmiBits;
+    const unsigned snoop_count = 32; // two 16-bit counters
+    const unsigned base_entry = addr + value + pisn + nmi + 2; // +flags
+    const unsigned opt_entry = base_entry + snoop_count;
+    const unsigned sigs = 2 * rc.signatureBanks * rc.signatureBitsPerBank;
+    const unsigned misc = 64 /*glob time*/ + 32 /*blk size*/ +
+                          16 /*CISN*/ + 8 * 32 * 8 /*log buffer*/;
+    const unsigned snoop_table =
+        rc.snoopTableArrays * rc.snoopTableEntries * 16;
+
+    const double base_traq_kb = rc.traqEntries * base_entry / 8.0 / 1024;
+    const double opt_traq_kb = rc.traqEntries * opt_entry / 8.0 / 1024;
+    const double base_mrr_kb = base_traq_kb + (sigs + misc) / 8.0 / 1024;
+    const double opt_mrr_kb =
+        opt_traq_kb + (sigs + misc + snoop_table) / 8.0 / 1024;
+
+    std::printf("\nPer-processor structure sizes (this implementation)\n");
+    std::printf("  TRAQ entry:  Base %u bits, Opt %u bits (%.1fB)\n",
+                base_entry, opt_entry, opt_entry / 8.0);
+    std::printf("  TRAQ total:  Base %.1fKB, Opt %.1fKB   "
+                "(paper: 1.8KB / 2.5KB)\n",
+                base_traq_kb, opt_traq_kb);
+    std::printf("  MRR module:  Base %.1fKB, Opt %.1fKB   "
+                "(paper: 2.3KB / 3.3KB)\n",
+                base_mrr_kb, opt_mrr_kb);
+    std::printf("  Snoop Table: %u bytes (paper: 256B)\n",
+                snoop_table / 8);
+
+    std::printf("\nLog entry formats (bits, incl. 3-bit type tag)\n");
+    std::printf("  InorderBlock   %u\n",
+                rr::rnr::LogEntry::inorderBlock(0).sizeBits());
+    std::printf("  ReorderedLoad  %u\n",
+                rr::rnr::LogEntry::reorderedLoad(0).sizeBits());
+    std::printf("  ReorderedStore %u\n",
+                rr::rnr::LogEntry::reorderedStore(0, 0, 1).sizeBits());
+    std::printf("  IntervalFrame  %u\n",
+                3 + rr::rnr::bits::kCisn + rr::rnr::bits::kTimestamp);
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Record-and-replay for concurrency debugging (the paper's motivating
+ * use case). Two threads increment a shared counter WITHOUT a lock, so
+ * updates can be lost nondeterministically. RelaxReplay's log pins down
+ * the one interleaving that actually happened: the example prints the
+ * recorded interval schedule around the racy accesses and then replays
+ * the execution twice, showing that the lost-update outcome reproduces
+ * exactly — which is what makes cyclic debugging of races possible.
+ */
+
+#include <cstdio>
+
+#include "isa/assembler.hh"
+#include "machine/machine.hh"
+#include "rnr/patcher.hh"
+#include "rnr/replayer.hh"
+
+using namespace rr;
+
+namespace
+{
+
+constexpr sim::Addr kCounter = 0x20000;
+constexpr int kIncrements = 40;
+
+isa::Program
+racyProgram()
+{
+    // Both threads: for (i = 0; i < N; ++i) counter++ -- unlocked
+    // read-modify-write, so increments from different threads can
+    // interleave and get lost.
+    isa::Assembler a;
+    a.li(3, kCounter);
+    a.li(4, kIncrements);
+    a.label("loop");
+    a.ld(5, 3, 0);
+    a.addi(5, 5, 1);
+    a.st(5, 3, 0);
+    a.addi(4, 4, -1);
+    a.bne(4, 0, "loop");
+    a.halt();
+    return a.assemble();
+}
+
+} // namespace
+
+int
+main()
+{
+    const isa::Program program = racyProgram();
+
+    sim::MachineConfig cfg;
+    cfg.numCores = 2;
+    std::vector<sim::RecorderConfig> policies(1);
+    policies[0].mode = sim::RecorderMode::Opt;
+
+    machine::Machine m(cfg, program, policies);
+    const mem::BackingStore initial = m.initialMemory();
+    auto rec = m.run();
+
+    const std::uint64_t final_count = m.memory().read64(kCounter);
+    std::printf("2 threads x %d unlocked increments -> counter = %llu "
+                "(%llu updates lost)\n",
+                kIncrements, (unsigned long long)final_count,
+                (unsigned long long)(2 * kIncrements - final_count));
+
+    // Show the recorded interleaving: merge both cores' intervals into
+    // the replay order and print the schedule.
+    struct Slot
+    {
+        std::uint64_t ts;
+        int core;
+        const rnr::IntervalRecord *iv;
+    };
+    std::vector<Slot> schedule;
+    for (int c = 0; c < 2; ++c) {
+        for (const auto &iv : rec.logs[0][c].intervals)
+            schedule.push_back({iv.timestamp, c, &iv});
+    }
+    std::sort(schedule.begin(), schedule.end(),
+              [](const Slot &a, const Slot &b) { return a.ts < b.ts; });
+
+    std::printf("\nrecorded interval schedule (the exact interleaving):\n");
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+        rnr::LogStats s;
+        rnr::CoreLog one;
+        one.intervals.push_back(*schedule[i].iv);
+        s.accumulate(one);
+        std::printf("  %2zu: core %d  %4llu instructions%s\n", i,
+                    schedule[i].core,
+                    (unsigned long long)s.instructions(),
+                    s.reordered() ? "  (contains reordered accesses)"
+                                  : "");
+    }
+
+    // Replay twice: the lost-update outcome must reproduce exactly.
+    for (int attempt = 1; attempt <= 2; ++attempt) {
+        std::vector<rnr::CoreLog> patched;
+        for (const auto &log : rec.logs[0])
+            patched.push_back(rnr::patch(log));
+        rnr::Replayer rep(program, std::move(patched), initial.clone());
+        auto res = rep.run();
+        const std::uint64_t replayed = res.memory.read64(kCounter);
+        std::printf("replay #%d: counter = %llu (%s)\n", attempt,
+                    (unsigned long long)replayed,
+                    replayed == final_count ? "reproduced"
+                                            : "MISMATCH");
+        if (replayed != final_count)
+            return 1;
+    }
+    return 0;
+}

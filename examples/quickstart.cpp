@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Quickstart: record a two-threaded program with RelaxReplay_Opt,
+ * inspect the log, patch it, and replay it deterministically.
+ *
+ * Build & run:
+ *     cmake -B build -G Ninja && cmake --build build
+ *     ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "isa/assembler.hh"
+#include "machine/machine.hh"
+#include "rnr/patcher.hh"
+#include "rnr/replayer.hh"
+
+using namespace rr;
+
+int
+main()
+{
+    // ------------------------------------------------------------------
+    // 1. Write a small two-threaded program in the micro-ISA. Thread 0
+    //    publishes data then sets a flag; thread 1 spins on the flag and
+    //    consumes the data (a classic message-passing race).
+    // ------------------------------------------------------------------
+    isa::Assembler a;
+    const sim::Addr flag = 0x10000, data = 0x10020;
+
+    a.entry(0);
+    a.li(3, data);
+    a.li(4, 12345);
+    a.st(4, 3, 0); // data = 12345
+    a.fence();     // release: data visible before flag
+    a.li(3, flag);
+    a.li(4, 1);
+    a.st(4, 3, 0); // flag = 1
+    a.halt();
+
+    a.entry(1);
+    a.li(3, flag);
+    a.label("spin");
+    a.ld(4, 3, 0);
+    a.beq(4, 0, "spin"); // wait for the flag
+    a.li(3, data);
+    a.ld(5, 3, 0); // consume: must read 12345
+    a.halt();
+
+    // ------------------------------------------------------------------
+    // 2. Record the execution on a 2-core RC machine with both
+    //    RelaxReplay designs at once ("record once, log many").
+    // ------------------------------------------------------------------
+    sim::MachineConfig cfg;
+    cfg.numCores = 2;
+    std::vector<sim::RecorderConfig> policies(2);
+    policies[0].mode = sim::RecorderMode::Base;
+    policies[1].mode = sim::RecorderMode::Opt;
+
+    machine::Machine m(cfg, a.assemble(), policies);
+    const mem::BackingStore initial = m.initialMemory();
+    const isa::Program program = a.assemble();
+    auto rec = m.run();
+
+    std::printf("recorded %llu instructions in %llu cycles\n",
+                (unsigned long long)rec.totalInstructions,
+                (unsigned long long)rec.cycles);
+    std::printf("thread 1 consumed r5 = %llu\n",
+                (unsigned long long)rec.cores[1].finalRegs[5]);
+
+    // ------------------------------------------------------------------
+    // 3. Inspect the logs.
+    // ------------------------------------------------------------------
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+        rnr::LogStats stats;
+        for (const auto &log : rec.logs[p])
+            stats.accumulate(log);
+        std::printf("%s log: %llu intervals, %llu InorderBlocks, "
+                    "%llu reordered accesses, %llu bits\n",
+                    sim::toString(policies[p].mode),
+                    (unsigned long long)stats.intervals,
+                    (unsigned long long)stats.inorderBlocks,
+                    (unsigned long long)stats.reordered(),
+                    (unsigned long long)stats.totalBits);
+    }
+
+    // ------------------------------------------------------------------
+    // 4. Patch the Opt log and replay it. Replay is sequential and
+    //    needs no simulator: InorderBlocks execute natively (here:
+    //    through the functional interpreter), reordered loads inject
+    //    their recorded values.
+    // ------------------------------------------------------------------
+    std::vector<rnr::CoreLog> patched;
+    for (const auto &log : rec.logs[1])
+        patched.push_back(rnr::patch(log));
+
+    rnr::Replayer replayer(program, std::move(patched), initial.clone());
+    auto replay = replayer.run();
+
+    std::printf("replayed %llu instructions over %llu intervals\n",
+                (unsigned long long)replay.instructions,
+                (unsigned long long)replay.intervals);
+    std::printf("replay thread 1 r5 = %llu\n",
+                (unsigned long long)replay.contexts[1].regs[5]);
+
+    const bool ok =
+        replay.memory.fingerprint() == rec.memoryFingerprint &&
+        replay.contexts[1].regs[5] == rec.cores[1].finalRegs[5];
+    std::printf("deterministic replay: %s\n", ok ? "OK" : "MISMATCH");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Bimodal branch direction predictor: a table of 2-bit saturating
+ * counters indexed by PC. Targets are static in the micro-ISA, so no
+ * BTB is needed; indirect jumps (Jr) stall fetch instead.
+ */
+
+#ifndef RR_CPU_BRANCH_PREDICTOR_HH
+#define RR_CPU_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace rr::cpu
+{
+
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(std::uint32_t entries)
+        : mask_(entries - 1), table_(entries, kWeakNotTaken)
+    {
+    }
+
+    bool
+    predict(std::uint64_t pc) const
+    {
+        return table_[pc & mask_] >= kWeakTaken;
+    }
+
+    void
+    update(std::uint64_t pc, bool taken)
+    {
+        std::uint8_t &ctr = table_[pc & mask_];
+        if (taken) {
+            if (ctr < kStrongTaken)
+                ++ctr;
+        } else {
+            if (ctr > kStrongNotTaken)
+                --ctr;
+        }
+    }
+
+  private:
+    static constexpr std::uint8_t kStrongNotTaken = 0;
+    static constexpr std::uint8_t kWeakNotTaken = 1;
+    static constexpr std::uint8_t kWeakTaken = 2;
+    static constexpr std::uint8_t kStrongTaken = 3;
+
+    std::uint64_t mask_;
+    std::vector<std::uint8_t> table_;
+};
+
+} // namespace rr::cpu
+
+#endif // RR_CPU_BRANCH_PREDICTOR_HH

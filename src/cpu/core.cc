@@ -1,0 +1,575 @@
+#include "cpu/core.hh"
+
+#include "sim/logging.hh"
+
+namespace rr::cpu
+{
+
+using isa::Instruction;
+using isa::Opcode;
+
+Core::Core(sim::CoreId id, const sim::MachineConfig &cfg,
+           const isa::Program &prog, mem::MemorySystem &mem,
+           mem::StampClock &clock)
+    : id_(id), cfg_(cfg), prog_(prog), mem_(mem), clock_(clock),
+      robSize_(cfg.core.robEntries), rob_(robSize_),
+      predictor_(cfg.core.predictorEntries),
+      wb_(cfg.core.writeBufferEntries),
+      stats_(sim::strfmt("core%u", id))
+{
+    for (auto &p : regProducer_)
+        p = sim::kNoSeqNum;
+    mem_.setClient(id_, this);
+}
+
+void
+Core::start(std::uint32_t tid, std::uint32_t num_threads)
+{
+    RR_ASSERT(!started_, "core started twice");
+    archRegs_[isa::kRegThreadId] = tid;
+    archRegs_[isa::kRegNumThreads] = num_threads;
+    fetchPc_ = prog_.entryFor(tid);
+    started_ = true;
+}
+
+bool
+Core::allowMemDispatch() const
+{
+    for (const auto *l : listeners_) {
+        if (!l->canDispatchMem())
+            return false;
+    }
+    return true;
+}
+
+void
+Core::tick(sim::Cycle now)
+{
+    RR_ASSERT(started_, "tick before start");
+    if (halted_) {
+        std::uint32_t ports = cfg_.core.numLdStUnits;
+        drainWriteBuffer(now, ports);
+        return;
+    }
+
+    retirePhase(now);
+    if (halted_) {
+        std::uint32_t ports = cfg_.core.numLdStUnits;
+        drainWriteBuffer(now, ports);
+        return;
+    }
+    executePhase(now);
+    dispatchPhase(now);
+
+    stats_.scalar("rob_occupancy").sample(count_);
+    stats_.scalar("wb_occupancy").sample(static_cast<double>(wb_.size()));
+}
+
+// ---------------------------------------------------------------------
+// Operand resolution
+// ---------------------------------------------------------------------
+
+bool
+Core::resolveOne(sim::SeqNum &prod, std::uint64_t &val, sim::Cycle now)
+{
+    if (prod == sim::kNoSeqNum)
+        return true;
+    auto it = slotOfSeq_.find(prod);
+    if (it != slotOfSeq_.end()) {
+        const RobEntry &p = rob_[it->second];
+        RR_ASSERT(p.seq == prod, "slot map out of sync");
+        if (p.executed && p.resultReady <= now) {
+            val = p.result;
+            prod = sim::kNoSeqNum;
+            return true;
+        }
+        return false;
+    }
+    // Producer retired before this consumer issued.
+    auto rit = retiredResults_.find(prod);
+    RR_ASSERT(rit != retiredResults_.end(),
+              "lost producer value for seq %llu",
+              static_cast<unsigned long long>(prod));
+    val = rit->second;
+    prod = sim::kNoSeqNum;
+    return true;
+}
+
+bool
+Core::resolveOperands(RobEntry &e, sim::Cycle now)
+{
+    const bool a = resolveOne(e.src1Prod, e.src1Val, now);
+    const bool b = resolveOne(e.src2Prod, e.src2Val, now);
+    return a && b;
+}
+
+// ---------------------------------------------------------------------
+// Retirement
+// ---------------------------------------------------------------------
+
+void
+Core::retirePhase(sim::Cycle now)
+{
+    std::uint32_t retired = 0;
+    while (retired < cfg_.core.retireWidth && count_ > 0) {
+        RobEntry &e = rob_[head_];
+        const Instruction &inst = e.inst;
+
+        if (inst.isLoad() || inst.isAtomic()) {
+            if (!e.completed)
+                break;
+        } else if (inst.isStore()) {
+            if (!e.executed)
+                break;
+            if (wb_.full()) {
+                stats_.counter("wb_full_stalls")++;
+                break;
+            }
+        } else if (inst.isFence()) {
+            if (!e.executed || !wb_.empty())
+                break;
+        } else {
+            if (!e.executed || e.resultReady > now)
+                break;
+        }
+
+        // Commit.
+        if (inst.isStore())
+            wb_.push(e.addr, e.src2Val, e.seq);
+        if (inst.writesRd()) {
+            archRegs_[inst.rd] = e.result;
+            retiredResults_[e.seq] = e.result;
+            retiredResultFifo_.emplace_back(e.seq, nextSeq_);
+            if (regProducer_[inst.rd] == e.seq)
+                regProducer_[inst.rd] = sim::kNoSeqNum;
+        }
+        ++retiredCount_;
+        ++retired;
+        if (inst.isMem())
+            --lsqCount_;
+
+        const RetireInfo info{e.seq,
+                              e.pc,
+                              inst.op,
+                              inst.isMem(),
+                              (inst.isLoad() || inst.isAtomic()) ? e.result
+                                                                 : 0,
+                              now};
+        for (auto *l : listeners_)
+            l->onRetire(info);
+
+        const sim::SeqNum seq = e.seq;
+        const bool is_halt = inst.isHalt();
+        const std::uint32_t halt_nmi = e.nmiAfter;
+        slotOfSeq_.erase(seq);
+        head_ = (head_ + 1) % robSize_;
+        --count_;
+
+        if (is_halt) {
+            halted_ = true;
+            squashAfter(seq, 0);
+            for (auto *l : listeners_)
+                l->onHalted(now, halt_nmi);
+            break;
+        }
+    }
+
+    // GC producer values nobody can reference anymore: all consumers
+    // dispatched before the producer retired (seq < barrier) have left
+    // the ROB.
+    const sim::SeqNum oldest = count_ > 0 ? rob_[head_].seq : nextSeq_;
+    while (!retiredResultFifo_.empty() &&
+           retiredResultFifo_.front().second <= oldest) {
+        retiredResults_.erase(retiredResultFifo_.front().first);
+        retiredResultFifo_.pop_front();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execute / issue
+// ---------------------------------------------------------------------
+
+int
+Core::tryForward(RobEntry &e, std::uint32_t slot, sim::Cycle now)
+{
+    // Older ROB stores, youngest first. All older store addresses are
+    // known here (unknown ones set blockLoads upstream).
+    for (std::uint32_t off = slot; off-- > 0;) {
+        RobEntry &s = entryAt(off);
+        const Instruction &si = s.inst;
+        if (!si.isStore() && !si.isAtomic())
+            continue;
+        if (!s.addrValid)
+            return 2;
+        if (s.addr != e.addr)
+            continue;
+        std::uint64_t value;
+        if (si.isStore()) {
+            if (!s.executed)
+                return 2; // data not ready yet
+            value = s.src2Val;
+        } else if (s.completed) {
+            // Atomic new value: XCHG writes rs2, FADD writes old+rs2.
+            value = si.op == Opcode::Xchg ? s.src2Val
+                                          : s.result + s.src2Val;
+        } else {
+            return 2;
+        }
+        e.result = value;
+        e.forwarded = e.completed = e.executed = true;
+        e.resultReady = now + 1;
+        stats_.counter("forwarded_loads")++;
+        const std::uint64_t stamp = clock_.next();
+        for (auto *l : listeners_)
+            l->onForwardedLoadPerform(e.seq, e.addr, value, stamp, now);
+        return 1;
+    }
+
+    if (const WriteBuffer::Entry *w = wb_.youngestFor(e.addr)) {
+        e.result = w->value;
+        e.forwarded = e.completed = e.executed = true;
+        e.resultReady = now + 1;
+        stats_.counter("forwarded_loads")++;
+        const std::uint64_t stamp = clock_.next();
+        for (auto *l : listeners_)
+            l->onForwardedLoadPerform(e.seq, e.addr, w->value, stamp, now);
+        return 1;
+    }
+    return 0;
+}
+
+void
+Core::executePhase(sim::Cycle now)
+{
+    std::uint32_t issued = 0;
+    std::uint32_t mem_ports = cfg_.core.numLdStUnits;
+    bool block_loads = false;
+
+    for (std::uint32_t i = 0; i < count_ && issued < cfg_.core.issueWidth;
+         ++i) {
+        RobEntry &e = entryAt(i);
+        const Instruction &inst = e.inst;
+
+        if (inst.isStore()) {
+            if (!e.addrValid &&
+                resolveOne(e.src1Prod, e.src1Val, now)) {
+                e.addr = sim::wordAddr(e.src1Val + inst.imm);
+                e.addrValid = true;
+            }
+            if (e.addrValid && !e.executed &&
+                resolveOne(e.src2Prod, e.src2Val, now)) {
+                e.executed = true;
+                e.resultReady = now + 1;
+            }
+            if (!e.addrValid)
+                block_loads = true;
+            continue;
+        }
+
+        if (inst.isLoad()) {
+            if (e.completed)
+                continue;
+            if (!e.addrValid) {
+                if (!resolveOne(e.src1Prod, e.src1Val, now))
+                    continue;
+                e.addr = sim::wordAddr(e.src1Val + inst.imm);
+                e.addrValid = true;
+            }
+            if (block_loads || e.memIssued || mem_ports == 0)
+                continue;
+            const int fwd = tryForward(e, i, now);
+            if (fwd == 1) {
+                --mem_ports;
+                ++issued;
+            } else if (fwd == 0 && mem_.canAccept(id_, e.addr)) {
+                mem_.access(id_, mem::AccessKind::Load, e.addr, 0, e.seq);
+                e.memIssued = true;
+                --mem_ports;
+                ++issued;
+                stats_.counter("loads_to_memory")++;
+            }
+            continue;
+        }
+
+        if (inst.isAtomic()) {
+            if (!e.addrValid &&
+                resolveOne(e.src1Prod, e.src1Val, now)) {
+                e.addr = sim::wordAddr(e.src1Val + inst.imm);
+                e.addrValid = true;
+            }
+            const bool data_ready = resolveOne(e.src2Prod, e.src2Val, now);
+            if (!e.completed)
+                block_loads = true; // atomics act as fences
+            if (i == 0 && e.addrValid && data_ready && !e.memIssued &&
+                wb_.empty() && mem_ports > 0 &&
+                mem_.canAccept(id_, e.addr)) {
+                const auto kind = inst.op == Opcode::Xchg
+                                      ? mem::AccessKind::Xchg
+                                      : mem::AccessKind::Fadd;
+                mem_.access(id_, kind, e.addr, e.src2Val, e.seq);
+                e.memIssued = true;
+                --mem_ports;
+                ++issued;
+            }
+            continue;
+        }
+
+        if (inst.isFence()) {
+            if (!e.executed) {
+                e.executed = true;
+                e.resultReady = now;
+            }
+            block_loads = true; // fences order younger loads
+            continue;
+        }
+
+        if (e.executed)
+            continue;
+        if (!resolveOperands(e, now))
+            continue;
+
+        ++issued;
+        e.executed = true;
+        switch (inst.op) {
+          case Opcode::Nop:
+          case Opcode::Halt:
+            e.resultReady = now;
+            break;
+          case Opcode::Beq:
+          case Opcode::Bne:
+          case Opcode::Blt:
+          case Opcode::Bge: {
+            const bool taken =
+                isa::evalBranch(inst, e.src1Val, e.src2Val);
+            e.actualNext = taken ? static_cast<std::uint64_t>(inst.imm)
+                                 : e.pc + 1;
+            e.resultReady = now + 1;
+            predictor_.update(e.pc, taken);
+            stats_.counter("branches")++;
+            if (e.actualNext != e.predictedNext) {
+                stats_.counter("mispredicts")++;
+                squashAfter(e.seq, e.nmiAfter);
+                fetchPc_ = e.actualNext;
+                redirectAt_ = now + cfg_.core.branchRedirectPenalty;
+                drainWriteBuffer(now, mem_ports);
+                return; // younger entries are gone
+            }
+            break;
+          }
+          case Opcode::Jmp:
+            e.actualNext = static_cast<std::uint64_t>(inst.imm);
+            e.resultReady = now;
+            break;
+          case Opcode::Jal:
+            e.result = e.pc + 1;
+            e.actualNext = static_cast<std::uint64_t>(inst.imm);
+            e.resultReady = now + 1;
+            break;
+          case Opcode::Jr:
+            e.actualNext = e.src1Val;
+            e.resultReady = now + 1;
+            RR_ASSERT(jrStallSeq_ == e.seq, "unexpected Jr stall state");
+            jrStallSeq_ = sim::kNoSeqNum;
+            fetchPc_ = e.actualNext;
+            redirectAt_ = now + 1;
+            break;
+          default:
+            e.result = isa::evalAlu(inst, e.src1Val, e.src2Val);
+            e.resultReady =
+                now + (inst.op == Opcode::Mul ? cfg_.core.mulLatency : 1);
+            break;
+        }
+    }
+
+    drainWriteBuffer(now, mem_ports);
+}
+
+void
+Core::drainWriteBuffer(sim::Cycle now, std::uint32_t &mem_ports)
+{
+    (void)now;
+    while (mem_ports > 0) {
+        WriteBuffer::Entry *e = wb_.nextToIssue();
+        if (!e)
+            return;
+        if (!mem_.canAccept(id_, e->word)) {
+            stats_.counter("wb_drain_blocked")++;
+            return;
+        }
+        mem_.access(id_, mem::AccessKind::Store, e->word, e->value,
+                    e->seq);
+        e->issued = true;
+        --mem_ports;
+        stats_.counter("stores_to_memory")++;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch / fetch
+// ---------------------------------------------------------------------
+
+void
+Core::dispatchPhase(sim::Cycle now)
+{
+    for (std::uint32_t d = 0; d < cfg_.core.dispatchWidth; ++d) {
+        if (jrStallSeq_ != sim::kNoSeqNum || haltSeq_ != sim::kNoSeqNum)
+            break;
+        if (now < redirectAt_)
+            break;
+        if (fetchPc_ >= prog_.size()) {
+            // Wrong-path fetch ran off the program; wait for the squash.
+            stats_.counter("fetch_out_of_range")++;
+            break;
+        }
+        if (count_ >= robSize_) {
+            stats_.counter("rob_full_stalls")++;
+            break;
+        }
+        const Instruction &inst = prog_.code[fetchPc_];
+        if (inst.isMem()) {
+            if (lsqCount_ >= cfg_.core.lsqEntries) {
+                stats_.counter("lsq_full_stalls")++;
+                break;
+            }
+            if (!allowMemDispatch()) {
+                stats_.counter("traq_full_stalls")++;
+                break;
+            }
+        }
+
+        const sim::SeqNum seq = nextSeq_++;
+        const std::uint32_t tail = slotAt(count_);
+        RobEntry &e = rob_[tail];
+        e = RobEntry{};
+        e.seq = seq;
+        e.pc = fetchPc_;
+        e.inst = inst;
+
+        if (inst.readsRs1() && inst.rs1 != 0 &&
+            regProducer_[inst.rs1] != sim::kNoSeqNum) {
+            e.src1Prod = regProducer_[inst.rs1];
+        } else {
+            e.src1Val = inst.readsRs1() ? archRegs_[inst.rs1] : 0;
+            if (inst.rs1 == 0)
+                e.src1Val = 0;
+        }
+        if (inst.readsRs2() && inst.rs2 != 0 &&
+            regProducer_[inst.rs2] != sim::kNoSeqNum) {
+            e.src2Prod = regProducer_[inst.rs2];
+        } else {
+            e.src2Val = inst.readsRs2() ? archRegs_[inst.rs2] : 0;
+            if (inst.rs2 == 0)
+                e.src2Val = 0;
+        }
+
+        std::uint64_t next = fetchPc_ + 1;
+        if (inst.isCondBranch()) {
+            e.predictedTaken = predictor_.predict(e.pc);
+            next = e.predictedTaken ? static_cast<std::uint64_t>(inst.imm)
+                                    : e.pc + 1;
+        } else if (inst.op == Opcode::Jmp || inst.op == Opcode::Jal) {
+            next = static_cast<std::uint64_t>(inst.imm);
+        } else if (inst.op == Opcode::Jr) {
+            jrStallSeq_ = seq;
+            next = e.pc; // placeholder; fetch stalls until resolve
+        } else if (inst.isHalt()) {
+            haltSeq_ = seq;
+            next = e.pc;
+        }
+        e.predictedNext = next;
+        e.actualNext = next;
+
+        if (inst.writesRd())
+            regProducer_[inst.rd] = seq;
+
+        if (inst.isMem()) {
+            for (auto *l : listeners_)
+                l->onDispatchMem(seq, inst, nmiCounter_);
+            nmiCounter_ = 0;
+            ++lsqCount_;
+        } else {
+            ++nmiCounter_;
+            if (nmiCounter_ >= cfg_.core.nmiGroupLimit) {
+                for (auto *l : listeners_)
+                    l->onDispatchNmiGroup(seq, nmiCounter_);
+                nmiCounter_ = 0;
+            }
+        }
+        e.nmiAfter = nmiCounter_;
+
+        slotOfSeq_[seq] = tail;
+        ++count_;
+        stats_.counter("dispatched")++;
+
+        if (inst.op == Opcode::Jr || inst.isHalt())
+            break;
+        fetchPc_ = next;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Squash
+// ---------------------------------------------------------------------
+
+void
+Core::squashAfter(sim::SeqNum survivor_seq, std::uint32_t nmi_restore)
+{
+    while (count_ > 0) {
+        RobEntry &e = entryAt(count_ - 1);
+        if (e.seq <= survivor_seq)
+            break;
+        if (e.inst.isMem())
+            --lsqCount_;
+        slotOfSeq_.erase(e.seq);
+        --count_;
+        stats_.counter("squashed_instructions")++;
+    }
+    nmiCounter_ = nmi_restore;
+    if (jrStallSeq_ != sim::kNoSeqNum && jrStallSeq_ > survivor_seq)
+        jrStallSeq_ = sim::kNoSeqNum;
+    if (haltSeq_ != sim::kNoSeqNum && haltSeq_ > survivor_seq)
+        haltSeq_ = sim::kNoSeqNum;
+    rebuildProducers();
+    for (auto *l : listeners_)
+        l->onSquash(survivor_seq);
+}
+
+void
+Core::rebuildProducers()
+{
+    for (auto &p : regProducer_)
+        p = sim::kNoSeqNum;
+    for (std::uint32_t i = 0; i < count_; ++i) {
+        RobEntry &e = entryAt(i);
+        if (e.inst.writesRd())
+            regProducer_[e.inst.rd] = e.seq;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Memory completions
+// ---------------------------------------------------------------------
+
+void
+Core::memCompleted(std::uint64_t tag, mem::AccessKind kind,
+                   std::uint64_t load_value, sim::Cycle when)
+{
+    if (kind == mem::AccessKind::Store) {
+        wb_.complete(tag);
+        return;
+    }
+    auto it = slotOfSeq_.find(tag);
+    if (it == slotOfSeq_.end()) {
+        stats_.counter("squashed_completions")++;
+        return;
+    }
+    RobEntry &e = rob_[it->second];
+    RR_ASSERT(e.seq == tag, "completion slot mismatch");
+    RR_ASSERT(e.memIssued && !e.completed, "unexpected completion");
+    e.completed = true;
+    e.executed = true;
+    e.result = load_value;
+    e.resultReady = when;
+}
+
+} // namespace rr::cpu

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The signal interface between the OoO core and the per-core Memory Race
+ * Recorder (paper Figure 6a: "processor signals"). The core publishes
+ * dispatch, retirement, squash and store-to-load-forwarding events; the
+ * recorder publishes back-pressure through canDispatchMem() (TRAQ-full
+ * stalls instruction dispatch). Perform events travel separately, from
+ * the memory system's observer interface, so that they arrive in global
+ * serialization order.
+ */
+
+#ifndef RR_CPU_CORE_LISTENER_HH
+#define RR_CPU_CORE_LISTENER_HH
+
+#include <cstdint>
+
+#include "isa/instruction.hh"
+#include "sim/types.hh"
+
+namespace rr::cpu
+{
+
+/** Architectural facts about one retiring instruction. */
+struct RetireInfo
+{
+    sim::SeqNum seq;
+    std::uint64_t pc;
+    isa::Opcode op;
+    bool isMem;
+    /** For loads and atomics: the value deposited into rd. */
+    std::uint64_t loadValue;
+    sim::Cycle cycle;
+};
+
+class CoreListener
+{
+  public:
+    virtual ~CoreListener() = default;
+
+    /**
+     * A memory-access instruction entered the ROB. @p nmi_before is the
+     * number of non-memory instructions dispatched since the previous
+     * memory-access instruction (already folded into NMI-group pseudo
+     * entries when it exceeded the NMI field width).
+     */
+    virtual void
+    onDispatchMem(sim::SeqNum seq, const isa::Instruction &inst,
+                  std::uint32_t nmi_before)
+    {
+        (void)seq;
+        (void)inst;
+        (void)nmi_before;
+    }
+
+    /**
+     * A full group of non-memory instructions was dispatched with no
+     * intervening memory access (TRAQ pseudo entry, Section 4.1).
+     * @p last_seq is the sequence number of the group's last instruction.
+     */
+    virtual void
+    onDispatchNmiGroup(sim::SeqNum last_seq, std::uint32_t count)
+    {
+        (void)last_seq;
+        (void)count;
+    }
+
+    /**
+     * A load obtained its value by store-to-load forwarding and thus
+     * performs without a memory-system event (Section 3.4).
+     */
+    virtual void
+    onForwardedLoadPerform(sim::SeqNum seq, sim::Addr word_addr,
+                           std::uint64_t value, std::uint64_t stamp,
+                           sim::Cycle cycle)
+    {
+        (void)seq;
+        (void)word_addr;
+        (void)value;
+        (void)stamp;
+        (void)cycle;
+    }
+
+    /** An instruction retired (in program order). */
+    virtual void onRetire(const RetireInfo &) {}
+
+    /**
+     * Branch misprediction: every instruction with seq > @p
+     * youngest_surviving is squashed (ROB and TRAQ flush).
+     */
+    virtual void onSquash(sim::SeqNum youngest_surviving)
+    {
+        (void)youngest_surviving;
+    }
+
+    /**
+     * The core's thread retired HALT. @p residual_nmi is the number of
+     * trailing non-memory instructions (HALT included) retired since
+     * the last TRAQ entry; the recorder folds them into its final
+     * interval.
+     */
+    virtual void onHalted(sim::Cycle, std::uint32_t residual_nmi)
+    {
+        (void)residual_nmi;
+    }
+
+    /** Back-pressure: false stalls dispatch of memory instructions. */
+    virtual bool canDispatchMem() const { return true; }
+};
+
+} // namespace rr::cpu
+
+#endif // RR_CPU_CORE_LISTENER_HH

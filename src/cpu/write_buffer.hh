@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The post-retirement store (write) buffer. Stores enter at retirement
+ * and drain to the memory system in FIFO issue order with out-of-order
+ * completion, which is what makes store performs visibly out of program
+ * order under the RC model. Same-word ordering is preserved because the
+ * memory system serializes same-line accesses of one core in issue
+ * order (hit order / MSHR waiting-list order).
+ */
+
+#ifndef RR_CPU_WRITE_BUFFER_HH
+#define RR_CPU_WRITE_BUFFER_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/types.hh"
+
+namespace rr::cpu
+{
+
+class WriteBuffer
+{
+  public:
+    struct Entry
+    {
+        sim::Addr word;
+        std::uint64_t value;
+        sim::SeqNum seq;
+        bool issued = false;
+        bool done = false;
+    };
+
+    explicit WriteBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+    bool full() const { return entries_.size() >= capacity_; }
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+
+    void
+    push(sim::Addr word, std::uint64_t value, sim::SeqNum seq)
+    {
+        entries_.push_back(Entry{word, value, seq, false, false});
+    }
+
+    /** Oldest entry not yet issued to the memory system, if any. */
+    Entry *
+    nextToIssue()
+    {
+        for (auto &e : entries_) {
+            if (!e.issued)
+                return &e;
+        }
+        return nullptr;
+    }
+
+    /** Mark the entry for @p seq complete and pop the finished prefix. */
+    void
+    complete(sim::SeqNum seq)
+    {
+        for (auto &e : entries_) {
+            if (e.seq == seq) {
+                e.done = true;
+                break;
+            }
+        }
+        while (!entries_.empty() && entries_.front().done)
+            entries_.pop_front();
+    }
+
+    /**
+     * Youngest entry writing @p word (store-to-load forwarding source);
+     * nullptr when no entry matches.
+     */
+    const Entry *
+    youngestFor(sim::Addr word) const
+    {
+        for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+            if (it->word == word)
+                return &*it;
+        }
+        return nullptr;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::deque<Entry> entries_;
+};
+
+} // namespace rr::cpu
+
+#endif // RR_CPU_WRITE_BUFFER_HH

@@ -1,0 +1,59 @@
+#include "isa/assembler.hh"
+
+#include "sim/logging.hh"
+
+namespace rr::isa
+{
+
+void
+Assembler::label(const std::string &name)
+{
+    auto [it, inserted] = labels_.emplace(name, code_.size());
+    if (!inserted)
+        sim::fatal("assembler: duplicate label '%s'", name.c_str());
+}
+
+void
+Assembler::entry(std::uint32_t tid)
+{
+    entries_[tid] = code_.size();
+}
+
+void
+Assembler::data(sim::Addr addr, std::uint64_t value)
+{
+    data_[sim::wordAddr(addr)] = value;
+}
+
+Program
+Assembler::assemble()
+{
+    for (const auto &fix : fixups_) {
+        auto it = labels_.find(fix.target);
+        if (it == labels_.end())
+            sim::fatal("assembler: undefined label '%s'",
+                       fix.target.c_str());
+        code_[fix.index].imm = static_cast<std::int64_t>(it->second);
+    }
+
+    Program prog;
+    prog.code = code_;
+    prog.initialData = data_;
+    prog.labels = labels_;
+    if (entries_.empty()) {
+        prog.entries = {0};
+    } else {
+        std::uint32_t max_tid = entries_.rbegin()->first;
+        prog.entries.assign(max_tid + 1, 0);
+        std::uint64_t last = entries_.count(0) ? entries_.at(0) : 0;
+        for (std::uint32_t t = 0; t <= max_tid; ++t) {
+            auto it = entries_.find(t);
+            if (it != entries_.end())
+                last = it->second;
+            prog.entries[t] = last;
+        }
+    }
+    return prog;
+}
+
+} // namespace rr::isa

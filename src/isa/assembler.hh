@@ -1,0 +1,165 @@
+/**
+ * @file
+ * A small in-memory assembler for the micro-ISA. Workloads build code
+ * through named-label method calls; assemble() resolves forward
+ * references and returns an immutable Program.
+ *
+ * Example:
+ * @code
+ *     Assembler a;
+ *     a.li(3, 100);
+ *     a.label("loop");
+ *     a.addi(3, 3, -1);
+ *     a.bne(3, 0, "loop");
+ *     a.halt();
+ *     Program p = a.assemble();
+ * @endcode
+ */
+
+#ifndef RR_ISA_ASSEMBLER_HH
+#define RR_ISA_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace rr::isa
+{
+
+class Assembler
+{
+  public:
+    /** Define a label at the current position. Names must be unique. */
+    void label(const std::string &name);
+
+    /** Current position (index of the next emitted instruction). */
+    std::uint64_t here() const { return code_.size(); }
+
+    /** @name Instruction emitters */
+    ///@{
+    void nop() { emit({Opcode::Nop, 0, 0, 0, 0}); }
+    void li(Reg rd, std::int64_t imm) { emit({Opcode::Li, rd, 0, 0, imm}); }
+    void add(Reg rd, Reg rs1, Reg rs2) { emitR(Opcode::Add, rd, rs1, rs2); }
+    void sub(Reg rd, Reg rs1, Reg rs2) { emitR(Opcode::Sub, rd, rs1, rs2); }
+    void mul(Reg rd, Reg rs1, Reg rs2) { emitR(Opcode::Mul, rd, rs1, rs2); }
+    void and_(Reg rd, Reg rs1, Reg rs2) { emitR(Opcode::And, rd, rs1, rs2); }
+    void or_(Reg rd, Reg rs1, Reg rs2) { emitR(Opcode::Or, rd, rs1, rs2); }
+    void xor_(Reg rd, Reg rs1, Reg rs2) { emitR(Opcode::Xor, rd, rs1, rs2); }
+    void sll(Reg rd, Reg rs1, Reg rs2) { emitR(Opcode::Sll, rd, rs1, rs2); }
+    void srl(Reg rd, Reg rs1, Reg rs2) { emitR(Opcode::Srl, rd, rs1, rs2); }
+    void slt(Reg rd, Reg rs1, Reg rs2) { emitR(Opcode::Slt, rd, rs1, rs2); }
+    void sltu(Reg rd, Reg rs1, Reg rs2) { emitR(Opcode::Sltu, rd, rs1, rs2); }
+    void addi(Reg rd, Reg rs1, std::int64_t imm)
+    {
+        emit({Opcode::Addi, rd, rs1, 0, imm});
+    }
+    void andi(Reg rd, Reg rs1, std::int64_t imm)
+    {
+        emit({Opcode::Andi, rd, rs1, 0, imm});
+    }
+    void ori(Reg rd, Reg rs1, std::int64_t imm)
+    {
+        emit({Opcode::Ori, rd, rs1, 0, imm});
+    }
+    void xori(Reg rd, Reg rs1, std::int64_t imm)
+    {
+        emit({Opcode::Xori, rd, rs1, 0, imm});
+    }
+    void slli(Reg rd, Reg rs1, std::int64_t imm)
+    {
+        emit({Opcode::Slli, rd, rs1, 0, imm});
+    }
+    void srli(Reg rd, Reg rs1, std::int64_t imm)
+    {
+        emit({Opcode::Srli, rd, rs1, 0, imm});
+    }
+    void ld(Reg rd, Reg base, std::int64_t off)
+    {
+        emit({Opcode::Ld, rd, base, 0, off});
+    }
+    void st(Reg value, Reg base, std::int64_t off)
+    {
+        emit({Opcode::St, 0, base, value, off});
+    }
+    void beq(Reg a, Reg b, const std::string &target)
+    {
+        emitBranch(Opcode::Beq, a, b, target);
+    }
+    void bne(Reg a, Reg b, const std::string &target)
+    {
+        emitBranch(Opcode::Bne, a, b, target);
+    }
+    void blt(Reg a, Reg b, const std::string &target)
+    {
+        emitBranch(Opcode::Blt, a, b, target);
+    }
+    void bge(Reg a, Reg b, const std::string &target)
+    {
+        emitBranch(Opcode::Bge, a, b, target);
+    }
+    void jmp(const std::string &target)
+    {
+        emitBranch(Opcode::Jmp, 0, 0, target);
+    }
+    void jal(Reg rd, const std::string &target)
+    {
+        fixups_.push_back({code_.size(), target});
+        emit({Opcode::Jal, rd, 0, 0, 0});
+    }
+    void jr(Reg rs1) { emit({Opcode::Jr, 0, rs1, 0, 0}); }
+    void xchg(Reg rd, Reg value, Reg base, std::int64_t off)
+    {
+        emit({Opcode::Xchg, rd, base, value, off});
+    }
+    void fadd(Reg rd, Reg value, Reg base, std::int64_t off)
+    {
+        emit({Opcode::Fadd, rd, base, value, off});
+    }
+    void fence() { emit({Opcode::Fence, 0, 0, 0, 0}); }
+    void halt() { emit({Opcode::Halt, 0, 0, 0, 0}); }
+    ///@}
+
+    /** Mark the current position as the entry point of thread tid. */
+    void entry(std::uint32_t tid);
+
+    /** Pre-initialize a word of memory in the program image. */
+    void data(sim::Addr addr, std::uint64_t value);
+
+    /** Resolve all label references and return the finished Program. */
+    Program assemble();
+
+  private:
+    void emit(Instruction inst) { code_.push_back(inst); }
+
+    void
+    emitR(Opcode op, Reg rd, Reg rs1, Reg rs2)
+    {
+        emit({op, rd, rs1, rs2, 0});
+    }
+
+    void
+    emitBranch(Opcode op, Reg a, Reg b, const std::string &target)
+    {
+        fixups_.push_back({code_.size(), target});
+        emit({op, 0, a, b, 0});
+    }
+
+    struct Fixup
+    {
+        std::uint64_t index;
+        std::string target;
+    };
+
+    std::vector<Instruction> code_;
+    std::vector<Fixup> fixups_;
+    std::map<std::string, std::uint64_t> labels_;
+    std::map<std::uint32_t, std::uint64_t> entries_;
+    std::map<sim::Addr, std::uint64_t> data_;
+};
+
+} // namespace rr::isa
+
+#endif // RR_ISA_ASSEMBLER_HH

@@ -1,0 +1,149 @@
+#include "isa/instruction.hh"
+
+#include "sim/logging.hh"
+
+namespace rr::isa
+{
+
+bool
+Instruction::readsRs1() const
+{
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Li:
+      case Opcode::Jmp:
+      case Opcode::Jal:
+      case Opcode::Fence:
+      case Opcode::Halt:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+Instruction::readsRs2() const
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::Slt:
+      case Opcode::Sltu:
+      case Opcode::St:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Xchg:
+      case Opcode::Fadd:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+mnemonic(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Li: return "li";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Sll: return "sll";
+      case Opcode::Srl: return "srl";
+      case Opcode::Slt: return "slt";
+      case Opcode::Sltu: return "sltu";
+      case Opcode::Addi: return "addi";
+      case Opcode::Andi: return "andi";
+      case Opcode::Ori: return "ori";
+      case Opcode::Xori: return "xori";
+      case Opcode::Slli: return "slli";
+      case Opcode::Srli: return "srli";
+      case Opcode::Ld: return "ld";
+      case Opcode::St: return "st";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Jal: return "jal";
+      case Opcode::Jr: return "jr";
+      case Opcode::Xchg: return "xchg";
+      case Opcode::Fadd: return "fadd";
+      case Opcode::Fence: return "fence";
+      case Opcode::Halt: return "halt";
+    }
+    return "?";
+}
+
+std::string
+disassemble(const Instruction &inst)
+{
+    using sim::strfmt;
+    const char *m = mnemonic(inst.op);
+    switch (inst.op) {
+      case Opcode::Nop:
+      case Opcode::Fence:
+      case Opcode::Halt:
+        return m;
+      case Opcode::Li:
+        return strfmt("%s r%u, %lld", m, inst.rd,
+                      static_cast<long long>(inst.imm));
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::Slt:
+      case Opcode::Sltu:
+        return strfmt("%s r%u, r%u, r%u", m, inst.rd, inst.rs1, inst.rs2);
+      case Opcode::Addi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Slli:
+      case Opcode::Srli:
+        return strfmt("%s r%u, r%u, %lld", m, inst.rd, inst.rs1,
+                      static_cast<long long>(inst.imm));
+      case Opcode::Ld:
+        return strfmt("%s r%u, %lld(r%u)", m, inst.rd,
+                      static_cast<long long>(inst.imm), inst.rs1);
+      case Opcode::St:
+        return strfmt("%s r%u, %lld(r%u)", m, inst.rs2,
+                      static_cast<long long>(inst.imm), inst.rs1);
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        return strfmt("%s r%u, r%u, @%lld", m, inst.rs1, inst.rs2,
+                      static_cast<long long>(inst.imm));
+      case Opcode::Jmp:
+        return strfmt("%s @%lld", m, static_cast<long long>(inst.imm));
+      case Opcode::Jal:
+        return strfmt("%s r%u, @%lld", m, inst.rd,
+                      static_cast<long long>(inst.imm));
+      case Opcode::Jr:
+        return strfmt("%s r%u", m, inst.rs1);
+      case Opcode::Xchg:
+      case Opcode::Fadd:
+        return strfmt("%s r%u, r%u, %lld(r%u)", m, inst.rd, inst.rs2,
+                      static_cast<long long>(inst.imm), inst.rs1);
+    }
+    return "?";
+}
+
+} // namespace rr::isa

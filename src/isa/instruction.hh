@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The micro-ISA: a small RISC-like instruction set rich enough to express
+ * the SPLASH-2-style workloads (ALU ops, 8-byte loads/stores, branches,
+ * atomic exchange / fetch-add, fences) while staying trivial to decode.
+ *
+ * Registers: 32 64-bit integer registers; r0 is hardwired to zero.
+ * All memory operands are 8-byte aligned words at address rs1 + imm.
+ * Branch/jump targets are absolute instruction indices (label-resolved
+ * by the Assembler).
+ */
+
+#ifndef RR_ISA_INSTRUCTION_HH
+#define RR_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+namespace rr::isa
+{
+
+/** Number of architectural integer registers. */
+inline constexpr std::uint32_t kNumRegs = 32;
+
+/** Register index. */
+using Reg = std::uint8_t;
+
+enum class Opcode : std::uint8_t
+{
+    Nop,
+    Li,    ///< rd = imm (full 64-bit immediate)
+    Add,   ///< rd = rs1 + rs2
+    Sub,   ///< rd = rs1 - rs2
+    Mul,   ///< rd = rs1 * rs2
+    And,   ///< rd = rs1 & rs2
+    Or,    ///< rd = rs1 | rs2
+    Xor,   ///< rd = rs1 ^ rs2
+    Sll,   ///< rd = rs1 << (rs2 & 63)
+    Srl,   ///< rd = rs1 >> (rs2 & 63), logical
+    Slt,   ///< rd = (int64)rs1 < (int64)rs2
+    Sltu,  ///< rd = rs1 < rs2, unsigned
+    Addi,  ///< rd = rs1 + imm
+    Andi,  ///< rd = rs1 & imm
+    Ori,   ///< rd = rs1 | imm
+    Xori,  ///< rd = rs1 ^ imm
+    Slli,  ///< rd = rs1 << (imm & 63)
+    Srli,  ///< rd = rs1 >> (imm & 63)
+    Ld,    ///< rd = mem64[rs1 + imm]
+    St,    ///< mem64[rs1 + imm] = rs2
+    Beq,   ///< if (rs1 == rs2) pc = imm
+    Bne,   ///< if (rs1 != rs2) pc = imm
+    Blt,   ///< if ((int64)rs1 < (int64)rs2) pc = imm
+    Bge,   ///< if ((int64)rs1 >= (int64)rs2) pc = imm
+    Jmp,   ///< pc = imm
+    Jal,   ///< rd = pc + 1; pc = imm
+    Jr,    ///< pc = rs1
+    Xchg,  ///< rd = mem64[rs1 + imm]; mem64[rs1 + imm] = rs2 (atomic)
+    Fadd,  ///< rd = mem64[rs1 + imm]; mem64[rs1 + imm] += rs2 (atomic)
+    Fence, ///< full memory fence: drains write buffer, orders all accesses
+    Halt,  ///< terminate this thread
+};
+
+/** One decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    Reg rd = 0;
+    Reg rs1 = 0;
+    Reg rs2 = 0;
+    /** Immediate operand, or absolute branch/jump target index. */
+    std::int64_t imm = 0;
+
+    bool isLoad() const { return op == Opcode::Ld; }
+    bool isStore() const { return op == Opcode::St; }
+    bool isAtomic() const { return op == Opcode::Xchg || op == Opcode::Fadd; }
+    /** Any instruction that accesses memory (load, store or atomic). */
+    bool isMem() const { return isLoad() || isStore() || isAtomic(); }
+    bool isFence() const { return op == Opcode::Fence; }
+    bool isHalt() const { return op == Opcode::Halt; }
+
+    /** Conditional branches only (not unconditional jumps). */
+    bool
+    isCondBranch() const
+    {
+        return op == Opcode::Beq || op == Opcode::Bne ||
+               op == Opcode::Blt || op == Opcode::Bge;
+    }
+
+    /** Any instruction that can redirect the PC. */
+    bool
+    isControl() const
+    {
+        return isCondBranch() || op == Opcode::Jmp || op == Opcode::Jal ||
+               op == Opcode::Jr;
+    }
+
+    /** Control transfer whose target is not known at decode. */
+    bool isIndirect() const { return op == Opcode::Jr; }
+
+    /** True iff the instruction writes register rd. */
+    bool
+    writesRd() const
+    {
+        switch (op) {
+          case Opcode::Nop:
+          case Opcode::St:
+          case Opcode::Beq:
+          case Opcode::Bne:
+          case Opcode::Blt:
+          case Opcode::Bge:
+          case Opcode::Jmp:
+          case Opcode::Jr:
+          case Opcode::Fence:
+          case Opcode::Halt:
+            return false;
+          default:
+            return rd != 0;
+        }
+    }
+
+    /** True iff the instruction reads rs1 / rs2. */
+    bool readsRs1() const;
+    bool readsRs2() const;
+};
+
+/** Human-readable rendering, e.g. "add r3, r1, r2". */
+std::string disassemble(const Instruction &inst);
+
+const char *mnemonic(Opcode op);
+
+} // namespace rr::isa
+
+#endif // RR_ISA_INSTRUCTION_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * A Program is the unit of work a core executes: an instruction vector
+ * shared by all threads plus per-thread entry points and an initial data
+ * image. Workloads are Programs produced by the Assembler DSL.
+ */
+
+#ifndef RR_ISA_PROGRAM_HH
+#define RR_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "sim/types.hh"
+
+namespace rr::isa
+{
+
+/** Initial register conventions for thread startup. */
+inline constexpr Reg kRegThreadId = 1;  ///< r1 = thread id
+inline constexpr Reg kRegNumThreads = 2; ///< r2 = number of threads
+
+/** A complete executable image. */
+struct Program
+{
+    /** Shared code; threads are distinguished by entry PC and r1. */
+    std::vector<Instruction> code;
+    /** Entry PC per thread; threads beyond the vector reuse entry 0. */
+    std::vector<std::uint64_t> entries;
+    /** Initial memory image: 8-byte-aligned word address -> value. */
+    std::map<sim::Addr, std::uint64_t> initialData;
+    /** Label table kept for diagnostics. */
+    std::map<std::string, std::uint64_t> labels;
+
+    std::uint64_t
+    entryFor(std::uint32_t tid) const
+    {
+        if (entries.empty())
+            return 0;
+        return entries[tid < entries.size() ? tid : 0];
+    }
+
+    const Instruction &
+    at(std::uint64_t pc) const
+    {
+        return code.at(pc);
+    }
+
+    std::uint64_t size() const { return code.size(); }
+};
+
+/**
+ * Architectural per-thread execution context used by the functional
+ * interpreter and the replayer.
+ */
+struct ExecContext
+{
+    std::uint64_t pc = 0;
+    std::uint64_t regs[kNumRegs] = {};
+    bool halted = false;
+    /** Retired (architecturally executed) instruction count. */
+    std::uint64_t instructions = 0;
+
+    std::uint64_t readReg(Reg r) const { return r == 0 ? 0 : regs[r]; }
+
+    void
+    writeReg(Reg r, std::uint64_t v)
+    {
+        if (r != 0)
+            regs[r] = v;
+    }
+};
+
+/** Memory interface for functional execution. */
+class MemoryIf
+{
+  public:
+    virtual ~MemoryIf() = default;
+    virtual std::uint64_t read64(sim::Addr a) = 0;
+    virtual void write64(sim::Addr a, std::uint64_t v) = 0;
+};
+
+/**
+ * Functionally execute exactly one instruction. Atomics are performed as
+ * a read followed by a write on @p mem (functional execution is single-
+ * stepped, so this is atomic by construction).
+ *
+ * @return the instruction that was executed.
+ */
+const Instruction &step(const Program &prog, ExecContext &ctx,
+                        MemoryIf &mem);
+
+/**
+ * Pure ALU evaluation shared by the interpreter and the OoO core:
+ * computes the result of a non-memory, non-control instruction.
+ */
+std::uint64_t evalAlu(const Instruction &inst, std::uint64_t rs1,
+                      std::uint64_t rs2);
+
+/**
+ * Evaluate a conditional branch: true iff taken.
+ */
+bool evalBranch(const Instruction &inst, std::uint64_t rs1,
+                std::uint64_t rs2);
+
+} // namespace rr::isa
+
+#endif // RR_ISA_PROGRAM_HH

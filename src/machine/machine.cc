@@ -1,0 +1,105 @@
+#include "machine/machine.hh"
+
+#include "sim/logging.hh"
+
+namespace rr::machine
+{
+
+/** Collects the per-core architectural reference trace. */
+class Machine::TraceListener : public cpu::CoreListener
+{
+  public:
+    void
+    onRetire(const cpu::RetireInfo &info) override
+    {
+        ++summary.retiredInstructions;
+        if (info.op == isa::Opcode::Ld || info.op == isa::Opcode::Xchg ||
+            info.op == isa::Opcode::Fadd) {
+            ++summary.retiredLoads;
+            summary.loadValueHash =
+                mixLoadValue(summary.loadValueHash, info.loadValue);
+        }
+    }
+
+    CoreSummary summary;
+};
+
+Machine::Machine(const sim::MachineConfig &cfg, isa::Program prog,
+                 const std::vector<sim::RecorderConfig> &policies)
+    : cfg_(cfg), prog_(std::move(prog))
+{
+    cfg_.validate();
+    RR_ASSERT(!policies.empty(), "need at least one recorder policy");
+
+    // Materialize the program's initial data image.
+    for (const auto &[addr, value] : prog_.initialData)
+        backing_.write64(addr, value);
+    initial_ = backing_.clone();
+
+    memsys_ =
+        std::make_unique<mem::MemorySystem>(cfg_, backing_, clock_);
+
+    for (sim::CoreId c = 0; c < cfg_.numCores; ++c) {
+        cores_.push_back(std::make_unique<cpu::Core>(c, cfg_, prog_,
+                                                     *memsys_, clock_));
+        hubs_.push_back(
+            std::make_unique<rnr::MrrHub>(c, policies, clock_));
+        tracers_.push_back(std::make_unique<TraceListener>());
+        cores_[c]->addListener(hubs_[c].get());
+        cores_[c]->addListener(tracers_[c].get());
+        memsys_->addObserver(hubs_[c].get());
+        cores_[c]->start(c, cfg_.numCores);
+    }
+
+    std::vector<rnr::MrrHub *> peers;
+    for (auto &hub : hubs_)
+        peers.push_back(hub.get());
+    for (auto &hub : hubs_)
+        hub->setPeers(peers);
+}
+
+Machine::~Machine() = default;
+
+RecordingResult
+Machine::run(std::uint64_t max_cycles)
+{
+    RR_ASSERT(!ran_, "Machine::run may only be called once");
+    ran_ = true;
+
+    for (cycle_ = 0;; ++cycle_) {
+        memsys_->tick(cycle_);
+        bool all_done = memsys_->quiescent();
+        for (auto &core : cores_) {
+            core->tick(cycle_);
+            all_done = all_done && core->quiescent();
+        }
+        for (auto &hub : hubs_)
+            hub->sampleOccupancy();
+        if (all_done && memsys_->quiescent())
+            break;
+        if (cycle_ >= max_cycles)
+            sim::fatal("machine did not quiesce in %llu cycles "
+                       "(deadlock or runaway workload)",
+                       static_cast<unsigned long long>(max_cycles));
+    }
+
+    RecordingResult res;
+    res.cycles = cycle_;
+    const std::size_t num_policies = hubs_.front()->numPolicies();
+    res.logs.resize(num_policies);
+    for (std::size_t p = 0; p < num_policies; ++p) {
+        for (auto &hub : hubs_)
+            res.logs[p].push_back(hub->recorder(p).takeLog());
+    }
+    for (sim::CoreId c = 0; c < cfg_.numCores; ++c) {
+        CoreSummary s = tracers_[c]->summary;
+        for (std::uint32_t r = 0; r < isa::kNumRegs; ++r)
+            s.finalRegs[r] = cores_[c]->archReg(r);
+        res.totalInstructions += s.retiredInstructions;
+        res.cores.push_back(s);
+    }
+    res.memoryFingerprint = backing_.fingerprint();
+    return res;
+}
+
+} // namespace rr::machine

@@ -1,0 +1,27 @@
+#include "mem/backing_store.hh"
+
+namespace rr::mem
+{
+
+std::uint64_t
+BackingStore::fingerprint() const
+{
+    // Combine per-word hashes with addition so that unordered_map
+    // iteration order does not matter.
+    std::uint64_t acc = 0;
+    for (const auto &[pageno, page] : pages_) {
+        const std::uint64_t base = pageno * kPageBytes;
+        for (std::size_t i = 0; i < kPageBytes / sim::kWordBytes; ++i) {
+            const std::uint64_t v = page.words[i];
+            if (v == 0)
+                continue;
+            std::uint64_t h = base + i * sim::kWordBytes;
+            h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+            h *= 0x2545f4914f6cdd1dULL;
+            acc += h;
+        }
+    }
+    return acc;
+}
+
+} // namespace rr::mem

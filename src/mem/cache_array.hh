@@ -1,0 +1,132 @@
+/**
+ * @file
+ * A set-associative tag array with MESI state and LRU replacement.
+ * Holds no data (the BackingStore is the value authority); used for both
+ * the private L1s and the shared L2 (which only uses Invalid/Shared).
+ */
+
+#ifndef RR_MEM_CACHE_ARRAY_HH
+#define RR_MEM_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mem/coherence.hh"
+#include "sim/config.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace rr::mem
+{
+
+class CacheArray
+{
+  public:
+    struct Line
+    {
+        sim::Addr tag = 0; ///< full line address
+        MesiState state = MesiState::Invalid;
+        std::uint64_t lruStamp = 0;
+
+        bool valid() const { return state != MesiState::Invalid; }
+    };
+
+    explicit CacheArray(const sim::CacheConfig &cfg)
+        : assoc_(cfg.associativity), numSets_(cfg.numSets()),
+          lines_(static_cast<std::size_t>(assoc_) * numSets_)
+    {
+    }
+
+    /** Find the line holding @p line_addr; nullptr when absent. */
+    Line *
+    find(sim::Addr line_addr)
+    {
+        Line *set = setFor(line_addr);
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (set[w].valid() && set[w].tag == line_addr)
+                return &set[w];
+        }
+        return nullptr;
+    }
+
+    const Line *
+    find(sim::Addr line_addr) const
+    {
+        return const_cast<CacheArray *>(this)->find(line_addr);
+    }
+
+    MesiState
+    stateOf(sim::Addr line_addr) const
+    {
+        const Line *l = find(line_addr);
+        return l ? l->state : MesiState::Invalid;
+    }
+
+    /** Refresh the LRU position of a line on access. */
+    void touch(Line &line) { line.lruStamp = ++lruClock_; }
+
+    /**
+     * Pick a victim way for installing @p line_addr: an invalid way if
+     * one exists, otherwise the LRU way whose line is not @p blocked.
+     * Returns nullptr when every way is blocked (caller retries later).
+     */
+    Line *
+    victimFor(sim::Addr line_addr,
+              const std::function<bool(sim::Addr)> &blocked)
+    {
+        Line *set = setFor(line_addr);
+        Line *victim = nullptr;
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            Line &l = set[w];
+            if (!l.valid())
+                return &l;
+            if (blocked && blocked(l.tag))
+                continue;
+            if (!victim || l.lruStamp < victim->lruStamp)
+                victim = &l;
+        }
+        return victim;
+    }
+
+    /** Install a line into @p way (previous contents already handled). */
+    void
+    install(Line &way, sim::Addr line_addr, MesiState state)
+    {
+        way.tag = line_addr;
+        way.state = state;
+        touch(way);
+    }
+
+    /** Iterate over all valid lines (diagnostics / invalidation sweeps). */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn)
+    {
+        for (auto &l : lines_) {
+            if (l.valid())
+                fn(l);
+        }
+    }
+
+    std::uint32_t associativity() const { return assoc_; }
+    std::uint32_t numSets() const { return numSets_; }
+
+  private:
+    Line *
+    setFor(sim::Addr line_addr)
+    {
+        const std::uint64_t set =
+            (line_addr / sim::kLineBytes) & (numSets_ - 1);
+        return &lines_[static_cast<std::size_t>(set) * assoc_];
+    }
+
+    std::uint32_t assoc_;
+    std::uint32_t numSets_;
+    std::vector<Line> lines_;
+    std::uint64_t lruClock_ = 0;
+};
+
+} // namespace rr::mem
+
+#endif // RR_MEM_CACHE_ARRAY_HH

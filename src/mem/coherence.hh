@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Coherence protocol vocabulary shared between the memory system, the
+ * cores and the RelaxReplay recorders: MESI states, access kinds, the
+ * global serialization stamp clock, and the observer interfaces through
+ * which perform/snoop/eviction events reach the recorders.
+ */
+
+#ifndef RR_MEM_COHERENCE_HH
+#define RR_MEM_COHERENCE_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace rr::mem
+{
+
+enum class MesiState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+const char *toString(MesiState s);
+
+/** Kind of memory access issued by a core. */
+enum class AccessKind : std::uint8_t
+{
+    Load,
+    Store,
+    Xchg, ///< atomic exchange (read-modify-write)
+    Fadd, ///< atomic fetch-and-add (read-modify-write)
+};
+
+constexpr bool
+isWriteKind(AccessKind k)
+{
+    return k != AccessKind::Load;
+}
+
+constexpr bool
+isRmwKind(AccessKind k)
+{
+    return k == AccessKind::Xchg || k == AccessKind::Fadd;
+}
+
+/** Bus transaction kinds of the snoopy MESI protocol. */
+enum class BusKind : std::uint8_t
+{
+    GetS, ///< read request (miss)
+    GetM, ///< write request (miss or S->M upgrade)
+    PutM, ///< dirty writeback (timing/bandwidth only in this model)
+};
+
+/**
+ * Global serialization stamp clock. Every perform and snoop event gets a
+ * strictly increasing stamp; the stamp order is the single linearization
+ * of the machine's memory events. Recorders use stamps to totally order
+ * interval terminations (the paper's "globally-consistent clock").
+ */
+class StampClock
+{
+  public:
+    /** Allocate the next stamp. */
+    std::uint64_t next() { return ++last_; }
+    std::uint64_t last() const { return last_; }
+
+  private:
+    std::uint64_t last_ = 0;
+};
+
+/** A memory access reaching its global serialization point. */
+struct PerformEvent
+{
+    sim::CoreId core;
+    /** Core-assigned identifier, echoed back (the dynamic SeqNum). */
+    std::uint64_t tag;
+    AccessKind kind;
+    /** Word-aligned byte address accessed. */
+    sim::Addr addr;
+    /** Value loaded (old memory value for RMWs); 0 for plain stores. */
+    std::uint64_t loadValue;
+    /** Value written (new memory value); 0 for plain loads. */
+    std::uint64_t storeValue;
+    std::uint64_t stamp;
+    sim::Cycle cycle;
+};
+
+/** A coherence transaction observed on the snoopy interconnect. */
+struct SnoopEvent
+{
+    sim::CoreId requester;
+    sim::Addr lineAddr;
+    /** True for GetM (write intent), false for GetS. */
+    bool isWrite;
+    /**
+     * True when the observing core's L1 held the line (any valid MESI
+     * state) when the transaction was granted. Dependency-recording
+     * interval orderings (Cyrus/Karma-style) piggyback ordering
+     * information exactly when a cache responds to or is invalidated
+     * by a request.
+     */
+    bool observerHadLine = false;
+    std::uint64_t stamp;
+    sim::Cycle cycle;
+};
+
+/**
+ * Observer of memory-system events, implemented by the per-core MRR hubs
+ * (and by test harnesses). Perform events are delivered to the issuing
+ * core's observers at the access's serialization point; snoop events are
+ * delivered to every core except the requester (ring snoopy protocol:
+ * all caches see all transactions).
+ */
+class MemoryObserver
+{
+  public:
+    virtual ~MemoryObserver() = default;
+
+    virtual void onPerform(const PerformEvent &) {}
+
+    /** @param observer core id of the core observing the snoop. */
+    virtual void onSnoop([[maybe_unused]] sim::CoreId observer,
+                         const SnoopEvent &)
+    {
+    }
+
+    /**
+     * A dirty (Modified) line left core @p core 's L1 without a bus
+     * transaction visible to that core's future self (capacity eviction
+     * or back-invalidation). Only meaningful for the directory-coherence
+     * extension of Section 4.3.
+     */
+    virtual void
+    onDirtyEviction(sim::CoreId core, sim::Addr line_addr,
+                    std::uint64_t stamp)
+    {
+        (void)core;
+        (void)line_addr;
+        (void)stamp;
+    }
+};
+
+/** Completion callback interface implemented by cores. */
+class MemClient
+{
+  public:
+    virtual ~MemClient() = default;
+
+    /**
+     * The access identified by @p tag has completed: its data (for loads
+     * and RMWs, the value loaded) is available to the pipeline.
+     */
+    virtual void memCompleted(std::uint64_t tag, AccessKind kind,
+                              std::uint64_t load_value, sim::Cycle when) = 0;
+};
+
+} // namespace rr::mem
+
+#endif // RR_MEM_COHERENCE_HH

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The coherent memory hierarchy: per-core private L1s, a shared L2, and
+ * a ring-based snoopy MESI bus with a single global serialization point.
+ *
+ * Model summary (see DESIGN.md):
+ *  - Every access serializes exactly once: at its L1 hit, or at the bus
+ *    grant of the transaction it rides, or at the post-fill replay. At
+ *    serialization the access's value is applied to / sampled from the
+ *    BackingStore and a PerformEvent is emitted. Stamp order is the
+ *    machine's single memory linearization; this yields write atomicity
+ *    by construction (paper Observation 1).
+ *  - The bus grants at most one transaction per cycle and never grants a
+ *    transaction on a line with an in-flight (granted, unfilled)
+ *    transaction, mirroring MSHR/transient-state blocking in real
+ *    protocols.
+ *  - Snoop events are broadcast to every core but the requester at grant
+ *    time (ring snoopy: all caches observe all transactions), stamped
+ *    just before the transaction's own perform events so that recorder
+ *    interval ordering is dependence-consistent.
+ *  - Caches hold tags + MESI only; values live in the BackingStore.
+ */
+
+#ifndef RR_MEM_MEMORY_SYSTEM_HH
+#define RR_MEM_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mem/backing_store.hh"
+#include "mem/cache_array.hh"
+#include "mem/coherence.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace rr::mem
+{
+
+class MemorySystem
+{
+  public:
+    MemorySystem(const sim::MachineConfig &cfg, BackingStore &backing,
+                 StampClock &clock);
+
+    /** Register the completion-callback target for a core. */
+    void setClient(sim::CoreId core, MemClient *client);
+
+    /** Register an event observer (MRR hub, tracer, test harness). */
+    void addObserver(MemoryObserver *obs);
+
+    /**
+     * Whether core @p core can issue an access to @p word_addr this
+     * cycle (an MSHR is free, or the access merges into a pending one).
+     */
+    bool canAccept(sim::CoreId core, sim::Addr word_addr) const;
+
+    /**
+     * Issue an access. The caller must have checked canAccept(). The
+     * access completes later via MemClient::memCompleted with the same
+     * @p tag; its PerformEvent is emitted at its serialization point.
+     */
+    void access(sim::CoreId core, AccessKind kind, sim::Addr word_addr,
+                std::uint64_t store_value, std::uint64_t tag);
+
+    /**
+     * Advance one cycle: run the bus grant phase, then fire due
+     * completions and fills. Must be called before the cores tick.
+     */
+    void tick(sim::Cycle now);
+
+    sim::Cycle now() const { return now_; }
+    sim::StatSet &stats() { return stats_; }
+
+    /** MESI state of a line in a given core's L1 (for tests). */
+    MesiState l1State(sim::CoreId core, sim::Addr line_addr) const;
+
+    /** Number of in-flight bus transactions (for tests). */
+    std::size_t inflightCount() const { return inflight_.size(); }
+
+    /** True when no transaction, completion or queued request remains. */
+    bool quiescent() const;
+
+  private:
+    struct PendingAccess
+    {
+        AccessKind kind;
+        sim::Addr word;
+        std::uint64_t storeValue;
+        std::uint64_t tag;
+    };
+
+    struct Mshr
+    {
+        sim::Addr line;
+        sim::CoreId core;
+        BusKind kind;
+        bool granted = false;
+        MesiState fillState = MesiState::Invalid;
+        std::vector<PendingAccess> waiting;
+    };
+
+    struct BusRequest
+    {
+        sim::CoreId core;
+        sim::Addr line;
+        BusKind kind;
+        Mshr *mshr; ///< null for PutM
+    };
+
+    struct Event
+    {
+        sim::Cycle when;
+        std::uint64_t order;
+        enum Type { HitDone, Fill } type;
+        // HitDone payload
+        sim::CoreId core;
+        std::uint64_t tag;
+        AccessKind kind;
+        std::uint64_t loadValue;
+        // Fill payload
+        Mshr *mshr;
+    };
+
+    struct EventLater
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            return a.when != b.when ? a.when > b.when : a.order > b.order;
+        }
+    };
+
+    /** Serialize one access: apply/sample value, emit PerformEvent. */
+    std::uint64_t serialize(sim::CoreId core, const PendingAccess &acc);
+
+    /** Issue path shared by external accesses and post-fill replays. */
+    void accessInternal(sim::CoreId core, const PendingAccess &acc);
+
+    void grantPhase();
+    void grant(const BusRequest &req);
+    void completeFill(Mshr *mshr);
+    void scheduleHitDone(sim::CoreId core, const PendingAccess &acc,
+                         std::uint64_t load_value, sim::Cycle when);
+    void schedule(Event ev);
+
+    Mshr *mshrFor(sim::CoreId core, sim::Addr line) const;
+    std::size_t freeMshrs(sim::CoreId core) const;
+    bool lineHasAnyMshr(sim::Addr line) const;
+
+    /** Evict @p way from core @p core 's L1 (PutM + notifications). */
+    void evictL1Line(sim::CoreId core, CacheArray::Line &way);
+
+    /** Install @p line into the L2, evicting/back-invalidating. */
+    bool installL2(sim::Addr line);
+
+    void emitSnoop(sim::CoreId requester, sim::Addr line, bool is_write,
+                   const std::vector<bool> &had_line);
+
+    const sim::MachineConfig &cfg_;
+    BackingStore &backing_;
+    StampClock &clock_;
+    sim::Cycle now_ = 0;
+    std::uint64_t eventOrder_ = 0;
+
+    std::vector<MemClient *> clients_;
+    std::vector<MemoryObserver *> observers_;
+
+    std::vector<CacheArray> l1s_;
+    CacheArray l2_;
+
+    std::vector<std::list<Mshr>> mshrs_; // per core
+    std::vector<std::unordered_map<sim::Addr, Mshr *>> mshrByLine_;
+    std::unordered_map<sim::Addr, std::uint32_t> lineMshrCount_;
+
+    std::deque<BusRequest> busQueue_;
+    std::unordered_set<sim::Addr> inflight_;
+    std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+
+    sim::StatSet stats_;
+};
+
+} // namespace rr::mem
+
+#endif // RR_MEM_MEMORY_SYSTEM_HH

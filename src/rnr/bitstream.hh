@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Bit-granular writer/reader used to serialize RelaxReplay logs in the
+ * uncompressed packed format whose size Figure 11 reports.
+ */
+
+#ifndef RR_RNR_BITSTREAM_HH
+#define RR_RNR_BITSTREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace rr::rnr
+{
+
+class BitWriter
+{
+  public:
+    /** Append the low @p width bits of @p value. */
+    void
+    write(std::uint64_t value, std::uint32_t width)
+    {
+        RR_ASSERT(width >= 1 && width <= 64, "bad field width %u", width);
+        RR_ASSERT(width == 64 || value < (1ULL << width),
+                  "value does not fit in %u bits", width);
+        for (std::uint32_t i = 0; i < width; ++i) {
+            const std::size_t byte = bitCount_ / 8;
+            if (byte >= bytes_.size())
+                bytes_.push_back(0);
+            if ((value >> i) & 1)
+                bytes_[byte] |= static_cast<std::uint8_t>(
+                    1u << (bitCount_ % 8));
+            ++bitCount_;
+        }
+    }
+
+    std::uint64_t bitCount() const { return bitCount_; }
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+    std::uint64_t bitCount_ = 0;
+};
+
+class BitReader
+{
+  public:
+    explicit BitReader(const std::vector<std::uint8_t> &bytes,
+                       std::uint64_t bit_count)
+        : bytes_(bytes), bitCount_(bit_count)
+    {
+    }
+
+    std::uint64_t
+    read(std::uint32_t width)
+    {
+        RR_ASSERT(width >= 1 && width <= 64, "bad field width %u", width);
+        RR_ASSERT(pos_ + width <= bitCount_, "bitstream underrun");
+        std::uint64_t v = 0;
+        for (std::uint32_t i = 0; i < width; ++i) {
+            const std::size_t byte = pos_ / 8;
+            if ((bytes_[byte] >> (pos_ % 8)) & 1)
+                v |= 1ULL << i;
+            ++pos_;
+        }
+        return v;
+    }
+
+    bool atEnd() const { return pos_ >= bitCount_; }
+    std::uint64_t position() const { return pos_; }
+
+  private:
+    const std::vector<std::uint8_t> &bytes_;
+    std::uint64_t bitCount_;
+    std::uint64_t pos_ = 0;
+};
+
+} // namespace rr::rnr
+
+#endif // RR_RNR_BITSTREAM_HH

@@ -1,0 +1,220 @@
+#include "rnr/interval_recorder.hh"
+
+#include "sim/logging.hh"
+
+namespace rr::rnr
+{
+
+IntervalRecorder::IntervalRecorder(sim::CoreId core,
+                                   const sim::RecorderConfig &cfg,
+                                   mem::StampClock &clock,
+                                   std::string name)
+    : core_(core), cfg_(cfg), clock_(clock),
+      readSig_(cfg.signatureBanks, cfg.signatureBitsPerBank,
+               0x5ead51f0beefULL),
+      writeSig_(cfg.signatureBanks, cfg.signatureBitsPerBank,
+                0x3517e51f0aceULL),
+      snoopTable_(cfg.snoopTableEntries), stats_(std::move(name))
+{
+}
+
+void
+IntervalRecorder::insertSignature(mem::AccessKind kind, sim::Addr line)
+{
+    if (kind == mem::AccessKind::Load) {
+        readSig_.insert(line);
+    } else if (kind == mem::AccessKind::Store) {
+        writeSig_.insert(line);
+    } else {
+        readSig_.insert(line);
+        writeSig_.insert(line);
+    }
+}
+
+bool
+IntervalRecorder::conflicts(const mem::SnoopEvent &ev) const
+{
+    if (ev.isWrite) {
+        return readSig_.mightContain(ev.lineAddr) ||
+               writeSig_.mightContain(ev.lineAddr);
+    }
+    return writeSig_.mightContain(ev.lineAddr);
+}
+
+bool
+IntervalRecorder::onSnoop(const mem::SnoopEvent &ev)
+{
+    if (finished_)
+        return false;
+    bool conflicted = false;
+    if (conflicts(ev)) {
+        stats_.counter("terminations_conflict")++;
+        terminate(Termination::Conflict, ev.cycle);
+        conflicted = true;
+    }
+    if (cfg_.mode == sim::RecorderMode::Opt)
+        snoopTable_.bump(ev.lineAddr);
+    return conflicted;
+}
+
+void
+IntervalRecorder::notePredecessor(sim::CoreId src_core, sim::Isn src_isn)
+{
+    if (!cfg_.recordDependencies || finished_)
+        return;
+    // One edge per source core suffices: the source's intervals are
+    // chain-ordered, so the newest edge subsumes older ones.
+    for (IntervalDep &d : current_.predecessors) {
+        if (d.core != src_core)
+            continue;
+        if (src_isn > d.isn)
+            d.isn = src_isn;
+        return;
+    }
+    current_.predecessors.push_back(IntervalDep{src_core, src_isn});
+    stats_.counter("dependency_edges")++;
+}
+
+void
+IntervalRecorder::onDirtyEviction(sim::Addr line_addr)
+{
+    if (finished_ || !cfg_.directoryEvictionBump)
+        return;
+    if (cfg_.mode == sim::RecorderMode::Opt) {
+        snoopTable_.bump(line_addr);
+        stats_.counter("dirty_eviction_bumps")++;
+    }
+}
+
+IntervalRecorder::PerformState
+IntervalRecorder::notePerform(mem::AccessKind kind, sim::Addr word_addr)
+{
+    const sim::Addr line = sim::lineAddr(word_addr);
+    insertSignature(kind, line);
+    PerformState ps;
+    ps.pisn = cisn_;
+    if (cfg_.mode == sim::RecorderMode::Opt)
+        ps.counts = snoopTable_.read(line);
+    return ps;
+}
+
+void
+IntervalRecorder::countNmi(std::uint32_t n, sim::Cycle now)
+{
+    RR_ASSERT(!finished_, "counting after finish");
+    if (n == 0)
+        return;
+    blockSize_ += n;
+    intervalInstructions_ += n;
+    if (cfg_.maxIntervalInstructions != 0 &&
+        intervalInstructions_ >= cfg_.maxIntervalInstructions) {
+        stats_.counter("terminations_maxsize")++;
+        terminate(Termination::MaxSize, now);
+    }
+}
+
+void
+IntervalRecorder::countMem(mem::AccessKind kind, sim::Addr word_addr,
+                           std::uint64_t load_value,
+                           std::uint64_t store_value,
+                           std::uint32_t nmi_before,
+                           const PerformState &ps, sim::Cycle now)
+{
+    RR_ASSERT(!finished_, "counting after finish");
+    const sim::Addr line = sim::lineAddr(word_addr);
+
+    bool reordered;
+    if (ps.pisn == cisn_) {
+        // Perform and counting fall in the same interval: the perform
+        // event trivially moves to the counting point (Observation 2).
+        reordered = false;
+    } else if (cfg_.mode == sim::RecorderMode::Base) {
+        reordered = true;
+    } else {
+        reordered = snoopTable_.conflictSince(line, ps.counts);
+        if (!reordered) {
+            // Moving the perform event across intervals: the access now
+            // belongs to the current interval, so its address must enter
+            // the current signatures for correct interval ordering
+            // (Section 4.2).
+            insertSignature(kind, line);
+            stats_.counter("moved_across_intervals")++;
+        }
+    }
+
+    blockSize_ += nmi_before;
+    intervalInstructions_ += nmi_before + 1;
+    stats_.counter("counted_mem")++;
+
+    if (!reordered) {
+        ++blockSize_;
+    } else {
+        flushBlock();
+        const sim::Isn delta = cisn_ - ps.pisn;
+        RR_ASSERT(delta > 0 && delta < (1ULL << bits::kOffset),
+                  "interval offset out of range");
+        const auto offset = static_cast<std::uint32_t>(delta);
+        switch (kind) {
+          case mem::AccessKind::Load:
+            current_.entries.push_back(LogEntry::reorderedLoad(load_value));
+            stats_.counter("reordered_loads")++;
+            break;
+          case mem::AccessKind::Store:
+            current_.entries.push_back(
+                LogEntry::reorderedStore(word_addr, store_value, offset));
+            stats_.counter("reordered_stores")++;
+            break;
+          default:
+            current_.entries.push_back(LogEntry::reorderedAtomic(
+                word_addr, load_value, store_value, offset));
+            stats_.counter("reordered_atomics")++;
+            break;
+        }
+    }
+
+    if (cfg_.maxIntervalInstructions != 0 &&
+        intervalInstructions_ >= cfg_.maxIntervalInstructions) {
+        stats_.counter("terminations_maxsize")++;
+        terminate(Termination::MaxSize, now);
+    }
+}
+
+void
+IntervalRecorder::flushBlock()
+{
+    if (blockSize_ == 0)
+        return;
+    current_.entries.push_back(LogEntry::inorderBlock(blockSize_));
+    blockSize_ = 0;
+}
+
+void
+IntervalRecorder::terminate(Termination why, sim::Cycle now)
+{
+    (void)why;
+    flushBlock();
+    current_.cisn = cisn_;
+    current_.timestamp = clock_.next();
+    current_.cycle = now;
+    log_.intervals.push_back(std::move(current_));
+    current_ = IntervalRecord{};
+    ++cisn_;
+    intervalInstructions_ = 0;
+    readSig_.clear();
+    writeSig_.clear();
+    stats_.counter("intervals")++;
+}
+
+void
+IntervalRecorder::finish(sim::Cycle now)
+{
+    RR_ASSERT(!finished_, "finish twice");
+    if (intervalInstructions_ > 0 || blockSize_ > 0 ||
+        !current_.entries.empty()) {
+        stats_.counter("terminations_finish")++;
+        terminate(Termination::Finish, now);
+    }
+    finished_ = true;
+}
+
+} // namespace rr::rnr

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * One interval-recording policy instance: the per-processor MRR state of
+ * paper Figure 6a minus the TRAQ (which is shared across policies by the
+ * MrrHub so that one execution can be recorded under several
+ * configurations simultaneously — "record once, log many").
+ *
+ * Owns: read/write signatures, CISN, current InorderBlock size, Snoop
+ * Table (RelaxReplay_Opt), and the growing CoreLog. Interval ordering
+ * follows the QuickRec approach the paper evaluates: a global timestamp
+ * (serialization stamp) taken at interval termination provides the total
+ * order enforced at replay.
+ */
+
+#ifndef RR_RNR_INTERVAL_RECORDER_HH
+#define RR_RNR_INTERVAL_RECORDER_HH
+
+#include <cstdint>
+
+#include "mem/coherence.hh"
+#include "rnr/log.hh"
+#include "rnr/signature.hh"
+#include "rnr/snoop_table.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace rr::rnr
+{
+
+class IntervalRecorder
+{
+  public:
+    /** Per-policy TRAQ-entry state captured at an access's perform. */
+    struct PerformState
+    {
+        sim::Isn pisn = 0;
+        SnoopTable::Counts counts; ///< Snoop Count field (Opt only)
+    };
+
+    IntervalRecorder(sim::CoreId core, const sim::RecorderConfig &cfg,
+                     mem::StampClock &clock, std::string name);
+
+    /**
+     * A coherence transaction was observed (snoopy: all of them).
+     * @return true iff it conflicted with the current interval's
+     *         signatures (and thus terminated the interval).
+     */
+    bool onSnoop(const mem::SnoopEvent &ev);
+
+    /**
+     * Record that this core's *current* interval must replay after
+     * interval @p src_isn of core @p src_core (dependency-recording
+     * mode; no-op otherwise). Called by the hub when another core
+     * responds to / conflicts with this core's transaction.
+     */
+    void notePredecessor(sim::CoreId src_core, sim::Isn src_isn);
+
+    /** Latest closed interval index, or false via @p valid if none. */
+    sim::Isn
+    lastClosedIsn(bool &valid) const
+    {
+        valid = cisn_ > 0;
+        return cisn_ > 0 ? cisn_ - 1 : 0;
+    }
+
+    /**
+     * A dirty line was evicted without future snoop visibility; only
+     * acted upon when directoryEvictionBump is configured (Section 4.3).
+     */
+    void onDirtyEviction(sim::Addr line_addr);
+
+    /**
+     * An access reached its serialization point: insert its line in the
+     * signatures and snapshot PISN + Snoop Table counters.
+     */
+    PerformState notePerform(mem::AccessKind kind, sim::Addr word_addr);
+
+    /** Count a group of non-memory instructions (in program order). */
+    void countNmi(std::uint32_t n, sim::Cycle now);
+
+    /** Count a memory-access instruction (in program order). */
+    void countMem(mem::AccessKind kind, sim::Addr word_addr,
+                  std::uint64_t load_value, std::uint64_t store_value,
+                  std::uint32_t nmi_before, const PerformState &ps,
+                  sim::Cycle now);
+
+    /** Close the final interval at program end. */
+    void finish(sim::Cycle now);
+
+    const CoreLog &log() const { return log_; }
+    CoreLog takeLog() { return std::move(log_); }
+    const sim::RecorderConfig &config() const { return cfg_; }
+    sim::Isn cisn() const { return cisn_; }
+    sim::StatSet &stats() { return stats_; }
+
+  private:
+    enum class Termination
+    {
+        Conflict,
+        MaxSize,
+        Finish,
+    };
+
+    void insertSignature(mem::AccessKind kind, sim::Addr line);
+    bool conflicts(const mem::SnoopEvent &ev) const;
+    void flushBlock();
+    void terminate(Termination why, sim::Cycle now);
+
+    [[maybe_unused]] const sim::CoreId core_;
+    const sim::RecorderConfig cfg_;
+    mem::StampClock &clock_;
+
+    Signature readSig_;
+    Signature writeSig_;
+    SnoopTable snoopTable_;
+
+    sim::Isn cisn_ = 0;
+    std::uint64_t blockSize_ = 0;        ///< Current InorderBlock Size
+    std::uint64_t intervalInstructions_ = 0;
+    IntervalRecord current_;
+    CoreLog log_;
+    bool finished_ = false;
+
+    sim::StatSet stats_;
+};
+
+} // namespace rr::rnr
+
+#endif // RR_RNR_INTERVAL_RECORDER_HH

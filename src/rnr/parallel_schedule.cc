@@ -1,0 +1,103 @@
+#include "rnr/parallel_schedule.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace rr::rnr
+{
+
+std::uint64_t
+intervalReplayCost(const IntervalRecord &iv, const ReplayCostModel &m)
+{
+    std::uint64_t cost = m.perIntervalCost;
+    for (const LogEntry &e : iv.entries) {
+        cost += m.perEntryCost;
+        switch (e.kind) {
+          case EntryKind::InorderBlock:
+            cost += static_cast<std::uint64_t>(
+                        static_cast<double>(e.blockSize) / m.replayIpc) +
+                    m.interruptCost;
+            break;
+          case EntryKind::ReorderedLoad:
+          case EntryKind::ReorderedStore:
+          case EntryKind::ReorderedAtomic:
+          case EntryKind::PatchedStore:
+          case EntryKind::DummyStore:
+          case EntryKind::DummyAtomic:
+            cost += m.perReorderedCost;
+            break;
+        }
+    }
+    return cost;
+}
+
+ParallelSchedule
+buildParallelSchedule(const std::vector<CoreLog> &patched_logs,
+                      const ReplayCostModel &model)
+{
+    ParallelSchedule sched;
+
+    // Process intervals in recorded timestamp order: every dependency
+    // edge points to an interval that closed earlier, so this is a
+    // topological order in which starts/finishes can be computed in a
+    // single pass.
+    struct Ref
+    {
+        std::uint64_t timestamp;
+        sim::CoreId core;
+        std::uint32_t index;
+    };
+    std::vector<Ref> refs;
+    for (std::size_t c = 0; c < patched_logs.size(); ++c) {
+        for (std::size_t i = 0; i < patched_logs[c].intervals.size();
+             ++i) {
+            refs.push_back(Ref{patched_logs[c].intervals[i].timestamp,
+                               static_cast<sim::CoreId>(c),
+                               static_cast<std::uint32_t>(i)});
+        }
+    }
+    std::sort(refs.begin(), refs.end(), [](const Ref &a, const Ref &b) {
+        return a.timestamp < b.timestamp;
+    });
+
+    std::vector<std::vector<std::uint64_t>> finish(patched_logs.size());
+    for (std::size_t c = 0; c < patched_logs.size(); ++c)
+        finish[c].resize(patched_logs[c].intervals.size(), 0);
+
+    for (const Ref &ref : refs) {
+        const IntervalRecord &iv =
+            patched_logs[ref.core].intervals[ref.index];
+        ScheduledInterval node;
+        node.core = ref.core;
+        node.index = ref.index;
+        node.cost = intervalReplayCost(iv, model);
+
+        std::uint64_t start = 0;
+        if (ref.index > 0)
+            start = finish[ref.core][ref.index - 1];
+        for (const IntervalDep &d : iv.predecessors) {
+            RR_ASSERT(d.core < patched_logs.size() &&
+                          d.isn < finish[d.core].size(),
+                      "dependency edge escapes the logs");
+            start = std::max(start, finish[d.core][d.isn]);
+            ++sched.edges;
+        }
+        node.start = start;
+        node.finish = start + node.cost;
+        finish[ref.core][ref.index] = node.finish;
+
+        sched.totalWork += node.cost;
+        sched.makespan = std::max(sched.makespan, node.finish);
+        sched.order.push_back(node);
+    }
+
+    std::stable_sort(sched.order.begin(), sched.order.end(),
+                     [](const ScheduledInterval &a,
+                        const ScheduledInterval &b) {
+                         return a.start < b.start;
+                     });
+    return sched;
+}
+
+} // namespace rr::rnr

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Parallel replay scheduling over dependency-recorded logs (Section
+ * 3.6: pairing RelaxReplay with an interval ordering that admits
+ * parallel replay, as Cyrus and Karma do for chunks).
+ *
+ * With recordDependencies enabled, every interval carries explicit
+ * predecessor edges; together with each core's implicit program order
+ * they form a DAG. Replaying intervals in *any* topological order of
+ * that DAG reproduces the recorded execution (verified by the
+ * integration tests), so the cores of the replay machine can work on
+ * independent intervals concurrently.
+ *
+ * buildParallelSchedule() computes, with the ReplayCostModel:
+ *  - a list-schedule in which every core replays its own intervals in
+ *    order, starting each as soon as its cross-core predecessors
+ *    finish (the parallel replay the paper alludes to);
+ *  - the resulting makespan, the total (sequential) work, and the
+ *    available speedup.
+ */
+
+#ifndef RR_RNR_PARALLEL_SCHEDULE_HH
+#define RR_RNR_PARALLEL_SCHEDULE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "rnr/log.hh"
+#include "rnr/replayer.hh"
+#include "sim/types.hh"
+
+namespace rr::rnr
+{
+
+/** One interval instance in a schedule. */
+struct ScheduledInterval
+{
+    sim::CoreId core;
+    std::uint32_t index;
+    std::uint64_t cost = 0;   ///< replay cycles (user + os)
+    std::uint64_t start = 0;  ///< earliest start respecting the DAG
+    std::uint64_t finish = 0; ///< start + cost
+};
+
+struct ParallelSchedule
+{
+    /** Topological execution order (sorted by start time). */
+    std::vector<ScheduledInterval> order;
+    /** Parallel replay cycles (cores replay concurrently). */
+    std::uint64_t makespan = 0;
+    /** Sequential replay cycles (sum of all interval costs). */
+    std::uint64_t totalWork = 0;
+    /** Total recorded dependency edges. */
+    std::uint64_t edges = 0;
+
+    double
+    speedup() const
+    {
+        return makespan ? static_cast<double>(totalWork) /
+                              static_cast<double>(makespan)
+                        : 1.0;
+    }
+};
+
+/**
+ * Build the parallel schedule for a set of patched, dependency-
+ * recorded core logs. Logs without recorded dependencies are legal
+ * (the schedule then only honors per-core order, which is NOT
+ * sufficient for correct replay — use it only for upper-bound
+ * analysis).
+ */
+ParallelSchedule
+buildParallelSchedule(const std::vector<CoreLog> &patched_logs,
+                      const ReplayCostModel &model = {});
+
+/** Replay cycles of one interval under the cost model. */
+std::uint64_t intervalReplayCost(const IntervalRecord &iv,
+                                 const ReplayCostModel &model);
+
+} // namespace rr::rnr
+
+#endif // RR_RNR_PARALLEL_SCHEDULE_HH

@@ -1,0 +1,49 @@
+#include "rnr/patcher.hh"
+
+#include "sim/logging.hh"
+
+namespace rr::rnr
+{
+
+bool
+isPatched(const CoreLog &log)
+{
+    for (const auto &iv : log.intervals) {
+        for (const auto &e : iv.entries) {
+            if (e.kind == EntryKind::ReorderedStore ||
+                e.kind == EntryKind::ReorderedAtomic)
+                return false;
+        }
+    }
+    return true;
+}
+
+CoreLog
+patch(const CoreLog &recorded)
+{
+    CoreLog out = recorded;
+    for (std::size_t i = 0; i < out.intervals.size(); ++i) {
+        for (auto &e : out.intervals[i].entries) {
+            if (e.kind == EntryKind::ReorderedStore) {
+                RR_ASSERT(e.offset > 0 && e.offset <= i,
+                          "store offset %u escapes the log at interval "
+                          "%zu",
+                          e.offset, i);
+                out.intervals[i - e.offset].entries.push_back(
+                    LogEntry::patchedStore(e.addr, e.storeValue));
+                e = LogEntry::dummyStore();
+            } else if (e.kind == EntryKind::ReorderedAtomic) {
+                RR_ASSERT(e.offset > 0 && e.offset <= i,
+                          "atomic offset %u escapes the log at interval "
+                          "%zu",
+                          e.offset, i);
+                out.intervals[i - e.offset].entries.push_back(
+                    LogEntry::patchedStore(e.addr, e.storeValue));
+                e = LogEntry::dummyAtomic(e.loadValue);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace rr::rnr

@@ -1,0 +1,191 @@
+#include "rnr/replayer.hh"
+
+#include <algorithm>
+
+#include "rnr/patcher.hh"
+#include "sim/logging.hh"
+
+namespace rr::rnr
+{
+
+namespace
+{
+
+/** MemoryIf wrapper that remembers the last value read (load hook). */
+class TracingMemory : public isa::MemoryIf
+{
+  public:
+    explicit TracingMemory(mem::BackingStore &mem) : mem_(mem) {}
+
+    std::uint64_t
+    read64(sim::Addr a) override
+    {
+        lastRead = mem_.read64(a);
+        didRead = true;
+        return lastRead;
+    }
+
+    void write64(sim::Addr a, std::uint64_t v) override
+    {
+        mem_.write64(a, v);
+    }
+
+    std::uint64_t lastRead = 0;
+    bool didRead = false;
+
+  private:
+    mem::BackingStore &mem_;
+};
+
+} // namespace
+
+Replayer::Replayer(isa::Program prog, std::vector<CoreLog> patched_logs,
+                   mem::BackingStore initial_memory)
+    : prog_(std::move(prog)), logs_(std::move(patched_logs)),
+      memory_(std::move(initial_memory))
+{
+    for (const auto &log : logs_)
+        RR_ASSERT(isPatched(log), "replayer requires a patched log");
+}
+
+ReplayResult
+Replayer::run()
+{
+    // The recorded total order: intervals sorted by their (globally
+    // unique) termination timestamps.
+    std::vector<IntervalRef> refs;
+    for (std::size_t c = 0; c < logs_.size(); ++c) {
+        for (std::size_t i = 0; i < logs_[c].intervals.size(); ++i) {
+            refs.push_back(IntervalRef{logs_[c].intervals[i].timestamp,
+                                       static_cast<sim::CoreId>(c),
+                                       static_cast<std::uint32_t>(i)});
+        }
+    }
+    std::sort(refs.begin(), refs.end(),
+              [](const IntervalRef &a, const IntervalRef &b) {
+                  return a.timestamp < b.timestamp;
+              });
+    std::vector<OrderItem> order;
+    order.reserve(refs.size());
+    for (const IntervalRef &r : refs)
+        order.push_back(OrderItem{r.core, r.index});
+    return runInOrder(order);
+}
+
+ReplayResult
+Replayer::runInOrder(const std::vector<OrderItem> &order)
+{
+    ReplayResult res;
+    res.contexts.resize(logs_.size());
+    for (std::size_t c = 0; c < logs_.size(); ++c) {
+        auto &ctx = res.contexts[c];
+        ctx.pc = prog_.entryFor(static_cast<std::uint32_t>(c));
+        ctx.writeReg(isa::kRegThreadId, c);
+        ctx.writeReg(isa::kRegNumThreads, logs_.size());
+    }
+
+    // Sanity: per-core interval order must be respected.
+    std::vector<std::uint32_t> next(logs_.size(), 0);
+    std::size_t total = 0;
+    for (const OrderItem &it : order) {
+        RR_ASSERT(it.core < logs_.size(), "order core out of range");
+        RR_ASSERT(it.index == next[it.core],
+                  "order violates core %u's interval sequence", it.core);
+        ++next[it.core];
+        ++total;
+    }
+    std::size_t expected = 0;
+    for (const auto &log : logs_)
+        expected += log.intervals.size();
+    RR_ASSERT(total == expected, "order must cover every interval");
+
+    for (const OrderItem &it : order) {
+        replayInterval(it.core, logs_[it.core].intervals[it.index], res);
+        ++res.intervals;
+        res.cost.osCycles += costModel_.perIntervalCost;
+    }
+
+    res.memory = std::move(memory_);
+    return res;
+}
+
+void
+Replayer::replayInterval(sim::CoreId core, const IntervalRecord &iv,
+                         ReplayResult &res)
+{
+    isa::ExecContext &ctx = res.contexts[core];
+    TracingMemory tmem(memory_);
+
+    for (const LogEntry &e : iv.entries) {
+        res.cost.osCycles += costModel_.perEntryCost;
+        switch (e.kind) {
+          case EntryKind::InorderBlock: {
+            for (std::uint64_t n = 0; n < e.blockSize; ++n) {
+                RR_ASSERT(!ctx.halted,
+                          "InorderBlock continues past HALT");
+                tmem.didRead = false;
+                const isa::Instruction &inst =
+                    isa::step(prog_, ctx, tmem);
+                if (tmem.didRead && loadHook_ &&
+                    (inst.isLoad() || inst.isAtomic()))
+                    loadHook_(core, tmem.lastRead);
+            }
+            res.instructions += e.blockSize;
+            res.cost.userCycles += static_cast<std::uint64_t>(
+                static_cast<double>(e.blockSize) / costModel_.replayIpc);
+            res.cost.osCycles += costModel_.interruptCost;
+            break;
+          }
+          case EntryKind::ReorderedLoad: {
+            const isa::Instruction &inst = prog_.at(ctx.pc);
+            RR_ASSERT(inst.isLoad(),
+                      "ReorderedLoad does not align with a load at pc "
+                      "%llu",
+                      static_cast<unsigned long long>(ctx.pc));
+            ctx.writeReg(inst.rd, e.loadValue);
+            ++ctx.pc;
+            ++ctx.instructions;
+            ++res.instructions;
+            if (loadHook_)
+                loadHook_(core, e.loadValue);
+            res.cost.osCycles += costModel_.perReorderedCost;
+            break;
+          }
+          case EntryKind::DummyStore: {
+            const isa::Instruction &inst = prog_.at(ctx.pc);
+            RR_ASSERT(inst.isStore(),
+                      "DummyStore does not align with a store");
+            ++ctx.pc;
+            ++ctx.instructions;
+            ++res.instructions;
+            res.cost.osCycles += costModel_.perReorderedCost;
+            break;
+          }
+          case EntryKind::DummyAtomic: {
+            const isa::Instruction &inst = prog_.at(ctx.pc);
+            RR_ASSERT(inst.isAtomic(),
+                      "DummyAtomic does not align with an atomic");
+            ctx.writeReg(inst.rd, e.loadValue);
+            ++ctx.pc;
+            ++ctx.instructions;
+            ++res.instructions;
+            if (loadHook_)
+                loadHook_(core, e.loadValue);
+            res.cost.osCycles += costModel_.perReorderedCost;
+            break;
+          }
+          case EntryKind::PatchedStore:
+            // The store instruction itself replays (as a dummy) in the
+            // interval where it was counted; only its memory effect
+            // belongs here, at the end of its perform interval.
+            memory_.write64(e.addr, e.storeValue);
+            res.cost.osCycles += costModel_.perReorderedCost;
+            break;
+          case EntryKind::ReorderedStore:
+          case EntryKind::ReorderedAtomic:
+            sim::panic("unpatched entry reached the replayer");
+        }
+    }
+}
+
+} // namespace rr::rnr

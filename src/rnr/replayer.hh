@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Deterministic replay of RelaxReplay logs (paper Section 3.5).
+ *
+ * The replayer plays the role of the OS module plus the minimal hardware
+ * support (an instruction counter with a synchronous interrupt): it
+ * enforces the recorded total order of intervals and, per interval,
+ * executes InorderBlocks natively (here: through the functional
+ * interpreter), injects values for ReorderedLoads, applies PatchedStores
+ * at perform-interval ends and skips Dummy entries.
+ *
+ * Replay is *exact*: the determinism tests require every replayed load
+ * value and the final memory/register state to match the recorded
+ * execution. A ReplayCostModel estimates User/OS cycles for Figure 13,
+ * mirroring how the paper links its control module with the application
+ * to measure replay overhead.
+ */
+
+#ifndef RR_RNR_REPLAYER_HH
+#define RR_RNR_REPLAYER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "isa/program.hh"
+#include "mem/backing_store.hh"
+#include "rnr/log.hh"
+#include "sim/types.hh"
+
+namespace rr::rnr
+{
+
+/**
+ * Cost constants for the replay timing estimate. The paper's control
+ * module is linked into the application (Section 5.1), so "OS" costs
+ * are user-level: an end-of-block interrupt is a pipeline flush plus a
+ * handler entry/exit, interval ordering uses emulated condition
+ * variables, and reordered accesses are emulated in software. Defaults
+ * are calibrated to those magnitudes.
+ */
+struct ReplayCostModel
+{
+    /**
+     * Native IPC of uncontended in-order block replay. Replay runs the
+     * same code without coherence contention; its IPC approaches the
+     * recorded per-core IPC.
+     */
+    double replayIpc = 2.5;
+    /** End-of-InorderBlock interrupt: flush + handler entry/exit. */
+    std::uint64_t interruptCost = 150;
+    /** Log decode cost per entry, cycles. */
+    std::uint64_t perEntryCost = 20;
+    /** Software emulation of one reordered/dummy/patched access. */
+    std::uint64_t perReorderedCost = 150;
+    /** Interval ordering hand-off (emulated condition variable). */
+    std::uint64_t perIntervalCost = 400;
+};
+
+/** Replay cycle estimate, split as in Figure 13. */
+struct ReplayCost
+{
+    std::uint64_t userCycles = 0;
+    std::uint64_t osCycles = 0;
+
+    std::uint64_t total() const { return userCycles + osCycles; }
+};
+
+struct ReplayResult
+{
+    /** Instructions architecturally replayed, across all cores. */
+    std::uint64_t instructions = 0;
+    /** Memory image after replay. */
+    mem::BackingStore memory;
+    /** Final architectural context per core. */
+    std::vector<isa::ExecContext> contexts;
+    /** Timing estimate. */
+    ReplayCost cost;
+    /** Intervals processed. */
+    std::uint64_t intervals = 0;
+};
+
+class Replayer
+{
+  public:
+    /**
+     * @param prog The recorded program.
+     * @param patched_logs One patched CoreLog per core (see patcher.hh).
+     * @param initial_memory The memory image recording started from.
+     */
+    Replayer(isa::Program prog, std::vector<CoreLog> patched_logs,
+             mem::BackingStore initial_memory);
+
+    /** Observe every replayed load/atomic value (determinism checks). */
+    void
+    setLoadHook(std::function<void(sim::CoreId, std::uint64_t)> hook)
+    {
+        loadHook_ = std::move(hook);
+    }
+
+    void setCostModel(const ReplayCostModel &m) { costModel_ = m; }
+
+    /** One step of an explicit replay order. */
+    struct OrderItem
+    {
+        sim::CoreId core;
+        std::uint32_t index;
+    };
+
+    /** Run the whole replay sequentially, in recorded timestamp order. */
+    ReplayResult run();
+
+    /**
+     * Replay in an explicit interval order (e.g. a topological order of
+     * the dependency DAG from parallel_schedule.hh). The order must
+     * contain every interval of every core exactly once and must
+     * respect per-core interval order; correctness additionally
+     * requires it to respect the recorded dependencies.
+     */
+    ReplayResult runInOrder(const std::vector<OrderItem> &order);
+
+  private:
+    struct IntervalRef
+    {
+        std::uint64_t timestamp;
+        sim::CoreId core;
+        std::uint32_t index;
+    };
+
+    void replayInterval(sim::CoreId core, const IntervalRecord &iv,
+                        ReplayResult &res);
+
+    /** Owned copy: callers may pass temporaries. */
+    const isa::Program prog_;
+    std::vector<CoreLog> logs_;
+    mem::BackingStore memory_;
+    ReplayCostModel costModel_;
+    std::function<void(sim::CoreId, std::uint64_t)> loadHook_;
+};
+
+} // namespace rr::rnr
+
+#endif // RR_RNR_REPLAYER_HH

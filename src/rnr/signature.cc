@@ -1,0 +1,95 @@
+#include "rnr/signature.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace rr::rnr
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Signature::Signature(std::uint32_t banks, std::uint32_t bits_per_bank,
+                     std::uint64_t seed)
+    : banks_(banks), bitsPerBank_(bits_per_bank)
+{
+    RR_ASSERT(banks_ > 0 && isPow2(bitsPerBank_),
+              "signature geometry must be pow2");
+    indexBits_ = static_cast<std::uint32_t>(
+        std::countr_zero(bitsPerBank_));
+    sim::Rng rng(seed ^ 0x5167a5167a51ULL);
+    h3Rows_.resize(static_cast<std::size_t>(banks_) * indexBits_);
+    for (auto &row : h3Rows_)
+        row = rng.next();
+    bits_.assign(static_cast<std::size_t>(banks_) * bitsPerBank_ / 64, 0);
+}
+
+std::uint32_t
+Signature::bankIndex(std::uint32_t bank, sim::Addr line) const
+{
+    // H3: each output bit is the parity of (address AND row-mask).
+    const std::uint64_t key = line / sim::kLineBytes;
+    std::uint32_t idx = 0;
+    const std::uint64_t *rows =
+        &h3Rows_[static_cast<std::size_t>(bank) * indexBits_];
+    for (std::uint32_t b = 0; b < indexBits_; ++b)
+        idx |= static_cast<std::uint32_t>(std::popcount(key & rows[b]) & 1)
+               << b;
+    return idx;
+}
+
+void
+Signature::insert(sim::Addr line_addr)
+{
+    for (std::uint32_t bank = 0; bank < banks_; ++bank) {
+        const std::uint32_t idx = bankIndex(bank, line_addr);
+        const std::size_t bit =
+            static_cast<std::size_t>(bank) * bitsPerBank_ + idx;
+        const std::uint64_t mask = 1ULL << (bit % 64);
+        if (!(bits_[bit / 64] & mask)) {
+            bits_[bit / 64] |= mask;
+            ++population_;
+        }
+    }
+}
+
+bool
+Signature::mightContain(sim::Addr line_addr) const
+{
+    if (population_ == 0)
+        return false;
+    for (std::uint32_t bank = 0; bank < banks_; ++bank) {
+        const std::uint32_t idx = bankIndex(bank, line_addr);
+        const std::size_t bit =
+            static_cast<std::size_t>(bank) * bitsPerBank_ + idx;
+        if (!(bits_[bit / 64] & (1ULL << (bit % 64))))
+            return false;
+    }
+    return true;
+}
+
+void
+Signature::clear()
+{
+    if (population_ == 0)
+        return;
+    std::fill(bits_.begin(), bits_.end(), 0);
+    population_ = 0;
+}
+
+std::uint32_t
+Signature::sizeBits() const
+{
+    return banks_ * bitsPerBank_;
+}
+
+} // namespace rr::rnr

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Address signatures for interval conflict detection: banked Bloom
+ * filters with H3 hash functions (paper Table 1: each signature is
+ * 4 x 256-bit Bloom filters with H3 hashing). A signature answers
+ * "might this interval have touched this line?" with no false
+ * negatives; false positives only cause extra interval terminations,
+ * never incorrect replay.
+ */
+
+#ifndef RR_RNR_SIGNATURE_HH
+#define RR_RNR_SIGNATURE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace rr::rnr
+{
+
+class Signature
+{
+  public:
+    /**
+     * @param banks Number of Bloom banks (one hash function each).
+     * @param bits_per_bank Bank width in bits (power of two).
+     * @param seed Seed for the H3 matrices; recorders on different
+     *        cores may share a seed (the hardware would be identical).
+     */
+    Signature(std::uint32_t banks, std::uint32_t bits_per_bank,
+              std::uint64_t seed);
+
+    /** Insert a line address. */
+    void insert(sim::Addr line_addr);
+
+    /** May return true for addresses never inserted (aliasing). */
+    bool mightContain(sim::Addr line_addr) const;
+
+    /** Empty the signature (interval termination). */
+    void clear();
+
+    bool empty() const { return population_ == 0; }
+
+    /** Number of set bits (diagnostics / density stats). */
+    std::uint32_t population() const { return population_; }
+
+    std::uint32_t sizeBits() const;
+
+  private:
+    std::uint32_t bankIndex(std::uint32_t bank, sim::Addr line) const;
+
+    std::uint32_t banks_;
+    std::uint32_t bitsPerBank_;
+    std::uint32_t indexBits_;
+    /** H3: one random 64-bit row mask per output bit per bank. */
+    std::vector<std::uint64_t> h3Rows_;
+    std::vector<std::uint64_t> bits_; ///< banks_ * bitsPerBank_ / 64 words
+    std::uint32_t population_ = 0;
+};
+
+} // namespace rr::rnr
+
+#endif // RR_RNR_SIGNATURE_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The RelaxReplay_Opt Snoop Table (paper Section 4.2 / Figure 8): two
+ * arrays of 16-bit counters indexed by different hashes of the line
+ * address. Every observed coherence transaction bumps one counter per
+ * array; a memory access snapshots its two counters at perform and
+ * re-reads them at counting. If *both* changed, some transaction that
+ * may conflict with the access was observed in between and the access
+ * is declared reordered; if at most one changed, the change was due to
+ * aliasing and the access's perform event can be moved to its counting
+ * point. Counters wrap; the 16-bit width makes a same-value wrap
+ * between perform and counting implausible (the paper's argument).
+ */
+
+#ifndef RR_RNR_SNOOP_TABLE_HH
+#define RR_RNR_SNOOP_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace rr::rnr
+{
+
+class SnoopTable
+{
+  public:
+    /** Snapshot of one line's counters (the TRAQ Snoop Count field). */
+    struct Counts
+    {
+        std::uint16_t c0 = 0;
+        std::uint16_t c1 = 0;
+
+        bool operator==(const Counts &) const = default;
+    };
+
+    SnoopTable(std::uint32_t entries_per_array)
+        : mask_(entries_per_array - 1), array0_(entries_per_array, 0),
+          array1_(entries_per_array, 0)
+    {
+        RR_ASSERT((entries_per_array & mask_) == 0,
+                  "snoop table size must be a power of two");
+    }
+
+    /** Record an observed coherence transaction (or dirty eviction). */
+    void
+    bump(sim::Addr line_addr)
+    {
+        ++array0_[index0(line_addr)];
+        ++array1_[index1(line_addr)];
+    }
+
+    /** Read the two counters for a line (at perform and at counting). */
+    Counts
+    read(sim::Addr line_addr) const
+    {
+        return {array0_[index0(line_addr)], array1_[index1(line_addr)]};
+    }
+
+    /**
+     * Counting-time decision: reordered iff both counters moved since
+     * the perform-time snapshot (a single change is attributed to
+     * aliasing, Section 4.2).
+     */
+    bool
+    conflictSince(sim::Addr line_addr, const Counts &at_perform) const
+    {
+        const Counts now = read(line_addr);
+        return now.c0 != at_perform.c0 && now.c1 != at_perform.c1;
+    }
+
+    std::uint32_t sizeBytes() const
+    {
+        return static_cast<std::uint32_t>(
+            (array0_.size() + array1_.size()) * sizeof(std::uint16_t));
+    }
+
+  private:
+    std::size_t
+    index0(sim::Addr line) const
+    {
+        const std::uint64_t key = line / sim::kLineBytes;
+        return (key * 0x9e3779b97f4a7c15ULL >> 32) & mask_;
+    }
+
+    std::size_t
+    index1(sim::Addr line) const
+    {
+        const std::uint64_t key = line / sim::kLineBytes;
+        return (key * 0xc2b2ae3d27d4eb4fULL >> 32) & mask_;
+    }
+
+    std::uint64_t mask_;
+    std::vector<std::uint16_t> array0_;
+    std::vector<std::uint16_t> array1_;
+};
+
+} // namespace rr::rnr
+
+#endif // RR_RNR_SNOOP_TABLE_HH

@@ -1,0 +1,60 @@
+#include "sim/config.hh"
+
+#include "sim/logging.hh"
+
+namespace rr::sim
+{
+
+const char *
+toString(RecorderMode mode)
+{
+    switch (mode) {
+      case RecorderMode::Base:
+        return "Base";
+      case RecorderMode::Opt:
+        return "Opt";
+    }
+    return "?";
+}
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+void
+validateCache(const char *name, const CacheConfig &c)
+{
+    if (c.sizeBytes == 0 || c.sizeBytes % (kLineBytes * c.associativity))
+        fatal("%s: size must be a multiple of line*assoc", name);
+    if (!isPow2(c.numSets()))
+        fatal("%s: number of sets (%u) must be a power of two", name,
+              c.numSets());
+    if (c.mshrEntries == 0)
+        fatal("%s: need at least one MSHR", name);
+}
+
+} // namespace
+
+void
+MachineConfig::validate() const
+{
+    if (numCores == 0)
+        fatal("machine needs at least one core");
+    if (core.robEntries == 0 || core.lsqEntries == 0)
+        fatal("core queues must be non-empty");
+    if (core.fetchWidth == 0 || core.retireWidth == 0)
+        fatal("core widths must be non-zero");
+    if (core.writeBufferEntries == 0)
+        fatal("write buffer must be non-empty");
+    if (!isPow2(core.predictorEntries))
+        fatal("predictor entries must be a power of two");
+    validateCache("L1", l1);
+    validateCache("L2", l2);
+}
+
+} // namespace rr::sim

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Error reporting helpers, modeled after gem5's panic()/fatal() split:
+ * panic() flags an internal simulator bug (aborts), fatal() flags a user
+ * configuration error (clean exit), warn()/inform() are advisory.
+ */
+
+#ifndef RR_SIM_LOGGING_HH
+#define RR_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace rr::sim
+{
+
+/** Abort with a message; use for conditions that indicate a simulator bug. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a message; use for user errors (bad configuration, etc.). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; simulation continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a status message to stderr; simulation continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** panic() unless the condition holds. */
+#define RR_ASSERT(cond, ...)                                              \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::rr::sim::panic("assertion '%s' failed at %s:%d: %s", #cond, \
+                             __FILE__, __LINE__,                          \
+                             ::rr::sim::strfmt(__VA_ARGS__).c_str());     \
+        }                                                                 \
+    } while (0)
+
+} // namespace rr::sim
+
+#endif // RR_SIM_LOGGING_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation. Every source of
+ * randomness in the simulator and the workload generators goes through
+ * this class so that a (seed, config) pair fully determines an execution.
+ */
+
+#ifndef RR_SIM_RNG_HH
+#define RR_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace rr::sim
+{
+
+/**
+ * xoshiro256** generator seeded via SplitMix64. Small, fast and good
+ * enough for workload shuffling and synthetic data generation.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        // SplitMix64 expansion of the seed into the 256-bit state.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next uniformly distributed 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free mapping is fine here;
+        // slight modulo bias is irrelevant for workload generation.
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli trial with probability num/den. */
+    bool
+    chance(std::uint64_t num, std::uint64_t den)
+    {
+        return below(den) < num;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t v, int k)
+    {
+        return (v << k) | (v >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+};
+
+} // namespace rr::sim
+
+#endif // RR_SIM_RNG_HH

@@ -1,0 +1,20 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace rr::sim
+{
+
+void
+StatSet::print(std::ostream &os) const
+{
+    for (const auto &[key, c] : counters_)
+        os << name_ << "." << key << " " << c.value() << "\n";
+    for (const auto &[key, s] : scalars_) {
+        os << name_ << "." << key << " mean=" << std::setprecision(6)
+           << s.mean() << " min=" << s.min() << " max=" << s.max()
+           << " n=" << s.count() << "\n";
+    }
+}
+
+} // namespace rr::sim

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Lightweight statistics: named counters, scalar samples and binned
+ * histograms, grouped into StatSet objects that can be printed or merged.
+ */
+
+#ifndef RR_SIM_STATS_HH
+#define RR_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rr::sim
+{
+
+/** A monotonically increasing named event counter. */
+class Counter
+{
+  public:
+    void operator+=(std::uint64_t n) { value_ += n; }
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Running mean/min/max of a scalar sample stream (e.g. queue occupancy
+ * sampled every cycle).
+ */
+class ScalarStat
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+        if (count_ == 1 || v < min_)
+            min_ = v;
+        if (count_ == 1 || v > max_)
+            max_ = v;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        sum_ = min_ = max_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Fixed-bin-width histogram; samples beyond the last bin land in an
+ * overflow bucket. Used e.g. for the TRAQ-occupancy distribution of
+ * the paper's Figure 12 (bin width 10).
+ */
+class Histogram
+{
+  public:
+    Histogram() : Histogram(10, 20) {}
+
+    /**
+     * @param bin_width Width of each bin.
+     * @param num_bins Number of regular bins before the overflow bucket.
+     */
+    Histogram(std::uint64_t bin_width, std::size_t num_bins)
+        : binWidth_(bin_width), bins_(num_bins + 1, 0)
+    {
+    }
+
+    /** Record one sample. */
+    void
+    sample(std::uint64_t v)
+    {
+        std::size_t idx = static_cast<std::size_t>(v / binWidth_);
+        if (idx >= bins_.size())
+            idx = bins_.size() - 1;
+        ++bins_[idx];
+        ++total_;
+    }
+
+    std::uint64_t binWidth() const { return binWidth_; }
+    /** Number of bins, including the final overflow bucket. */
+    std::size_t numBins() const { return bins_.size(); }
+    std::uint64_t binCount(std::size_t i) const { return bins_.at(i); }
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of all samples that fell into bin i. */
+    double
+    binFraction(std::size_t i) const
+    {
+        return total_ ? static_cast<double>(bins_.at(i)) / total_ : 0.0;
+    }
+
+  private:
+    std::uint64_t binWidth_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * A named, ordered collection of counters and scalar stats. Modules own a
+ * StatSet and register their statistics by name; harnesses print or query
+ * them generically.
+ */
+class StatSet
+{
+  public:
+    explicit StatSet(std::string name = "") : name_(std::move(name)) {}
+
+    /** Get-or-create a counter by name. */
+    Counter &counter(const std::string &name) { return counters_[name]; }
+    /** Get-or-create a scalar stat by name. */
+    ScalarStat &scalar(const std::string &name) { return scalars_[name]; }
+
+    /** Read a counter; returns 0 when absent. */
+    std::uint64_t
+    counterValue(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second.value();
+    }
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, ScalarStat> &scalars() const
+    {
+        return scalars_;
+    }
+
+    /** Pretty-print all statistics, one per line, prefixed by set name. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, ScalarStat> scalars_;
+};
+
+} // namespace rr::sim
+
+#endif // RR_SIM_STATS_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fundamental scalar types and address helpers shared by every module.
+ */
+
+#ifndef RR_SIM_TYPES_HH
+#define RR_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace rr::sim
+{
+
+/** A point in simulated time, measured in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** A byte address in the simulated flat 64-bit physical address space. */
+using Addr = std::uint64_t;
+
+/** Identifier of a core (and of its private cache / MRR). */
+using CoreId = std::uint32_t;
+
+/**
+ * Dynamic-instruction sequence number, unique per core and monotonically
+ * increasing in fetch order. Squashed (wrong-path) instructions consume
+ * sequence numbers too; numbers are never reused.
+ */
+using SeqNum = std::uint64_t;
+
+/** Interval sequence number (the paper's CISN/PISN values). */
+using Isn = std::uint64_t;
+
+/** Sentinel for "no cycle / not yet happened". */
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for invalid sequence numbers. */
+inline constexpr SeqNum kNoSeqNum = std::numeric_limits<SeqNum>::max();
+
+/** Cache line size, bytes. Fixed at 32B per the paper's Table 1. */
+inline constexpr std::uint32_t kLineBytes = 32;
+
+/** All data accesses are 8-byte words. */
+inline constexpr std::uint32_t kWordBytes = 8;
+
+/** Line-align a byte address. */
+constexpr Addr
+lineAddr(Addr a)
+{
+    return a & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+/** Word-align a byte address. */
+constexpr Addr
+wordAddr(Addr a)
+{
+    return a & ~static_cast<Addr>(kWordBytes - 1);
+}
+
+/** True iff two byte addresses fall in the same cache line. */
+constexpr bool
+sameLine(Addr a, Addr b)
+{
+    return lineAddr(a) == lineAddr(b);
+}
+
+} // namespace rr::sim
+
+#endif // RR_SIM_TYPES_HH

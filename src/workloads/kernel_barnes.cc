@@ -1,0 +1,115 @@
+/**
+ * @file
+ * barnes kernel: a lock-protected shared-structure build followed by a
+ * pointer-chasing traversal, mimicking SPLASH-2 BARNES' tree build and
+ * force walk. Bodies are inserted at the head of hash buckets (per-
+ * bucket locks); the traversal walks every bucket's linked list via
+ * addresses stored in memory.
+ */
+
+#include "workloads/kernels.hh"
+
+#include "sim/rng.hh"
+
+namespace rr::workloads
+{
+
+Workload
+buildBarnes(const WorkloadParams &p)
+{
+    KernelBuilder k("barnes", p);
+    isa::Assembler &a = k.a();
+
+    const std::uint64_t T = p.numThreads;
+    const std::uint64_t buckets = 32;
+    const std::uint64_t bodies_per_thread = 48 * p.scale;
+
+    // Bucket heads (0 = empty), per-bucket locks, per-thread node pools
+    // (node = 2 words: value, next) and per-thread results.
+    const sim::Addr heads = k.alloc("heads", buckets);
+    const sim::Addr locks = k.alloc("locks", buckets * 4);
+    const sim::Addr pool = k.alloc("pool", T * bodies_per_thread * 2);
+    const sim::Addr result = k.alloc("result", T * 4);
+
+    const isa::Reg rI = 3, rB = 4, rNode = 5, rPtr = 6, rVal = 7,
+                   rTmp = 8, rMyPool = 9, rHeads = 10, rLocks = 11,
+                   rAcc = 12, rP = 13, rRes = 14, rRep = 15;
+
+    k.emitPreamble();
+    k.loadImm(rTmp, bodies_per_thread * 16);
+    a.mul(rMyPool, isa::kRegThreadId, rTmp);
+    k.loadImm(rTmp, pool);
+    a.add(rMyPool, rMyPool, rTmp);
+    k.loadImm(rHeads, heads);
+    k.loadImm(rLocks, locks);
+
+    // --- Build: insert my bodies at bucket heads under per-bucket locks
+    a.li(rI, 0);
+    a.label("insert");
+    // node address = myPool + i*16
+    a.slli(rNode, rI, 4);
+    a.add(rNode, rNode, rMyPool);
+    // value = f(tid, i)
+    a.slli(rVal, isa::kRegThreadId, 16);
+    a.add(rVal, rVal, rI);
+    a.st(rVal, rNode, 0);
+    // bucket = (i * 7 + tid) & (buckets-1)
+    a.slli(rB, rI, 3);
+    a.sub(rB, rB, rI); // i*7
+    a.add(rB, rB, isa::kRegThreadId);
+    a.andi(rB, rB, static_cast<std::int64_t>(buckets - 1));
+    a.slli(rPtr, rB, 5);
+    a.add(rPtr, rPtr, rLocks);
+    k.lockAcquire(rPtr);
+    a.slli(rTmp, rB, 3);
+    a.add(rTmp, rTmp, rHeads);
+    a.ld(rVal, rTmp, 0);   // old head
+    a.st(rVal, rNode, 8);  // node.next = old head
+    a.st(rNode, rTmp, 0);  // head = node
+    k.lockRelease(rPtr);
+    a.addi(rI, rI, 1);
+    k.loadImm(rTmp, bodies_per_thread);
+    a.blt(rI, rTmp, "insert");
+
+    k.barrier();
+
+    // --- Traverse: pointer-chase every bucket list, accumulate ---
+    a.li(rAcc, 0);
+    a.li(rB, 0);
+    a.label("walk_bucket");
+    a.slli(rTmp, rB, 3);
+    a.add(rTmp, rTmp, rHeads);
+    a.ld(rP, rTmp, 0);
+    a.label("walk_node");
+    a.beq(rP, 0, "bucket_done");
+    a.ld(rVal, rP, 0); // node value
+    a.add(rAcc, rAcc, rVal);
+    // Force-evaluation stand-in per visited body.
+    a.li(rRep, 0);
+    a.label("walk_mix");
+    a.slli(rVal, rAcc, 1);
+    a.add(rAcc, rAcc, rVal);
+    a.srli(rVal, rAcc, 17);
+    a.xor_(rAcc, rAcc, rVal);
+    a.addi(rRep, rRep, 1);
+    k.loadImm(rVal, p.intensity);
+    a.blt(rRep, rVal, "walk_mix");
+    a.ld(rP, rP, 8); // follow next pointer
+    a.jmp("walk_node");
+    a.label("bucket_done");
+    a.addi(rB, rB, 1);
+    k.loadImm(rTmp, buckets);
+    a.blt(rB, rTmp, "walk_bucket");
+
+    // Publish my traversal checksum.
+    a.slli(rRes, isa::kRegThreadId, 5);
+    k.loadImm(rTmp, result);
+    a.add(rRes, rRes, rTmp);
+    a.st(rAcc, rRes, 0);
+
+    k.barrier();
+    a.halt();
+    return k.finish();
+}
+
+} // namespace rr::workloads

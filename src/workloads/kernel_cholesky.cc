@@ -1,0 +1,89 @@
+/**
+ * @file
+ * cholesky kernel: self-scheduled block updates. Threads pull task ids
+ * from a shared fetch-add ticket counter and update the corresponding
+ * block from a source block — the task-queue pattern of SPLASH-2
+ * CHOLESKY (dependencies are approximated; the sharing pattern, not the
+ * numerics, is what matters for the recorder).
+ */
+
+#include "workloads/kernels.hh"
+
+#include "sim/rng.hh"
+
+namespace rr::workloads
+{
+
+Workload
+buildCholesky(const WorkloadParams &p)
+{
+    KernelBuilder k("cholesky", p);
+    isa::Assembler &a = k.a();
+
+    const std::uint64_t T = p.numThreads;
+    const std::uint64_t B = 32; // words per block
+    const std::uint64_t tasks = 10 * T * p.scale;
+    const std::uint64_t blocks = tasks + 1;
+
+    const sim::Addr ticket = k.alloc("ticket", 1);
+    const sim::Addr blk = k.alloc("blocks", blocks * B);
+
+    sim::Rng rng(p.seed ^ 0x40);
+    for (std::uint64_t i = 0; i < blocks * B; ++i)
+        k.initWord(blk + i * 8, rng.next() & 0xffffff);
+
+    const isa::Reg rTask = 3, rSrc = 4, rDst = 5, rW = 6, rVal = 7,
+                   rTmp = 8, rTicket = 9, rBase = 10, rSval = 11,
+                   rRep = 12;
+
+    k.emitPreamble();
+    k.loadImm(rTicket, ticket);
+    k.loadImm(rBase, blk);
+
+    a.label("grab");
+    a.fadd(rTask, rOne, rTicket, 0);
+    k.loadImm(rTmp, tasks);
+    a.bge(rTask, rTmp, "done");
+
+    // dst = task + 1, src = task / 2 (earlier block).
+    a.addi(rDst, rTask, 1);
+    a.srli(rSrc, rTask, 1);
+    a.slli(rDst, rDst, 8); // * B * 8
+    a.add(rDst, rDst, rBase);
+    a.slli(rSrc, rSrc, 8);
+    a.add(rSrc, rSrc, rBase);
+
+    a.li(rW, 0);
+    a.label("update");
+    a.slli(rTmp, rW, 3);
+    a.add(rVal, rTmp, rSrc);
+    a.ld(rSval, rVal, 0);
+    a.add(rVal, rTmp, rDst);
+    a.ld(rTmp, rVal, 0);
+    a.slli(rSval, rSval, 1);
+    a.add(rTmp, rTmp, rSval);
+    a.add(rTmp, rTmp, rTask);
+    // Factorization-computation stand-in per block word.
+    a.li(rRep, 0);
+    a.label("upd_mix");
+    a.slli(rSval, rTmp, 2);
+    a.add(rTmp, rTmp, rSval);
+    a.srli(rSval, rTmp, 15);
+    a.xor_(rTmp, rTmp, rSval);
+    a.addi(rRep, rRep, 1);
+    k.loadImm(rSval, p.intensity);
+    a.blt(rRep, rSval, "upd_mix");
+    a.andi(rTmp, rTmp, 0xffffff);
+    a.st(rTmp, rVal, 0);
+    a.addi(rW, rW, 1);
+    k.loadImm(rTmp, B);
+    a.blt(rW, rTmp, "update");
+    a.jmp("grab");
+
+    a.label("done");
+    k.barrier();
+    a.halt();
+    return k.finish();
+}
+
+} // namespace rr::workloads

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * fft kernel: iterations of barrier-separated phases. Phase A updates
+ * the thread's own row block in place (private-ish writes); phase B
+ * reads the whole matrix in a transposed, strided pattern (all-to-all
+ * communication, the signature SPLASH-2 FFT transpose) and folds the
+ * result into the thread's own rows.
+ */
+
+#include "workloads/kernels.hh"
+
+#include "sim/rng.hh"
+
+namespace rr::workloads
+{
+
+Workload
+buildFft(const WorkloadParams &p)
+{
+    KernelBuilder k("fft", p);
+    isa::Assembler &a = k.a();
+
+    const std::uint64_t T = p.numThreads;
+    const std::uint64_t rows_per_thread = 4 * p.scale;
+    const std::uint64_t N = T * rows_per_thread; // rows
+    const std::uint64_t C = 16;                  // words per row
+    const std::uint64_t iters = 4;
+
+    const sim::Addr mat = k.alloc("mat", N * C);
+    sim::Rng rng(p.seed);
+    for (std::uint64_t i = 0; i < N * C; ++i)
+        k.initWord(mat + i * 8, rng.next() & 0xffffff);
+
+    // Registers.
+    const isa::Reg rIter = 3, rRow = 4, rCol = 5, rRowPtr = 6, rVal = 7,
+                   rAcc = 8, rK = 9, rTmp = 10, rMyLo = 11, rMyHi = 12,
+                   rMatBase = 13, rN = 14, rRep = 15;
+
+    k.emitPreamble();
+    k.loadImm(rMatBase, mat);
+    k.loadImm(rN, N);
+    // My row range: [tid * rpt, (tid+1) * rpt).
+    k.loadImm(rTmp, rows_per_thread);
+    a.mul(rMyLo, isa::kRegThreadId, rTmp);
+    a.add(rMyHi, rMyLo, rTmp);
+
+    a.li(rIter, 0);
+    a.label("iter_loop");
+
+    // --- Phase A: butterfly-stage stand-in — `intensity` local passes
+    // over my rows between transposes ---
+    a.li(rRep, 0);
+    a.label("a_rep");
+    a.add(rRow, rMyLo, 0);
+    a.label("a_row");
+    // rRowPtr = mat + row * C * 8
+    a.slli(rRowPtr, rRow, 7); // * 128 (C=16 words)
+    a.add(rRowPtr, rRowPtr, rMatBase);
+    a.li(rCol, 0);
+    a.label("a_col");
+    a.slli(rTmp, rCol, 3);
+    a.add(rTmp, rTmp, rRowPtr);
+    a.ld(rVal, rTmp, 0);
+    a.slli(rAcc, rVal, 2);
+    a.add(rVal, rVal, rAcc); // val *= 5
+    a.add(rVal, rVal, rRow);
+    a.add(rVal, rVal, rIter);
+    a.st(rVal, rTmp, 0);
+    a.addi(rCol, rCol, 1);
+    k.loadImm(rTmp, C);
+    a.blt(rCol, rTmp, "a_col");
+    a.addi(rRow, rRow, 1);
+    a.blt(rRow, rMyHi, "a_row");
+    a.addi(rRep, rRep, 1);
+    k.loadImm(rTmp, p.intensity);
+    a.blt(rRep, rTmp, "a_rep");
+
+    k.barrier();
+
+    // --- Phase B: transpose-partition reads folded into my rows. Each
+    // thread reads the residue class of rows (tid+1) mod T, which lies
+    // almost entirely in other threads' row blocks (all-to-all
+    // communication without rereading the whole matrix). ---
+    a.add(rRow, rMyLo, 0);
+    a.label("b_row");
+    a.li(rAcc, 0);
+    a.addi(rK, isa::kRegThreadId, 1);
+    a.blt(rK, isa::kRegNumThreads, "b_k");
+    a.li(rK, 0);
+    a.label("b_k");
+    // col = (row + k) & (C - 1); read mat[k][col]
+    a.add(rCol, rRow, rK);
+    a.andi(rCol, rCol, static_cast<std::int64_t>(C - 1));
+    a.slli(rTmp, rK, 7);
+    a.add(rTmp, rTmp, rMatBase);
+    a.slli(rCol, rCol, 3);
+    a.add(rTmp, rTmp, rCol);
+    a.ld(rVal, rTmp, 0);
+    a.add(rAcc, rAcc, rVal);
+    a.add(rK, rK, isa::kRegNumThreads);
+    a.blt(rK, rN, "b_k");
+    // Fold into my row's word 0.
+    a.slli(rRowPtr, rRow, 7);
+    a.add(rRowPtr, rRowPtr, rMatBase);
+    a.ld(rVal, rRowPtr, 0);
+    a.xor_(rVal, rVal, rAcc);
+    a.st(rVal, rRowPtr, 0);
+    a.addi(rRow, rRow, 1);
+    a.blt(rRow, rMyHi, "b_row");
+
+    k.barrier();
+
+    a.addi(rIter, rIter, 1);
+    k.loadImm(rTmp, iters);
+    a.blt(rIter, rTmp, "iter_loop");
+
+    a.halt();
+    return k.finish();
+}
+
+} // namespace rr::workloads

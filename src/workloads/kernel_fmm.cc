@@ -1,0 +1,157 @@
+/**
+ * @file
+ * fmm kernel: tree upward/downward passes. Threads own leaf ranges of a
+ * binary tree stored as a flat array; the upward pass accumulates child
+ * values into parents under per-node locks (interior nodes near the root
+ * are shared by many threads), the downward pass propagates parent
+ * values back to the leaves — the multipole passes of SPLASH-2 FMM —
+ * with a barrier per level.
+ */
+
+#include "workloads/kernels.hh"
+
+#include "sim/rng.hh"
+
+namespace rr::workloads
+{
+
+Workload
+buildFmm(const WorkloadParams &p)
+{
+    KernelBuilder k("fmm", p);
+    isa::Assembler &a = k.a();
+
+    const std::uint64_t T = p.numThreads;
+    const std::uint64_t leaves_per_thread = 8;
+    const std::uint64_t leaves = T * leaves_per_thread; // power of two
+    const std::uint64_t nodes = 2 * leaves;             // heap layout
+    const std::uint64_t passes = 3 * p.scale;
+
+    // Heap-indexed tree: node i has children 2i, 2i+1; leaves occupy
+    // [leaves, 2*leaves). One lock per node, line-strided.
+    const sim::Addr tree = k.alloc("tree", nodes * 4); // line-padded nodes
+    const sim::Addr locks = k.alloc("locks", nodes * 4);
+
+    sim::Rng rng(p.seed ^ 0x80);
+    for (std::uint64_t i = leaves; i < nodes; ++i)
+        k.initWord(tree + i * 32, rng.next() & 0xffff);
+
+    const isa::Reg rPass = 3, rI = 4, rNode = 5, rParent = 6, rVal = 7,
+                   rTmp = 8, rTree = 9, rLocks = 10, rLo = 11, rHi = 12,
+                   rRep = 13, rAcc = 14;
+
+    k.emitPreamble();
+    k.loadImm(rTree, tree);
+    k.loadImm(rLocks, locks);
+    k.loadImm(rTmp, leaves_per_thread);
+    a.mul(rLo, isa::kRegThreadId, rTmp);
+    k.loadImm(rVal, leaves);
+    a.add(rLo, rLo, rVal); // first owned leaf index
+    a.add(rHi, rLo, rTmp);
+
+    a.li(rPass, 0);
+    a.label("pass");
+
+    // --- Upward: each owned leaf climbs to the root. Ancestors inside
+    // the thread's private subtree are updated with plain accesses;
+    // only the top levels shared between threads take the node lock
+    // (as SPLASH-2 FMM locks only shared tree nodes).
+    a.add(rI, rLo, 0);
+    a.label("up_leaf");
+    a.slli(rTmp, rI, 5);
+    a.add(rTmp, rTmp, rTree);
+    a.ld(rAcc, rTmp, 0); // leaf value
+    a.add(rNode, rI, 0);
+    a.label("climb");
+    a.srli(rParent, rNode, 1);
+    a.beq(rParent, 0, "climb_done");
+    // Multipole-translation stand-in between levels.
+    a.li(rRep, 0);
+    a.label("up_mix");
+    a.slli(rTmp, rAcc, 3);
+    a.add(rAcc, rAcc, rTmp);
+    a.srli(rTmp, rAcc, 11);
+    a.xor_(rAcc, rAcc, rTmp);
+    a.addi(rRep, rRep, 1);
+    k.loadImm(rTmp, p.intensity);
+    a.blt(rRep, rTmp, "up_mix");
+    a.andi(rAcc, rAcc, 0xffff);
+    // Stop at the thread's subtree root (index in [T, 2T)); the levels
+    // above it are shared between threads and are updated once per
+    // pass below, under node locks.
+    k.loadImm(rTmp, T);
+    a.blt(rParent, rTmp, "climb_done");
+    a.slli(rTmp, rParent, 5);
+    a.add(rTmp, rTmp, rTree);
+    a.ld(rVal, rTmp, 0);
+    a.add(rVal, rVal, rAcc);
+    a.st(rVal, rTmp, 0);
+    a.add(rNode, rParent, 0);
+    a.jmp("climb");
+    a.label("climb_done");
+    a.addi(rI, rI, 1);
+    a.blt(rI, rHi, "up_leaf");
+
+    // Propagate my subtree root into the shared top of the tree, one
+    // locked update per level (the SPLASH-2 FMM pattern: only shared
+    // nodes are lock-protected).
+    k.loadImm(rTmp, T);
+    a.add(rNode, rTmp, isa::kRegThreadId); // my subtree root index
+    a.slli(rTmp, rNode, 5);
+    a.add(rTmp, rTmp, rTree);
+    a.ld(rAcc, rTmp, 0);
+    a.label("top_climb");
+    a.srli(rParent, rNode, 1);
+    a.beq(rParent, 0, "top_done");
+    a.slli(rTmp, rParent, 5);
+    a.add(rTmp, rTmp, rLocks);
+    k.lockAcquire(rTmp);
+    a.slli(rTmp, rParent, 5);
+    a.add(rTmp, rTmp, rTree);
+    a.ld(rVal, rTmp, 0);
+    a.add(rVal, rVal, rAcc);
+    a.st(rVal, rTmp, 0);
+    a.slli(rTmp, rParent, 5);
+    a.add(rTmp, rTmp, rLocks);
+    k.lockRelease(rTmp);
+    a.add(rNode, rParent, 0);
+    a.jmp("top_climb");
+    a.label("top_done");
+
+    k.barrier();
+
+    // --- Downward: each owned leaf folds its ancestor chain back in
+    // (shared reads of interior nodes).
+    a.add(rI, rLo, 0);
+    a.label("down_leaf");
+    a.li(rAcc, 0);
+    a.srli(rNode, rI, 1);
+    a.label("descend");
+    a.beq(rNode, 0, "descend_done");
+    a.slli(rTmp, rNode, 5);
+    a.add(rTmp, rTmp, rTree);
+    a.ld(rVal, rTmp, 0);
+    a.add(rAcc, rAcc, rVal);
+    a.srli(rNode, rNode, 1);
+    a.jmp("descend");
+    a.label("descend_done");
+    a.slli(rTmp, rI, 5);
+    a.add(rTmp, rTmp, rTree);
+    a.ld(rVal, rTmp, 0);
+    a.xor_(rVal, rVal, rAcc);
+    a.andi(rVal, rVal, 0xffffff);
+    a.st(rVal, rTmp, 0);
+    a.addi(rI, rI, 1);
+    a.blt(rI, rHi, "down_leaf");
+
+    k.barrier();
+
+    a.addi(rPass, rPass, 1);
+    k.loadImm(rTmp, passes);
+    a.blt(rPass, rTmp, "pass");
+
+    a.halt();
+    return k.finish();
+}
+
+} // namespace rr::workloads

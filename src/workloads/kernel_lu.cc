@@ -1,0 +1,115 @@
+/**
+ * @file
+ * lu kernel: blocked LU-style rounds. Each round, the owner of the
+ * pivot block updates it; after a barrier every thread folds the pivot
+ * block into the blocks it owns (one-to-all broadcast reads, the
+ * dominant sharing pattern of SPLASH-2 LU), separated by barriers.
+ */
+
+#include "workloads/kernels.hh"
+
+#include "sim/rng.hh"
+
+namespace rr::workloads
+{
+
+Workload
+buildLu(const WorkloadParams &p)
+{
+    KernelBuilder k("lu", p);
+    isa::Assembler &a = k.a();
+
+    const std::uint64_t T = p.numThreads;
+    const std::uint64_t B = 32;          // words per block
+    const std::uint64_t NB = 4 * T;      // number of blocks
+    const std::uint64_t rounds = 3 * p.scale;
+
+    const sim::Addr blocks = k.alloc("blocks", NB * B);
+    sim::Rng rng(p.seed ^ 0x10);
+    for (std::uint64_t i = 0; i < NB * B; ++i)
+        k.initWord(blocks + i * 8, rng.next() & 0xffffff);
+
+    const isa::Reg rRound = 3, rPivot = 4, rPtr = 5, rW = 6, rVal = 7,
+                   rTmp = 8, rBlk = 9, rPivPtr = 10, rBase = 11, rNb = 12,
+                   rT = 13, rPval = 14;
+
+    k.emitPreamble();
+    k.loadImm(rBase, blocks);
+    k.loadImm(rNb, NB);
+    k.loadImm(rT, T);
+
+    a.li(rRound, 0);
+    a.label("round");
+
+    // pivot = round % NB (NB is a power of two times T... compute via
+    // subtract loop to avoid requiring a modulo instruction).
+    a.add(rPivot, rRound, 0);
+    a.label("mod_pivot");
+    a.blt(rPivot, rNb, "mod_done");
+    a.sub(rPivot, rPivot, rNb);
+    a.jmp("mod_pivot");
+    a.label("mod_done");
+
+    // Owner (pivot % T == tid) updates the pivot block.
+    a.add(rTmp, rPivot, 0);
+    a.label("mod_owner");
+    a.blt(rTmp, rT, "owner_done");
+    a.sub(rTmp, rTmp, rT);
+    a.jmp("mod_owner");
+    a.label("owner_done");
+    a.bne(rTmp, isa::kRegThreadId, "skip_pivot");
+
+    a.slli(rPivPtr, rPivot, 8); // * B * 8
+    a.add(rPivPtr, rPivPtr, rBase);
+    a.li(rW, 0);
+    a.label("piv_w");
+    a.slli(rTmp, rW, 3);
+    a.add(rTmp, rTmp, rPivPtr);
+    a.ld(rVal, rTmp, 0);
+    a.slli(rPval, rVal, 1);
+    a.add(rVal, rVal, rPval); // *3
+    a.add(rVal, rVal, rRound);
+    a.st(rVal, rTmp, 0);
+    a.addi(rW, rW, 1);
+    k.loadImm(rTmp, B);
+    a.blt(rW, rTmp, "piv_w");
+    a.label("skip_pivot");
+
+    k.barrier();
+
+    // Every thread updates its own blocks using the pivot block.
+    a.slli(rPivPtr, rPivot, 8);
+    a.add(rPivPtr, rPivPtr, rBase);
+    a.add(rBlk, isa::kRegThreadId, 0);
+    a.label("blk_loop");
+    a.beq(rBlk, rPivot, "blk_next"); // skip the pivot itself
+    a.slli(rPtr, rBlk, 8);
+    a.add(rPtr, rPtr, rBase);
+    a.li(rW, 0);
+    a.label("upd_w");
+    a.slli(rTmp, rW, 3);
+    a.add(rVal, rTmp, rPivPtr);
+    a.ld(rPval, rVal, 0); // pivot word (shared read)
+    a.add(rVal, rTmp, rPtr);
+    a.ld(rTmp, rVal, 0);
+    a.slli(rPval, rPval, 1);
+    a.add(rTmp, rTmp, rPval);
+    a.st(rTmp, rVal, 0);
+    a.addi(rW, rW, 1);
+    k.loadImm(rTmp, B);
+    a.blt(rW, rTmp, "upd_w");
+    a.label("blk_next");
+    a.add(rBlk, rBlk, rT);
+    a.blt(rBlk, rNb, "blk_loop");
+
+    k.barrier();
+
+    a.addi(rRound, rRound, 1);
+    k.loadImm(rTmp, rounds);
+    a.blt(rRound, rTmp, "round");
+
+    a.halt();
+    return k.finish();
+}
+
+} // namespace rr::workloads

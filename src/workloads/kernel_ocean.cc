@@ -1,0 +1,99 @@
+/**
+ * @file
+ * ocean kernel: an in-place 4-point stencil over a banded grid. Threads
+ * own contiguous row bands and read their neighbours' boundary rows —
+ * SPLASH-2 OCEAN's nearest-neighbour communication — with a barrier per
+ * sweep.
+ */
+
+#include "workloads/kernels.hh"
+
+#include "sim/rng.hh"
+
+namespace rr::workloads
+{
+
+Workload
+buildOcean(const WorkloadParams &p)
+{
+    KernelBuilder k("ocean", p);
+    isa::Assembler &a = k.a();
+
+    const std::uint64_t T = p.numThreads;
+    const std::uint64_t rows_per_thread = 8;
+    const std::uint64_t R = T * rows_per_thread;
+    const std::uint64_t C = 32; // words per row
+    const std::uint64_t iters = 3 * p.scale;
+
+    const sim::Addr grid = k.alloc("grid", R * C);
+    sim::Rng rng(p.seed ^ 0x30);
+    for (std::uint64_t i = 0; i < R * C; ++i)
+        k.initWord(grid + i * 8, rng.next() & 0xfffff);
+
+    const isa::Reg rIter = 3, rRow = 4, rCol = 5, rPtr = 6, rVal = 7,
+                   rTmp = 8, rLo = 9, rHi = 10, rBase = 11, rAcc = 12,
+                   rRm1 = 13, rRep = 14;
+
+    k.emitPreamble();
+    k.loadImm(rBase, grid);
+    // My row band [tid*rpt, (tid+1)*rpt), clamped to interior [1, R-1).
+    k.loadImm(rTmp, rows_per_thread);
+    a.mul(rLo, isa::kRegThreadId, rTmp);
+    a.add(rHi, rLo, rTmp);
+    a.bne(rLo, 0, "lo_ok");
+    a.li(rLo, 1);
+    a.label("lo_ok");
+    k.loadImm(rTmp, R - 1);
+    a.blt(rHi, rTmp, "hi_ok");
+    k.loadImm(rHi, R - 1);
+    a.label("hi_ok");
+    k.loadImm(rRm1, R - 1);
+
+    a.li(rIter, 0);
+    a.label("iter");
+
+    a.add(rRow, rLo, 0);
+    a.label("row");
+    a.slli(rPtr, rRow, 8); // row * C * 8 (C=32)
+    a.add(rPtr, rPtr, rBase);
+    a.li(rCol, 1);
+    a.label("col");
+    a.slli(rTmp, rCol, 3);
+    a.add(rTmp, rTmp, rPtr); // &grid[row][col]
+    a.ld(rAcc, rTmp, -8);    // left
+    a.ld(rVal, rTmp, 8);     // right
+    a.add(rAcc, rAcc, rVal);
+    a.ld(rVal, rTmp, -static_cast<std::int64_t>(C * 8)); // up
+    a.add(rAcc, rAcc, rVal);
+    a.ld(rVal, rTmp, static_cast<std::int64_t>(C * 8)); // down
+    a.add(rAcc, rAcc, rVal);
+    a.srli(rAcc, rAcc, 2);
+    // Relaxation-computation stand-in (`intensity` mixing rounds).
+    a.li(rRep, 0);
+    a.label("mix");
+    a.slli(rVal, rAcc, 2);
+    a.add(rAcc, rAcc, rVal);
+    a.srli(rVal, rAcc, 13);
+    a.xor_(rAcc, rAcc, rVal);
+    a.addi(rRep, rRep, 1);
+    k.loadImm(rVal, p.intensity);
+    a.blt(rRep, rVal, "mix");
+    a.andi(rAcc, rAcc, 0xfffff);
+    a.st(rAcc, rTmp, 0);
+    a.addi(rCol, rCol, 1);
+    k.loadImm(rTmp, C - 1);
+    a.blt(rCol, rTmp, "col");
+    a.addi(rRow, rRow, 1);
+    a.blt(rRow, rHi, "row");
+
+    k.barrier();
+
+    a.addi(rIter, rIter, 1);
+    k.loadImm(rTmp, iters);
+    a.blt(rIter, rTmp, "iter");
+
+    a.halt();
+    return k.finish();
+}
+
+} // namespace rr::workloads

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * radix kernel: one digit pass of a parallel radix sort. Threads build
+ * private histograms of their keys, merge them into a global histogram
+ * under per-bucket locks, thread 0 computes the prefix sums, every
+ * thread then ranks its buckets (prefix + earlier threads' counts), and
+ * the scatter phase permutes keys into the output array with plain
+ * stores — the scattered remote writes that dominate SPLASH-2 RADIX.
+ */
+
+#include "workloads/kernels.hh"
+
+#include "sim/rng.hh"
+
+namespace rr::workloads
+{
+
+Workload
+buildRadix(const WorkloadParams &p)
+{
+    KernelBuilder k("radix", p);
+    isa::Assembler &a = k.a();
+
+    const std::uint64_t T = p.numThreads;
+    const std::uint64_t buckets = 16;
+    const std::uint64_t keys_per_thread = 384 * p.scale;
+    const std::uint64_t total_keys = T * keys_per_thread;
+
+    const sim::Addr keys = k.alloc("keys", total_keys);
+    const sim::Addr out = k.alloc("out", total_keys);
+    const sim::Addr ghist = k.alloc("ghist", buckets);
+    // One lock per bucket, each on its own line (4-word stride).
+    const sim::Addr locks = k.alloc("locks", buckets * 4);
+    const sim::Addr prefix = k.alloc("prefix", buckets);
+    const sim::Addr lhist = k.alloc("lhist", T * buckets);
+    // Private per-thread scatter cursors (line-separated per thread).
+    const sim::Addr cursors = k.alloc("cursors", T * buckets);
+
+    sim::Rng rng(p.seed ^ 0x20);
+    for (std::uint64_t i = 0; i < total_keys; ++i)
+        k.initWord(keys + i * 8, rng.next() & 0xffff);
+
+    const isa::Reg rI = 3, rKey = 4, rB = 5, rPtr = 6, rVal = 7, rTmp = 8,
+                   rMyKeys = 9, rMyHist = 10, rEnd = 11, rLockB = 12,
+                   rGh = 13, rCur = 14, rOut = 15, rPos = 16;
+
+    k.emitPreamble();
+    // My slice of the key array and my private histogram.
+    k.loadImm(rTmp, keys_per_thread * 8);
+    a.mul(rMyKeys, isa::kRegThreadId, rTmp);
+    k.loadImm(rTmp, keys);
+    a.add(rMyKeys, rMyKeys, rTmp);
+    k.loadImm(rTmp, buckets * 8);
+    a.mul(rMyHist, isa::kRegThreadId, rTmp);
+    k.loadImm(rTmp, lhist);
+    a.add(rMyHist, rMyHist, rTmp);
+    k.loadImm(rGh, ghist);
+    k.loadImm(rLockB, locks);
+    k.loadImm(rCur, cursors);
+    k.loadImm(rOut, out);
+
+    // --- Phase 1: private histogram ---
+    a.li(rI, 0);
+    a.label("hist_loop");
+    a.slli(rTmp, rI, 3);
+    a.add(rTmp, rTmp, rMyKeys);
+    a.ld(rKey, rTmp, 0);
+    a.andi(rB, rKey, static_cast<std::int64_t>(buckets - 1));
+    a.slli(rB, rB, 3);
+    a.add(rPtr, rB, rMyHist);
+    a.ld(rVal, rPtr, 0);
+    a.addi(rVal, rVal, 1);
+    a.st(rVal, rPtr, 0);
+    a.addi(rI, rI, 1);
+    k.loadImm(rTmp, keys_per_thread);
+    a.blt(rI, rTmp, "hist_loop");
+
+    // --- Phase 2: merge under per-bucket locks ---
+    a.li(rB, 0);
+    a.label("merge_loop");
+    a.slli(rPtr, rB, 5); // lock stride: 4 words = 32 bytes
+    a.add(rPtr, rPtr, rLockB);
+    k.lockAcquire(rPtr);
+    a.slli(rTmp, rB, 3);
+    a.add(rVal, rTmp, rMyHist);
+    a.ld(rVal, rVal, 0);
+    a.add(rTmp, rTmp, rGh);
+    a.ld(rKey, rTmp, 0);
+    a.add(rKey, rKey, rVal);
+    a.st(rKey, rTmp, 0);
+    k.lockRelease(rPtr);
+    a.addi(rB, rB, 1);
+    k.loadImm(rTmp, buckets);
+    a.blt(rB, rTmp, "merge_loop");
+
+    k.barrier();
+
+    // --- Phase 3: thread 0 computes the global prefix sums ---
+    a.bne(isa::kRegThreadId, 0, "prefix_done");
+    a.li(rVal, 0); // running sum
+    a.li(rB, 0);
+    a.label("prefix_loop");
+    a.slli(rTmp, rB, 3);
+    a.add(rTmp, rTmp, rGh);
+    a.ld(rKey, rTmp, 0);
+    k.loadImm(rTmp, prefix);
+    a.slli(rPos, rB, 3);
+    a.add(rTmp, rTmp, rPos);
+    a.st(rVal, rTmp, 0); // prefix[b] = sum so far
+    a.add(rVal, rVal, rKey);
+    a.addi(rB, rB, 1);
+    k.loadImm(rTmp, buckets);
+    a.blt(rB, rTmp, "prefix_loop");
+    a.label("prefix_done");
+
+    k.barrier();
+
+    // --- Phase 4: rank my buckets (as in SPLASH-2 RADIX: each thread
+    // derives private cursors from the prefix sums plus the earlier
+    // threads' histogram counts, so the scatter needs no atomics) ---
+    // myCursor base = cursors + tid * buckets * 8
+    k.loadImm(rTmp, buckets * 8);
+    a.mul(rEnd, isa::kRegThreadId, rTmp);
+    k.loadImm(rTmp, cursors);
+    a.add(rEnd, rEnd, rTmp); // rEnd = my cursor array
+    a.li(rB, 0);
+    a.label("rank_b");
+    k.loadImm(rTmp, prefix);
+    a.slli(rPos, rB, 3);
+    a.add(rTmp, rTmp, rPos);
+    a.ld(rVal, rTmp, 0); // base = prefix[b]
+    // add lhist[t'][b] for t' < tid
+    a.li(rI, 0);
+    a.label("rank_t");
+    a.bge(rI, isa::kRegThreadId, "rank_t_done");
+    k.loadImm(rTmp, buckets * 8);
+    a.mul(rKey, rI, rTmp);
+    a.add(rKey, rKey, rPos);
+    k.loadImm(rTmp, lhist);
+    a.add(rKey, rKey, rTmp);
+    a.ld(rKey, rKey, 0);
+    a.add(rVal, rVal, rKey);
+    a.addi(rI, rI, 1);
+    a.jmp("rank_t");
+    a.label("rank_t_done");
+    a.add(rTmp, rPos, rEnd);
+    a.st(rVal, rTmp, 0); // myCursor[b] = base
+    a.addi(rB, rB, 1);
+    k.loadImm(rTmp, buckets);
+    a.blt(rB, rTmp, "rank_b");
+
+    // --- Phase 5: scatter with private cursors (plain stores) ---
+    a.li(rI, 0);
+    a.label("scatter_loop");
+    a.slli(rTmp, rI, 3);
+    a.add(rTmp, rTmp, rMyKeys);
+    a.ld(rKey, rTmp, 0);
+    a.andi(rB, rKey, static_cast<std::int64_t>(buckets - 1));
+    a.slli(rB, rB, 3);
+    a.add(rPtr, rB, rEnd);
+    a.ld(rPos, rPtr, 0); // pos = myCursor[b]
+    a.addi(rVal, rPos, 1);
+    a.st(rVal, rPtr, 0); // myCursor[b]++
+    a.slli(rPos, rPos, 3);
+    a.add(rPos, rPos, rOut);
+    a.st(rKey, rPos, 0);
+    a.addi(rI, rI, 1);
+    k.loadImm(rTmp, keys_per_thread);
+    a.blt(rI, rTmp, "scatter_loop");
+
+    k.barrier();
+    a.halt();
+    return k.finish();
+}
+
+} // namespace rr::workloads

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * raytrace kernel: a fetch-add tile work queue over a read-mostly scene.
+ * Each tile chases pointers through the shared scene array (indices
+ * stored in the data, like BSP-tree walks in SPLASH-2 RAYTRACE), writes
+ * its pixel results to the shared framebuffer, and occasionally takes a
+ * global statistics lock.
+ */
+
+#include "workloads/kernels.hh"
+
+#include "sim/rng.hh"
+
+namespace rr::workloads
+{
+
+Workload
+buildRaytrace(const WorkloadParams &p)
+{
+    KernelBuilder k("raytrace", p);
+    isa::Assembler &a = k.a();
+
+    const std::uint64_t T = p.numThreads;
+    const std::uint64_t scene_words = 256;
+    const std::uint64_t tiles = T * 8 * p.scale;
+    const std::uint64_t rays_per_tile = 20;
+    const std::uint64_t chase_len = 8;
+
+    const sim::Addr ticket = k.alloc("ticket", 1);
+    const sim::Addr scene = k.alloc("scene", scene_words);
+    const sim::Addr fb = k.alloc("fb", tiles);
+    const sim::Addr statlock = k.alloc("statlock", 4);
+    const sim::Addr stat = k.alloc("stat", 1);
+
+    // Scene entries embed the next index in their low bits.
+    sim::Rng rng(p.seed ^ 0x70);
+    for (std::uint64_t i = 0; i < scene_words; ++i)
+        k.initWord(scene + i * 8, rng.next());
+
+    const isa::Reg rTile = 3, rRay = 4, rIdx = 5, rVal = 6, rAcc = 7,
+                   rTmp = 8, rTicket = 9, rScene = 10, rFb = 11,
+                   rLock = 12, rChase = 13;
+
+    k.emitPreamble();
+    k.loadImm(rTicket, ticket);
+    k.loadImm(rScene, scene);
+    k.loadImm(rFb, fb);
+    k.loadImm(rLock, statlock);
+
+    a.label("grab");
+    a.fadd(rTile, rOne, rTicket, 0);
+    k.loadImm(rTmp, tiles);
+    a.bge(rTile, rTmp, "done");
+
+    a.li(rAcc, 0);
+    a.li(rRay, 0);
+    a.label("ray");
+    // Start index depends on tile and ray.
+    a.slli(rIdx, rTile, 3);
+    a.add(rIdx, rIdx, rRay);
+    a.andi(rIdx, rIdx, static_cast<std::int64_t>(scene_words - 1));
+    a.li(rChase, 0);
+    a.label("chase");
+    a.slli(rTmp, rIdx, 3);
+    a.add(rTmp, rTmp, rScene);
+    a.ld(rVal, rTmp, 0);
+    a.add(rAcc, rAcc, rVal);
+    a.andi(rIdx, rVal, static_cast<std::int64_t>(scene_words - 1));
+    a.addi(rChase, rChase, 1);
+    k.loadImm(rTmp, chase_len);
+    a.blt(rChase, rTmp, "chase");
+    a.addi(rRay, rRay, 1);
+    k.loadImm(rTmp, rays_per_tile);
+    a.blt(rRay, rTmp, "ray");
+
+    // Write this tile's pixel.
+    a.slli(rTmp, rTile, 3);
+    a.add(rTmp, rTmp, rFb);
+    a.st(rAcc, rTmp, 0);
+
+    // Every 8th tile updates the global ray counter under a lock.
+    a.andi(rTmp, rTile, 7);
+    a.bne(rTmp, 0, "no_stat");
+    k.lockAcquire(rLock);
+    k.loadImm(rTmp, stat);
+    a.ld(rVal, rTmp, 0);
+    a.addi(rVal, rVal, static_cast<std::int64_t>(rays_per_tile));
+    a.st(rVal, rTmp, 0);
+    k.lockRelease(rLock);
+    a.label("no_stat");
+
+    a.jmp("grab");
+
+    a.label("done");
+    k.barrier();
+    a.halt();
+    return k.finish();
+}
+
+} // namespace rr::workloads

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * water-nsq kernel: pairwise molecule interactions. A thread owns a
+ * stripe of molecules; for each owned molecule it interacts with a
+ * window of following molecules, accumulating forces into both sides
+ * under per-molecule locks — the fine-grained locking that dominates
+ * SPLASH-2 WATER-NSQUARED — with a barrier between time steps.
+ */
+
+#include "workloads/kernels.hh"
+
+#include "sim/rng.hh"
+
+namespace rr::workloads
+{
+
+Workload
+buildWaterNsq(const WorkloadParams &p)
+{
+    KernelBuilder k("water-nsq", p);
+    isa::Assembler &a = k.a();
+
+    const std::uint64_t T = p.numThreads;
+    const std::uint64_t mols = T * 24 * p.scale;
+    const std::uint64_t window = 4;
+    const std::uint64_t steps = 2;
+
+    // Molecule: line of 4 words (position, force, ...); lock per
+    // molecule, line-strided.
+    const sim::Addr mol = k.alloc("mol", mols * 4);
+    const sim::Addr locks = k.alloc("locks", mols * 4);
+
+    sim::Rng rng(p.seed ^ 0x50);
+    for (std::uint64_t i = 0; i < mols; ++i)
+        k.initWord(mol + i * 32, rng.next() & 0xffff);
+
+    const isa::Reg rStep = 3, rI = 4, rJ = 5, rPi = 6, rPj = 7, rD = 8,
+                   rTmp = 9, rMolB = 10, rLockB = 11, rVal = 12,
+                   rEnd = 13, rLo = 14, rNm = 15, rRep = 16, rHi = 17;
+
+    k.emitPreamble();
+    k.loadImm(rMolB, mol);
+    k.loadImm(rLockB, locks);
+    k.loadImm(rNm, mols);
+    // Contiguous molecule block [tid*mpt, (tid+1)*mpt): contention then
+    // only occurs near block boundaries, as in the real partitioning.
+    k.loadImm(rTmp, mols / T);
+    a.mul(rLo, isa::kRegThreadId, rTmp);
+    a.add(rHi, rLo, rTmp);
+
+    a.li(rStep, 0);
+    a.label("step");
+
+    a.add(rI, rLo, 0);
+    a.label("i_loop");
+    a.bge(rI, rHi, "i_done");
+
+    // for (j = i+1; j < min(i+1+window, mols); ++j)
+    a.addi(rJ, rI, 1);
+    a.addi(rEnd, rI, 1 + static_cast<std::int64_t>(window));
+    a.blt(rEnd, rNm, "j_loop");
+    a.add(rEnd, rNm, 0);
+    a.label("j_loop");
+    a.bge(rJ, rEnd, "j_done");
+
+    // d = pos_i ^ pos_j (stand-in force term).
+    a.slli(rPi, rI, 5);
+    a.add(rPi, rPi, rMolB);
+    a.slli(rPj, rJ, 5);
+    a.add(rPj, rPj, rMolB);
+    a.ld(rD, rPi, 0);
+    a.ld(rTmp, rPj, 0);
+    a.xor_(rD, rD, rTmp);
+    // Potential-evaluation stand-in: `intensity` rounds of mixing
+    // (registers only — the real code does ~100s of flops per pair).
+    a.li(rRep, 0);
+    a.label("mix");
+    a.slli(rTmp, rD, 2);
+    a.add(rD, rD, rTmp);
+    a.srli(rTmp, rD, 7);
+    a.xor_(rD, rD, rTmp);
+    a.addi(rRep, rRep, 1);
+    k.loadImm(rTmp, p.intensity);
+    a.blt(rRep, rTmp, "mix");
+    a.andi(rD, rD, 0xff);
+
+    // lock(i); force_i += d; unlock(i)
+    a.slli(rTmp, rI, 5);
+    a.add(rTmp, rTmp, rLockB);
+    k.lockAcquire(rTmp);
+    a.ld(rVal, rPi, 8);
+    a.add(rVal, rVal, rD);
+    a.st(rVal, rPi, 8);
+    k.lockRelease(rTmp);
+
+    // lock(j); force_j -= d; unlock(j)
+    a.slli(rTmp, rJ, 5);
+    a.add(rTmp, rTmp, rLockB);
+    k.lockAcquire(rTmp);
+    a.ld(rVal, rPj, 8);
+    a.sub(rVal, rVal, rD);
+    a.st(rVal, rPj, 8);
+    k.lockRelease(rTmp);
+
+    a.addi(rJ, rJ, 1);
+    a.jmp("j_loop");
+    a.label("j_done");
+    a.addi(rI, rI, 1);
+    a.jmp("i_loop");
+    a.label("i_done");
+
+    k.barrier();
+
+    // Advance positions with the accumulated force (own block).
+    a.add(rI, rLo, 0);
+    a.label("adv_loop");
+    a.bge(rI, rHi, "adv_done");
+    a.slli(rPi, rI, 5);
+    a.add(rPi, rPi, rMolB);
+    a.ld(rVal, rPi, 0);
+    a.ld(rTmp, rPi, 8);
+    a.add(rVal, rVal, rTmp);
+    a.st(rVal, rPi, 0);
+    a.st(0, rPi, 8); // reset force
+    a.addi(rI, rI, 1);
+    a.jmp("adv_loop");
+    a.label("adv_done");
+
+    k.barrier();
+
+    a.addi(rStep, rStep, 1);
+    k.loadImm(rTmp, steps);
+    a.blt(rStep, rTmp, "step");
+
+    a.halt();
+    return k.finish();
+}
+
+} // namespace rr::workloads

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * water-sp kernel: spatial-cell decomposition. Threads own contiguous
+ * cell bands, read neighbouring cells (shared only at band boundaries)
+ * and accumulate into boundary neighbours under the neighbour's cell
+ * lock — SPLASH-2 WATER-SPATIAL's boundary-cell locking — with a
+ * barrier per step.
+ */
+
+#include "workloads/kernels.hh"
+
+#include "sim/rng.hh"
+
+namespace rr::workloads
+{
+
+Workload
+buildWaterSp(const WorkloadParams &p)
+{
+    KernelBuilder k("water-sp", p);
+    isa::Assembler &a = k.a();
+
+    const std::uint64_t T = p.numThreads;
+    const std::uint64_t cells_per_thread = 24;
+    const std::uint64_t cells = T * cells_per_thread;
+    const std::uint64_t steps = 4 * p.scale;
+
+    // Cell: 4 words (value, accumulator, ...); lock per cell.
+    const sim::Addr cell = k.alloc("cell", cells * 4);
+    const sim::Addr locks = k.alloc("locks", cells * 4);
+
+    sim::Rng rng(p.seed ^ 0x60);
+    for (std::uint64_t i = 0; i < cells; ++i)
+        k.initWord(cell + i * 32, rng.next() & 0xffff);
+
+    const isa::Reg rStep = 3, rC = 4, rLo = 5, rHi = 6, rPtr = 7,
+                   rVal = 8, rTmp = 9, rCellB = 10, rLockB = 11,
+                   rNb = 12, rAcc = 13, rNc = 14, rRep = 15, rHim1 = 16;
+
+    k.emitPreamble();
+    k.loadImm(rCellB, cell);
+    k.loadImm(rLockB, locks);
+    k.loadImm(rNc, cells);
+    k.loadImm(rTmp, cells_per_thread);
+    a.mul(rLo, isa::kRegThreadId, rTmp);
+    a.add(rHi, rLo, rTmp);
+
+    a.li(rStep, 0);
+    a.label("step");
+
+    a.add(rC, rLo, 0);
+    a.label("cell_loop");
+
+    // Read my cell and both neighbours (wrapping).
+    a.slli(rPtr, rC, 5);
+    a.add(rPtr, rPtr, rCellB);
+    a.ld(rAcc, rPtr, 0);
+    // left neighbour (c == 0 wraps to cells-1)
+    a.addi(rNb, rC, -1);
+    a.bge(rNb, 0, "left_ok");
+    k.loadImm(rNb, cells - 1);
+    a.label("left_ok");
+    a.slli(rTmp, rNb, 5);
+    a.add(rTmp, rTmp, rCellB);
+    a.ld(rVal, rTmp, 0);
+    a.add(rAcc, rAcc, rVal);
+    // right neighbour (cells-1 wraps to 0)
+    a.addi(rNb, rC, 1);
+    a.blt(rNb, rNc, "right_ok");
+    a.li(rNb, 0);
+    a.label("right_ok");
+    a.slli(rTmp, rNb, 5);
+    a.add(rTmp, rTmp, rCellB);
+    a.ld(rVal, rTmp, 0);
+    a.add(rAcc, rAcc, rVal);
+    a.srli(rAcc, rAcc, 1);
+
+    // Intra-cell computation stand-in (`intensity` mixing rounds).
+    a.li(rRep, 0);
+    a.label("mix");
+    a.slli(rTmp, rAcc, 1);
+    a.add(rAcc, rAcc, rTmp);
+    a.srli(rTmp, rAcc, 9);
+    a.xor_(rAcc, rAcc, rTmp);
+    a.addi(rRep, rRep, 1);
+    k.loadImm(rTmp, p.intensity);
+    a.blt(rRep, rTmp, "mix");
+    a.andi(rAcc, rAcc, 0xfffff);
+
+    // Update my own cell value (no lock needed: I own it this phase).
+    a.st(rAcc, rPtr, 0);
+
+    // Only band-boundary cells spill into the neighbour's accumulator;
+    // that crosses the ownership boundary, hence the cell lock.
+    a.addi(rHim1, rHi, -1);
+    a.bne(rC, rHim1, "no_spill");
+    a.andi(rVal, rAcc, 0xf);
+    a.slli(rTmp, rNb, 5);
+    a.add(rTmp, rTmp, rLockB);
+    k.lockAcquire(rTmp);
+    a.slli(rTmp, rNb, 5);
+    a.add(rTmp, rTmp, rCellB);
+    a.ld(rAcc, rTmp, 8);
+    a.add(rAcc, rAcc, rVal);
+    a.st(rAcc, rTmp, 8);
+    a.slli(rTmp, rNb, 5);
+    a.add(rTmp, rTmp, rLockB);
+    k.lockRelease(rTmp);
+    a.label("no_spill");
+
+    a.addi(rC, rC, 1);
+    a.blt(rC, rHi, "cell_loop");
+
+    k.barrier();
+
+    a.addi(rStep, rStep, 1);
+    k.loadImm(rTmp, steps);
+    a.blt(rStep, rTmp, "step");
+
+    a.halt();
+    return k.finish();
+}
+
+} // namespace rr::workloads

@@ -1,0 +1,44 @@
+#include "workloads/kernels.hh"
+
+#include "sim/logging.hh"
+
+namespace rr::workloads
+{
+
+const std::vector<std::string> &
+kernelNames()
+{
+    static const std::vector<std::string> names = {
+        "fft",      "lu",        "radix",    "ocean",    "barnes",
+        "cholesky", "water-nsq", "water-sp", "raytrace", "fmm",
+    };
+    return names;
+}
+
+Workload
+buildKernel(const std::string &name, const WorkloadParams &p)
+{
+    if (name == "fft")
+        return buildFft(p);
+    if (name == "lu")
+        return buildLu(p);
+    if (name == "radix")
+        return buildRadix(p);
+    if (name == "ocean")
+        return buildOcean(p);
+    if (name == "barnes")
+        return buildBarnes(p);
+    if (name == "cholesky")
+        return buildCholesky(p);
+    if (name == "water-nsq")
+        return buildWaterNsq(p);
+    if (name == "water-sp")
+        return buildWaterSp(p);
+    if (name == "raytrace")
+        return buildRaytrace(p);
+    if (name == "fmm")
+        return buildFmm(p);
+    sim::fatal("unknown kernel '%s'", name.c_str());
+}
+
+} // namespace rr::workloads

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * SPLASH-2-inspired kernel registry. Each kernel reproduces the sharing
+ * and synchronization pattern of its namesake at laptop scale (see
+ * DESIGN.md for the substitution argument):
+ *
+ *   fft        barrier-separated local compute + all-to-all transpose reads
+ *   lu         pivot-block broadcast, blocked owner updates, barriers
+ *   radix      private histograms, lock-merged global histogram,
+ *              fetch-add scatter permutation
+ *   ocean      nearest-neighbour stencil over banded grid, barrier sweeps
+ *   barnes     lock-protected tree (hash-bucket) build + pointer-chasing
+ *              traversal
+ *   cholesky   self-scheduled task queue (fetch-add tickets) over blocks
+ *   water-nsq  pairwise interactions with per-molecule locks
+ *   water-sp   spatial cells, neighbour reads, boundary-cell locks
+ *   raytrace   tile work queue, read-only scene pointer chasing,
+ *              rare global-counter locks
+ *   fmm        tree upward/downward passes with shared-parent locks
+ */
+
+#ifndef RR_WORKLOADS_KERNELS_HH
+#define RR_WORKLOADS_KERNELS_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/runtime.hh"
+
+namespace rr::workloads
+{
+
+/** Names of all registered kernels, in canonical order. */
+const std::vector<std::string> &kernelNames();
+
+/** Build a kernel by name; fatal() on unknown names. */
+Workload buildKernel(const std::string &name, const WorkloadParams &p);
+
+Workload buildFft(const WorkloadParams &p);
+Workload buildLu(const WorkloadParams &p);
+Workload buildRadix(const WorkloadParams &p);
+Workload buildOcean(const WorkloadParams &p);
+Workload buildBarnes(const WorkloadParams &p);
+Workload buildCholesky(const WorkloadParams &p);
+Workload buildWaterNsq(const WorkloadParams &p);
+Workload buildWaterSp(const WorkloadParams &p);
+Workload buildRaytrace(const WorkloadParams &p);
+Workload buildFmm(const WorkloadParams &p);
+
+} // namespace rr::workloads
+
+#endif // RR_WORKLOADS_KERNELS_HH

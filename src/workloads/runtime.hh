@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Workload-construction runtime: a KernelBuilder wrapping the assembler
+ * with a memory-layout allocator, unique labels, and canned
+ * synchronization idioms (test-and-test-and-set spin locks, a
+ * sense-reversing barrier, fetch-add work tickets) built from the
+ * micro-ISA's XCHG/FADD/FENCE primitives.
+ *
+ * Register conventions:
+ *   r0  zero            r1  thread id        r2  number of threads
+ *   r3..r23             kernel code (caller-owned)
+ *   r24..r28            runtime helpers (clobbered by lock/barrier)
+ *   r29                 constant 1 (set by emitPreamble)
+ */
+
+#ifndef RR_WORKLOADS_RUNTIME_HH
+#define RR_WORKLOADS_RUNTIME_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "isa/assembler.hh"
+#include "isa/program.hh"
+#include "sim/types.hh"
+
+namespace rr::workloads
+{
+
+/** Registers reserved for runtime helper sequences. */
+inline constexpr isa::Reg rScratch0 = 24;
+inline constexpr isa::Reg rScratch1 = 25;
+inline constexpr isa::Reg rScratch2 = 26;
+inline constexpr isa::Reg rScratch3 = 27;
+inline constexpr isa::Reg rScratch4 = 28;
+/** Holds the constant 1 after emitPreamble(). */
+inline constexpr isa::Reg rOne = 29;
+
+/** A named, assembled workload. */
+struct Workload
+{
+    std::string name;
+    isa::Program program;
+    std::uint32_t numThreads = 0;
+    /** Named data regions (for examples, tests and result inspection). */
+    std::map<std::string, sim::Addr> regions;
+};
+
+/** Build-time parameters shared by every kernel factory. */
+struct WorkloadParams
+{
+    std::uint32_t numThreads = 8;
+    /**
+     * Problem-size multiplier. scale=1 is the bench default
+     * (roughly 10^5 instructions per thread); tests use smaller values.
+     */
+    std::uint64_t scale = 1;
+    /**
+     * Local-compute repetitions between communication phases (models
+     * the arithmetic intensity of the real applications; raising it
+     * lowers coherence traffic per instruction).
+     */
+    std::uint64_t intensity = 16;
+    std::uint64_t seed = 12345;
+};
+
+class KernelBuilder
+{
+  public:
+    KernelBuilder(std::string name, const WorkloadParams &params);
+
+    isa::Assembler &a() { return a_; }
+    const WorkloadParams &params() const { return params_; }
+
+    /** Fresh label derived from @p base. */
+    std::string uniq(const std::string &base);
+
+    /** @name Memory layout */
+    ///@{
+    /** Reserve a line-aligned region of @p words 8-byte words. */
+    sim::Addr alloc(const std::string &region, std::uint64_t words);
+    /** Address of a previously allocated region. */
+    sim::Addr region(const std::string &region) const;
+    /** Pre-set one word of the initial image. */
+    void initWord(sim::Addr addr, std::uint64_t value);
+    ///@}
+
+    /** @name Code idioms */
+    ///@{
+    /** Emit the per-thread preamble (sets rOne). Call first. */
+    void emitPreamble();
+
+    /** Load a 64-bit address/constant into @p rd. */
+    void loadImm(isa::Reg rd, std::uint64_t value);
+
+    /** Delay iterations between probes of a contended flag line. */
+    static constexpr std::uint64_t kBackoffIterations = 24;
+
+    /**
+     * Acquire the spin lock at @p base_reg + off (test-and-test-and-set
+     * with XCHG, backoff between probes, acquire fence). Clobbers
+     * rScratch3 and rScratch4.
+     */
+    void lockAcquire(isa::Reg base_reg, std::int64_t off = 0);
+
+    /** Release fence + unlock store. */
+    void lockRelease(isa::Reg base_reg, std::int64_t off = 0);
+
+    /**
+     * Register-only delay (kBackoffIterations loop). Use between
+     * optimistic retries of contended resources (e.g. re-checking a
+     * queue after finding it empty) — retrying a lock at full speed
+     * can starve remote cores indefinitely. Clobbers rScratch0.
+     */
+    void pause();
+
+    /**
+     * @name Ticket lock (FIFO-fair)
+     * Test-and-set locks can convoy: a core that releases and promptly
+     * re-acquires wins every race against remote requesters (its
+     * release store drains late, leaving only a few free cycles). The
+     * ticket lock grants in fetch-add order and cannot starve anyone.
+     */
+    ///@{
+    /** Allocate a ticket lock (ticket and serving words, own lines). */
+    sim::Addr allocTicketLock(const std::string &region);
+    /** Acquire; clobbers rScratch2..rScratch4. */
+    void ticketAcquire(isa::Reg base_reg);
+    /** Release; clobbers rScratch4. */
+    void ticketRelease(isa::Reg base_reg);
+    ///@}
+
+    /**
+     * Sense-reversing barrier across all threads (backoff while
+     * spinning). Uses an internal count/sense region and one private
+     * sense word per thread. Clobbers rScratch1..rScratch4.
+     */
+    void barrier();
+    ///@}
+
+    /** Assemble; every thread enters at pc 0. */
+    Workload finish();
+
+  private:
+    void emitBackoff(isa::Reg counter);
+
+    std::string name_;
+    WorkloadParams params_;
+    isa::Assembler a_;
+    std::map<std::string, sim::Addr> regions_;
+    sim::Addr cursor_;
+    std::uint64_t labelCounter_ = 0;
+    sim::Addr barrierBase_ = 0;
+    sim::Addr senseBase_ = 0;
+};
+
+} // namespace rr::workloads
+
+#endif // RR_WORKLOADS_RUNTIME_HH

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "cpu/branch_predictor.hh"
+
+namespace
+{
+
+using rr::cpu::BranchPredictor;
+
+TEST(BranchPredictor, DefaultsToNotTaken)
+{
+    BranchPredictor p(16);
+    EXPECT_FALSE(p.predict(0));
+    EXPECT_FALSE(p.predict(123));
+}
+
+TEST(BranchPredictor, LearnsTakenAfterOneUpdate)
+{
+    // Counters start at weak not-taken: a single taken outcome moves
+    // them to weak taken.
+    BranchPredictor p(16);
+    p.update(5, true);
+    EXPECT_TRUE(p.predict(5));
+}
+
+TEST(BranchPredictor, HysteresisSurvivesOneFlip)
+{
+    BranchPredictor p(16);
+    for (int i = 0; i < 4; ++i)
+        p.update(5, true); // saturate strong taken
+    p.update(5, false);
+    EXPECT_TRUE(p.predict(5)); // still (weakly) taken
+    p.update(5, false);
+    EXPECT_FALSE(p.predict(5));
+}
+
+TEST(BranchPredictor, CountersSaturate)
+{
+    BranchPredictor p(16);
+    for (int i = 0; i < 100; ++i)
+        p.update(5, false);
+    p.update(5, true);
+    p.update(5, true);
+    EXPECT_TRUE(p.predict(5)); // two updates from strong NT reach WT
+}
+
+TEST(BranchPredictor, IndexAliasing)
+{
+    BranchPredictor p(4); // pcs 1 and 5 share a counter
+    p.update(1, true);
+    p.update(1, true);
+    EXPECT_TRUE(p.predict(5));
+    EXPECT_FALSE(p.predict(2));
+}
+
+TEST(BranchPredictor, IndependentEntries)
+{
+    BranchPredictor p(16);
+    p.update(1, true);
+    p.update(1, true);
+    p.update(2, false);
+    EXPECT_TRUE(p.predict(1));
+    EXPECT_FALSE(p.predict(2));
+}
+
+} // namespace

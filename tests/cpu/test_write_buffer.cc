@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "cpu/write_buffer.hh"
+
+namespace
+{
+
+using rr::cpu::WriteBuffer;
+
+TEST(WriteBuffer, StartsEmpty)
+{
+    WriteBuffer wb(4);
+    EXPECT_TRUE(wb.empty());
+    EXPECT_FALSE(wb.full());
+    EXPECT_EQ(wb.nextToIssue(), nullptr);
+}
+
+TEST(WriteBuffer, FillsToCapacity)
+{
+    WriteBuffer wb(2);
+    wb.push(0x100, 1, 10);
+    EXPECT_FALSE(wb.full());
+    wb.push(0x108, 2, 11);
+    EXPECT_TRUE(wb.full());
+    EXPECT_EQ(wb.size(), 2u);
+}
+
+TEST(WriteBuffer, IssuesInFifoOrder)
+{
+    WriteBuffer wb(4);
+    wb.push(0x100, 1, 10);
+    wb.push(0x108, 2, 11);
+    WriteBuffer::Entry *e = wb.nextToIssue();
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->seq, 10u);
+    e->issued = true;
+    e = wb.nextToIssue();
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->seq, 11u);
+}
+
+TEST(WriteBuffer, OutOfOrderCompletionKeepsFifoPop)
+{
+    WriteBuffer wb(4);
+    wb.push(0x100, 1, 10);
+    wb.push(0x108, 2, 11);
+    wb.nextToIssue()->issued = true;
+    wb.nextToIssue()->issued = true;
+    wb.complete(11); // younger completes first
+    EXPECT_EQ(wb.size(), 2u); // head still pending: no pop
+    wb.complete(10);
+    EXPECT_TRUE(wb.empty()); // both popped together
+}
+
+TEST(WriteBuffer, ForwardingFindsYoungestMatch)
+{
+    WriteBuffer wb(4);
+    wb.push(0x100, 1, 10);
+    wb.push(0x100, 2, 11); // same word, younger
+    wb.push(0x108, 3, 12);
+    const WriteBuffer::Entry *e = wb.youngestFor(0x100);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->value, 2u);
+    EXPECT_EQ(wb.youngestFor(0x110), nullptr);
+}
+
+TEST(WriteBuffer, ForwardingSeesUnissuedAndIssued)
+{
+    WriteBuffer wb(4);
+    wb.push(0x100, 5, 10);
+    wb.nextToIssue()->issued = true;
+    const WriteBuffer::Entry *e = wb.youngestFor(0x100);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->value, 5u);
+}
+
+} // namespace

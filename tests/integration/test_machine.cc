@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "machine/machine.hh"
+
+namespace
+{
+
+using namespace rr;
+using isa::Assembler;
+
+sim::RecorderConfig
+optPolicy()
+{
+    sim::RecorderConfig rc;
+    rc.mode = sim::RecorderMode::Opt;
+    return rc;
+}
+
+TEST(Machine, RunsSingleCoreProgram)
+{
+    Assembler a;
+    a.li(3, 7);
+    a.li(4, 6);
+    a.mul(5, 3, 4);
+    a.halt();
+    sim::MachineConfig cfg;
+    cfg.numCores = 1;
+    machine::Machine m(cfg, a.assemble(), {optPolicy()});
+    auto res = m.run();
+    EXPECT_EQ(res.totalInstructions, 4u);
+    EXPECT_EQ(m.core(0).archReg(5), 42u);
+    EXPECT_EQ(res.cores.size(), 1u);
+    EXPECT_EQ(res.logs.size(), 1u);
+    EXPECT_EQ(res.logs[0].size(), 1u);
+}
+
+TEST(Machine, InitialDataLandsInMemory)
+{
+    Assembler a;
+    a.data(0x8000, 5);
+    a.li(3, 0x8000);
+    a.ld(4, 3, 0);
+    a.halt();
+    sim::MachineConfig cfg;
+    cfg.numCores = 1;
+    machine::Machine m(cfg, a.assemble(), {optPolicy()});
+    EXPECT_EQ(m.initialMemory().peek(0x8000), 5u);
+    m.run();
+    EXPECT_EQ(m.core(0).archReg(4), 5u);
+}
+
+TEST(Machine, ThreadsGetIdAndCount)
+{
+    Assembler a;
+    a.add(3, 1, 0); // r3 = tid
+    a.add(4, 2, 0); // r4 = nthreads
+    a.halt();
+    sim::MachineConfig cfg;
+    cfg.numCores = 3;
+    machine::Machine m(cfg, a.assemble(), {optPolicy()});
+    m.run();
+    for (sim::CoreId c = 0; c < 3; ++c) {
+        EXPECT_EQ(m.core(c).archReg(3), c);
+        EXPECT_EQ(m.core(c).archReg(4), 3u);
+    }
+}
+
+TEST(Machine, SummaryCountsRetiredLoads)
+{
+    Assembler a;
+    a.li(3, 0x8000);
+    a.ld(4, 3, 0);
+    a.ld(5, 3, 8);
+    a.fadd(6, 4, 3, 16);
+    a.halt();
+    sim::MachineConfig cfg;
+    cfg.numCores = 1;
+    machine::Machine m(cfg, a.assemble(), {optPolicy()});
+    auto res = m.run();
+    EXPECT_EQ(res.cores[0].retiredLoads, 3u); // 2 loads + 1 atomic
+    EXPECT_EQ(res.cores[0].retiredInstructions, 5u);
+}
+
+TEST(Machine, LogInstructionsMatchRetired)
+{
+    Assembler a;
+    a.li(3, 0x8000);
+    a.li(4, 20);
+    a.label("loop");
+    a.st(4, 3, 0);
+    a.ld(5, 3, 0);
+    a.addi(4, 4, -1);
+    a.bne(4, 0, "loop");
+    a.halt();
+    sim::MachineConfig cfg;
+    cfg.numCores = 1;
+    machine::Machine m(cfg, a.assemble(), {optPolicy()});
+    auto res = m.run();
+    rnr::LogStats stats;
+    stats.accumulate(res.logs[0][0]);
+    EXPECT_EQ(stats.instructions(), res.cores[0].retiredInstructions);
+}
+
+TEST(MachineDeathTest, RunTwiceIsABug)
+{
+    Assembler a;
+    a.halt();
+    sim::MachineConfig cfg;
+    cfg.numCores = 1;
+    machine::Machine m(cfg, a.assemble(), {optPolicy()});
+    m.run();
+    EXPECT_DEATH(m.run(), "once");
+}
+
+TEST(MachineDeathTest, NonQuiescingProgramHitsGuard)
+{
+    Assembler a;
+    a.label("forever");
+    a.jmp("forever");
+    sim::MachineConfig cfg;
+    cfg.numCores = 1;
+    machine::Machine m(cfg, a.assemble(), {optPolicy()});
+    EXPECT_EXIT(m.run(10000), testing::ExitedWithCode(1), "quiesce");
+}
+
+TEST(Machine, SixteenCoreConfigWorks)
+{
+    Assembler a;
+    a.li(3, 0x8000);
+    a.slli(4, 1, 3);
+    a.add(4, 4, 3);
+    a.st(1, 4, 0); // each thread writes its tid to its own word
+    a.halt();
+    sim::MachineConfig cfg;
+    cfg.numCores = 16;
+    machine::Machine m(cfg, a.assemble(), {optPolicy()});
+    m.run();
+    for (std::uint64_t t = 0; t < 16; ++t)
+        EXPECT_EQ(m.memory().read64(0x8000 + t * 8), t);
+}
+
+} // namespace

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cross-policy invariants over identical executions. Because the
+ * MrrHub records all four configurations from one TRAQ ("record once,
+ * log many"), the logs describe the very same execution and must obey:
+ *
+ *  - Opt never logs more reordered accesses than Base (at equal
+ *    interval caps): the Snoop Table only filters, never adds.
+ *  - A capped recorder never logs fewer intervals than an uncapped one
+ *    (same mode).
+ *  - Every policy's log replays the same instruction stream: identical
+ *    total instruction counts.
+ *  - Reordered accesses are a subset of the accesses that performed
+ *    out of program order... except stores counted after an interval
+ *    change (perform-at-head still precedes counting), so we check the
+ *    weaker, always-true direction: Opt-reordered <= Base-reordered.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hh"
+#include "rnr/log.hh"
+#include "workloads/kernels.hh"
+
+namespace
+{
+
+using namespace rr;
+
+class PolicyInvariants : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(PolicyInvariants, HoldAcrossConfigurations)
+{
+    workloads::WorkloadParams wp;
+    wp.numThreads = 4;
+    wp.scale = 1;
+    auto w = workloads::buildKernel(GetParam(), wp);
+
+    sim::MachineConfig cfg;
+    cfg.numCores = 4;
+    std::vector<sim::RecorderConfig> policies(4);
+    policies[0] = {sim::RecorderMode::Base, 4096};
+    policies[1] = {sim::RecorderMode::Base, 0};
+    policies[2] = {sim::RecorderMode::Opt, 4096};
+    policies[3] = {sim::RecorderMode::Opt, 0};
+
+    machine::Machine m(cfg, w.program, policies);
+    auto rec = m.run(500'000'000ULL);
+
+    rnr::LogStats stats[4];
+    for (int p = 0; p < 4; ++p) {
+        for (const auto &log : rec.logs[p])
+            stats[p].accumulate(log);
+    }
+
+    // Same execution: every log replays the same instruction stream.
+    for (int p = 0; p < 4; ++p)
+        EXPECT_EQ(stats[p].instructions(), rec.totalInstructions)
+            << "policy " << p;
+
+    // Opt filters Base's reordered set (same interval cap).
+    EXPECT_LE(stats[2].reordered(), stats[0].reordered()); // 4K
+    EXPECT_LE(stats[3].reordered(), stats[1].reordered()); // INF
+
+    // Caps only add interval boundaries.
+    EXPECT_GE(stats[0].intervals, stats[1].intervals); // Base
+    EXPECT_GE(stats[2].intervals, stats[3].intervals); // Opt
+
+    // Opt's log is never larger than Base's at the same cap: same
+    // frames, same or fewer reordered entries, same or fewer blocks.
+    EXPECT_LE(stats[2].totalBits, stats[0].totalBits);
+    EXPECT_LE(stats[3].totalBits, stats[1].totalBits);
+
+    // Reordered accesses cannot exceed the truly out-of-order ones
+    // plus interval-straddling stores; sanity-bound them by the OOO
+    // count plus total stores.
+    std::uint64_t ooo = 0, mem_total = 0;
+    for (sim::CoreId c = 0; c < 4; ++c) {
+        ooo += m.hub(c).stats().counterValue("ooo_loads") +
+               m.hub(c).stats().counterValue("ooo_stores");
+        mem_total += m.hub(c).stats().counterValue("counted_mem");
+    }
+    EXPECT_LE(stats[2].reordered(), mem_total);
+    EXPECT_LE(stats[0].reorderedLoads, mem_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, PolicyInvariants,
+    ::testing::ValuesIn(rr::workloads::kernelNames()),
+    [](const auto &info) {
+        std::string name = info.param;
+        for (auto &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace

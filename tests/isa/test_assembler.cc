@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+
+namespace
+{
+
+using namespace rr::isa;
+
+TEST(Assembler, ResolvesBackwardLabels)
+{
+    Assembler a;
+    a.label("top");
+    a.addi(1, 1, 1);
+    a.jmp("top");
+    Program p = a.assemble();
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(p.code[1].op, Opcode::Jmp);
+    EXPECT_EQ(p.code[1].imm, 0);
+}
+
+TEST(Assembler, ResolvesForwardLabels)
+{
+    Assembler a;
+    a.beq(1, 2, "skip");
+    a.addi(1, 1, 1);
+    a.label("skip");
+    a.halt();
+    Program p = a.assemble();
+    EXPECT_EQ(p.code[0].imm, 2);
+}
+
+TEST(AssemblerDeathTest, UndefinedLabelIsFatal)
+{
+    Assembler a;
+    a.jmp("nowhere");
+    EXPECT_EXIT(a.assemble(), testing::ExitedWithCode(1), "undefined");
+}
+
+TEST(AssemblerDeathTest, DuplicateLabelIsFatal)
+{
+    Assembler a;
+    a.label("x");
+    EXPECT_EXIT(a.label("x"), testing::ExitedWithCode(1), "duplicate");
+}
+
+TEST(Assembler, StoreOperandsMapToRs1Rs2)
+{
+    Assembler a;
+    a.st(7, 6, 24);
+    Program p = a.assemble();
+    EXPECT_EQ(p.code[0].rs1, 6); // base
+    EXPECT_EQ(p.code[0].rs2, 7); // value
+    EXPECT_EQ(p.code[0].imm, 24);
+}
+
+TEST(Assembler, AtomicOperands)
+{
+    Assembler a;
+    a.xchg(3, 4, 5, 8);
+    a.fadd(6, 7, 8, 0);
+    Program p = a.assemble();
+    EXPECT_EQ(p.code[0].op, Opcode::Xchg);
+    EXPECT_EQ(p.code[0].rd, 3);
+    EXPECT_EQ(p.code[0].rs2, 4); // new value
+    EXPECT_EQ(p.code[0].rs1, 5); // base
+    EXPECT_EQ(p.code[1].op, Opcode::Fadd);
+}
+
+TEST(Assembler, EntriesDefaultToZero)
+{
+    Assembler a;
+    a.halt();
+    Program p = a.assemble();
+    EXPECT_EQ(p.entryFor(0), 0u);
+    EXPECT_EQ(p.entryFor(5), 0u);
+}
+
+TEST(Assembler, PerThreadEntries)
+{
+    Assembler a;
+    a.entry(0);
+    a.halt();
+    a.entry(2);
+    a.halt();
+    Program p = a.assemble();
+    EXPECT_EQ(p.entryFor(0), 0u);
+    EXPECT_EQ(p.entryFor(1), 0u); // inherits previous entry
+    EXPECT_EQ(p.entryFor(2), 1u);
+    EXPECT_EQ(p.entryFor(7), 0u); // beyond table: entry 0
+}
+
+TEST(Assembler, DataWordsAreWordAligned)
+{
+    Assembler a;
+    a.data(0x1004, 99); // unaligned: snapped to 0x1000
+    a.halt();
+    Program p = a.assemble();
+    ASSERT_EQ(p.initialData.count(0x1000), 1u);
+    EXPECT_EQ(p.initialData.at(0x1000), 99u);
+}
+
+TEST(Assembler, JalRecordsLinkRegisterAndTarget)
+{
+    Assembler a;
+    a.jal(9, "fn");
+    a.halt();
+    a.label("fn");
+    a.jr(9);
+    Program p = a.assemble();
+    EXPECT_EQ(p.code[0].op, Opcode::Jal);
+    EXPECT_EQ(p.code[0].rd, 9);
+    EXPECT_EQ(p.code[0].imm, 2);
+}
+
+TEST(Assembler, HereTracksPosition)
+{
+    Assembler a;
+    EXPECT_EQ(a.here(), 0u);
+    a.nop();
+    a.nop();
+    EXPECT_EQ(a.here(), 2u);
+}
+
+} // namespace

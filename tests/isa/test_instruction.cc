@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+
+namespace
+{
+
+using namespace rr::isa;
+
+Instruction
+make(Opcode op, Reg rd = 1, Reg rs1 = 2, Reg rs2 = 3, std::int64_t imm = 0)
+{
+    return Instruction{op, rd, rs1, rs2, imm};
+}
+
+TEST(Instruction, Classification)
+{
+    EXPECT_TRUE(make(Opcode::Ld).isLoad());
+    EXPECT_TRUE(make(Opcode::Ld).isMem());
+    EXPECT_TRUE(make(Opcode::St).isStore());
+    EXPECT_TRUE(make(Opcode::Xchg).isAtomic());
+    EXPECT_TRUE(make(Opcode::Fadd).isAtomic());
+    EXPECT_TRUE(make(Opcode::Fadd).isMem());
+    EXPECT_FALSE(make(Opcode::Add).isMem());
+    EXPECT_TRUE(make(Opcode::Fence).isFence());
+    EXPECT_TRUE(make(Opcode::Halt).isHalt());
+}
+
+TEST(Instruction, ControlFlowClassification)
+{
+    EXPECT_TRUE(make(Opcode::Beq).isCondBranch());
+    EXPECT_TRUE(make(Opcode::Bge).isCondBranch());
+    EXPECT_FALSE(make(Opcode::Jmp).isCondBranch());
+    EXPECT_TRUE(make(Opcode::Jmp).isControl());
+    EXPECT_TRUE(make(Opcode::Jal).isControl());
+    EXPECT_TRUE(make(Opcode::Jr).isControl());
+    EXPECT_TRUE(make(Opcode::Jr).isIndirect());
+    EXPECT_FALSE(make(Opcode::Jal).isIndirect());
+    EXPECT_FALSE(make(Opcode::Add).isControl());
+}
+
+TEST(Instruction, RegisterWriteClassification)
+{
+    EXPECT_TRUE(make(Opcode::Add).writesRd());
+    EXPECT_TRUE(make(Opcode::Ld).writesRd());
+    EXPECT_TRUE(make(Opcode::Xchg).writesRd());
+    EXPECT_TRUE(make(Opcode::Jal).writesRd());
+    EXPECT_FALSE(make(Opcode::St).writesRd());
+    EXPECT_FALSE(make(Opcode::Beq).writesRd());
+    EXPECT_FALSE(make(Opcode::Jmp).writesRd());
+    EXPECT_FALSE(make(Opcode::Halt).writesRd());
+    // Writes to r0 are discarded: not a register write.
+    EXPECT_FALSE(make(Opcode::Add, 0).writesRd());
+}
+
+TEST(Instruction, SourceRegisterClassification)
+{
+    EXPECT_TRUE(make(Opcode::Add).readsRs1());
+    EXPECT_TRUE(make(Opcode::Add).readsRs2());
+    EXPECT_TRUE(make(Opcode::Addi).readsRs1());
+    EXPECT_FALSE(make(Opcode::Addi).readsRs2());
+    EXPECT_TRUE(make(Opcode::Ld).readsRs1());
+    EXPECT_FALSE(make(Opcode::Ld).readsRs2());
+    EXPECT_TRUE(make(Opcode::St).readsRs2()); // store data
+    EXPECT_TRUE(make(Opcode::Xchg).readsRs2());
+    EXPECT_FALSE(make(Opcode::Li).readsRs1());
+    EXPECT_FALSE(make(Opcode::Jmp).readsRs1());
+    EXPECT_TRUE(make(Opcode::Jr).readsRs1());
+}
+
+TEST(Instruction, DisassembleFormats)
+{
+    EXPECT_EQ(disassemble(make(Opcode::Add, 3, 1, 2)), "add r3, r1, r2");
+    EXPECT_EQ(disassemble(make(Opcode::Li, 4, 0, 0, -7)), "li r4, -7");
+    EXPECT_EQ(disassemble(make(Opcode::Ld, 5, 6, 0, 16)),
+              "ld r5, 16(r6)");
+    EXPECT_EQ(disassemble(make(Opcode::St, 0, 6, 7, 8)), "st r7, 8(r6)");
+    EXPECT_EQ(disassemble(make(Opcode::Beq, 0, 1, 2, 42)),
+              "beq r1, r2, @42");
+    EXPECT_EQ(disassemble(make(Opcode::Halt)), "halt");
+    EXPECT_EQ(disassemble(make(Opcode::Fadd, 3, 4, 5, 0)),
+              "fadd r3, r5, 0(r4)");
+}
+
+TEST(Instruction, MnemonicsAreUnique)
+{
+    // Spot-check a few; duplicates would break tooling.
+    EXPECT_STRNE(mnemonic(Opcode::Add), mnemonic(Opcode::Addi));
+    EXPECT_STRNE(mnemonic(Opcode::Sll), mnemonic(Opcode::Slli));
+    EXPECT_STRNE(mnemonic(Opcode::Xchg), mnemonic(Opcode::Fadd));
+}
+
+} // namespace

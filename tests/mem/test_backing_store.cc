@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hh"
+
+namespace
+{
+
+using rr::mem::BackingStore;
+
+TEST(BackingStore, UnwrittenReadsZeroWithoutAllocating)
+{
+    BackingStore m;
+    EXPECT_EQ(m.read64(0xdeadbeef00), 0u);
+    EXPECT_EQ(m.numPages(), 0u);
+}
+
+TEST(BackingStore, WriteReadRoundTrip)
+{
+    BackingStore m;
+    m.write64(0x1000, 42);
+    EXPECT_EQ(m.read64(0x1000), 42u);
+    EXPECT_EQ(m.numPages(), 1u);
+}
+
+TEST(BackingStore, UnalignedAddressesSnapToWords)
+{
+    BackingStore m;
+    m.write64(0x1007, 7);
+    EXPECT_EQ(m.read64(0x1000), 7u);
+    EXPECT_EQ(m.read64(0x1001), 7u);
+}
+
+TEST(BackingStore, DistantAddressesAreSparse)
+{
+    BackingStore m;
+    m.write64(0x0, 1);
+    m.write64(1ULL << 40, 2);
+    EXPECT_EQ(m.numPages(), 2u);
+    EXPECT_EQ(m.read64(0x0), 1u);
+    EXPECT_EQ(m.read64(1ULL << 40), 2u);
+}
+
+TEST(BackingStore, FingerprintDetectsDifferences)
+{
+    BackingStore a, b;
+    a.write64(0x1000, 1);
+    b.write64(0x1000, 1);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    b.write64(0x2000, 5);
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(BackingStore, FingerprintIsOrderIndependent)
+{
+    BackingStore a, b;
+    a.write64(0x1000, 1);
+    a.write64(0x9000, 2);
+    b.write64(0x9000, 2);
+    b.write64(0x1000, 1);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(BackingStore, FingerprintIgnoresExplicitZeros)
+{
+    // Writing zero is indistinguishable from never writing: keeps the
+    // fingerprint stable across "touched but zero" pages.
+    BackingStore a, b;
+    a.write64(0x1000, 0);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(BackingStore, CloneIsIndependent)
+{
+    BackingStore a;
+    a.write64(0x1000, 3);
+    BackingStore b = a.clone();
+    b.write64(0x1000, 4);
+    EXPECT_EQ(a.read64(0x1000), 3u);
+    EXPECT_EQ(b.read64(0x1000), 4u);
+}
+
+} // namespace

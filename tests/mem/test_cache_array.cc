@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "mem/cache_array.hh"
+
+namespace
+{
+
+using namespace rr::mem;
+using rr::sim::Addr;
+using rr::sim::CacheConfig;
+using rr::sim::kLineBytes;
+
+// 4 sets x 2 ways x 32B lines = 256B.
+const CacheConfig kSmall{256, 2, 4, 1};
+
+/** n-th distinct line address mapping to a given set (4-set cache). */
+Addr
+lineInSet(std::uint32_t set, std::uint32_t n)
+{
+    return static_cast<Addr>(n * 4 + set) * kLineBytes;
+}
+
+TEST(CacheArray, Geometry)
+{
+    CacheArray c(kSmall);
+    EXPECT_EQ(c.numSets(), 4u);
+    EXPECT_EQ(c.associativity(), 2u);
+}
+
+TEST(CacheArray, MissingLineNotFound)
+{
+    CacheArray c(kSmall);
+    EXPECT_EQ(c.find(0x100), nullptr);
+    EXPECT_EQ(c.stateOf(0x100), MesiState::Invalid);
+}
+
+TEST(CacheArray, InstallThenFind)
+{
+    CacheArray c(kSmall);
+    Addr line = lineInSet(1, 0);
+    CacheArray::Line *way = c.victimFor(line, nullptr);
+    ASSERT_NE(way, nullptr);
+    c.install(*way, line, MesiState::Exclusive);
+    EXPECT_EQ(c.stateOf(line), MesiState::Exclusive);
+    EXPECT_EQ(c.find(line)->tag, line);
+}
+
+TEST(CacheArray, VictimPrefersInvalidWay)
+{
+    CacheArray c(kSmall);
+    Addr l0 = lineInSet(2, 0);
+    CacheArray::Line *w0 = c.victimFor(l0, nullptr);
+    c.install(*w0, l0, MesiState::Shared);
+    // Second install in the same set must not evict the first.
+    Addr l1 = lineInSet(2, 1);
+    CacheArray::Line *w1 = c.victimFor(l1, nullptr);
+    ASSERT_NE(w1, nullptr);
+    EXPECT_FALSE(w1->valid());
+    c.install(*w1, l1, MesiState::Shared);
+    EXPECT_NE(c.find(l0), nullptr);
+    EXPECT_NE(c.find(l1), nullptr);
+}
+
+TEST(CacheArray, LruEviction)
+{
+    CacheArray c(kSmall);
+    Addr l0 = lineInSet(0, 0), l1 = lineInSet(0, 1), l2 = lineInSet(0, 2);
+    c.install(*c.victimFor(l0, nullptr), l0, MesiState::Shared);
+    c.install(*c.victimFor(l1, nullptr), l1, MesiState::Shared);
+    // Touch l0 so l1 becomes LRU.
+    c.touch(*c.find(l0));
+    CacheArray::Line *victim = c.victimFor(l2, nullptr);
+    ASSERT_NE(victim, nullptr);
+    EXPECT_EQ(victim->tag, l1);
+}
+
+TEST(CacheArray, BlockedLinesAreSkipped)
+{
+    CacheArray c(kSmall);
+    Addr l0 = lineInSet(0, 0), l1 = lineInSet(0, 1), l2 = lineInSet(0, 2);
+    c.install(*c.victimFor(l0, nullptr), l0, MesiState::Shared);
+    c.install(*c.victimFor(l1, nullptr), l1, MesiState::Shared);
+    c.touch(*c.find(l0)); // l1 is LRU...
+    auto blocked = [&](Addr a) { return a == l1; }; // ...but pinned
+    CacheArray::Line *victim = c.victimFor(l2, blocked);
+    ASSERT_NE(victim, nullptr);
+    EXPECT_EQ(victim->tag, l0);
+}
+
+TEST(CacheArray, AllWaysBlockedReturnsNull)
+{
+    CacheArray c(kSmall);
+    Addr l0 = lineInSet(0, 0), l1 = lineInSet(0, 1), l2 = lineInSet(0, 2);
+    c.install(*c.victimFor(l0, nullptr), l0, MesiState::Shared);
+    c.install(*c.victimFor(l1, nullptr), l1, MesiState::Shared);
+    auto blocked = [](Addr) { return true; };
+    EXPECT_EQ(c.victimFor(l2, blocked), nullptr);
+}
+
+TEST(CacheArray, DifferentSetsDoNotInterfere)
+{
+    CacheArray c(kSmall);
+    for (std::uint32_t s = 0; s < 4; ++s) {
+        Addr l = lineInSet(s, 0);
+        c.install(*c.victimFor(l, nullptr), l, MesiState::Modified);
+    }
+    for (std::uint32_t s = 0; s < 4; ++s)
+        EXPECT_EQ(c.stateOf(lineInSet(s, 0)), MesiState::Modified);
+}
+
+TEST(CacheArray, ForEachValidVisitsAllLines)
+{
+    CacheArray c(kSmall);
+    c.install(*c.victimFor(lineInSet(0, 0), nullptr), lineInSet(0, 0),
+              MesiState::Shared);
+    c.install(*c.victimFor(lineInSet(3, 0), nullptr), lineInSet(3, 0),
+              MesiState::Modified);
+    int count = 0;
+    c.forEachValid([&](CacheArray::Line &) { ++count; });
+    EXPECT_EQ(count, 2);
+}
+
+TEST(CacheArray, MesiStateNames)
+{
+    EXPECT_STREQ(toString(MesiState::Invalid), "I");
+    EXPECT_STREQ(toString(MesiState::Shared), "S");
+    EXPECT_STREQ(toString(MesiState::Exclusive), "E");
+    EXPECT_STREQ(toString(MesiState::Modified), "M");
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "rnr/bitstream.hh"
+#include "sim/rng.hh"
+
+namespace
+{
+
+using rr::rnr::BitReader;
+using rr::rnr::BitWriter;
+
+TEST(BitStream, SingleFieldRoundTrip)
+{
+    BitWriter w;
+    w.write(0b101, 3);
+    EXPECT_EQ(w.bitCount(), 3u);
+    BitReader r(w.bytes(), w.bitCount());
+    EXPECT_EQ(r.read(3), 0b101u);
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(BitStream, UnalignedFieldsRoundTrip)
+{
+    BitWriter w;
+    w.write(0x5, 3);
+    w.write(0x1234, 16);
+    w.write(1, 1);
+    w.write(0xdeadbeefcafef00dULL, 64);
+    BitReader r(w.bytes(), w.bitCount());
+    EXPECT_EQ(r.read(3), 0x5u);
+    EXPECT_EQ(r.read(16), 0x1234u);
+    EXPECT_EQ(r.read(1), 1u);
+    EXPECT_EQ(r.read(64), 0xdeadbeefcafef00dULL);
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(BitStream, FullWidth64)
+{
+    BitWriter w;
+    w.write(~0ULL, 64);
+    BitReader r(w.bytes(), w.bitCount());
+    EXPECT_EQ(r.read(64), ~0ULL);
+}
+
+TEST(BitStream, RandomizedRoundTrip)
+{
+    rr::sim::Rng rng(42);
+    BitWriter w;
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> fields;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint32_t width =
+            1 + static_cast<std::uint32_t>(rng.below(64));
+        const std::uint64_t value =
+            width == 64 ? rng.next() : rng.next() & ((1ULL << width) - 1);
+        fields.emplace_back(value, width);
+        w.write(value, width);
+    }
+    BitReader r(w.bytes(), w.bitCount());
+    for (const auto &[value, width] : fields)
+        ASSERT_EQ(r.read(width), value);
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(BitStream, ByteCountIsCeilOfBits)
+{
+    BitWriter w;
+    w.write(1, 9);
+    EXPECT_EQ(w.bytes().size(), 2u);
+}
+
+TEST(BitStreamDeathTest, OversizedValueIsRejected)
+{
+    BitWriter w;
+    EXPECT_DEATH(w.write(8, 3), "fit");
+}
+
+TEST(BitStreamDeathTest, UnderrunIsRejected)
+{
+    BitWriter w;
+    w.write(1, 4);
+    BitReader r(w.bytes(), w.bitCount());
+    r.read(4);
+    EXPECT_DEATH(r.read(1), "underrun");
+}
+
+} // namespace

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "rnr/log.hh"
+#include "sim/rng.hh"
+
+namespace
+{
+
+using namespace rr::rnr;
+
+CoreLog
+sampleLog()
+{
+    CoreLog log;
+    IntervalRecord iv0;
+    iv0.entries.push_back(LogEntry::inorderBlock(10));
+    iv0.entries.push_back(LogEntry::reorderedLoad(0x1122334455667788ULL));
+    iv0.entries.push_back(LogEntry::inorderBlock(3));
+    iv0.cisn = 0;
+    iv0.timestamp = 100;
+    log.intervals.push_back(iv0);
+
+    IntervalRecord iv1;
+    iv1.entries.push_back(
+        LogEntry::reorderedStore(0x2000, 0xabcdef, 1));
+    iv1.entries.push_back(
+        LogEntry::reorderedAtomic(0x3000, 1, 2, 1));
+    iv1.entries.push_back(LogEntry::inorderBlock(7));
+    iv1.cisn = 1;
+    iv1.timestamp = 250;
+    log.intervals.push_back(iv1);
+    return log;
+}
+
+TEST(Log, EntrySizesMatchFormat)
+{
+    // type tag 3 bits; fields per Figure 6c.
+    EXPECT_EQ(LogEntry::inorderBlock(1).sizeBits(), 3u + 32);
+    EXPECT_EQ(LogEntry::reorderedLoad(1).sizeBits(), 3u + 64);
+    EXPECT_EQ(LogEntry::reorderedStore(1, 1, 1).sizeBits(),
+              3u + 48 + 64 + 16);
+    EXPECT_EQ(LogEntry::reorderedAtomic(1, 1, 1, 1).sizeBits(),
+              3u + 48 + 64 + 64 + 16);
+    EXPECT_EQ(LogEntry::patchedStore(1, 1).sizeBits(), 3u + 48 + 64);
+    EXPECT_EQ(LogEntry::dummyStore().sizeBits(), 3u);
+    EXPECT_EQ(LogEntry::dummyAtomic(1).sizeBits(), 3u + 64);
+}
+
+TEST(Log, IntervalSizeIncludesFrame)
+{
+    IntervalRecord iv;
+    iv.entries.push_back(LogEntry::inorderBlock(4));
+    // frame = 3 (tag) + 16 (cisn) + 64 (timestamp)
+    EXPECT_EQ(iv.sizeBits(), (3u + 32) + (3u + 16 + 64));
+}
+
+TEST(Log, StatsAccumulate)
+{
+    LogStats stats;
+    stats.accumulate(sampleLog());
+    EXPECT_EQ(stats.intervals, 2u);
+    EXPECT_EQ(stats.inorderBlocks, 3u);
+    EXPECT_EQ(stats.inorderInstructions, 20u);
+    EXPECT_EQ(stats.reorderedLoads, 1u);
+    EXPECT_EQ(stats.reorderedStores, 1u);
+    EXPECT_EQ(stats.reorderedAtomics, 1u);
+    EXPECT_EQ(stats.reordered(), 3u);
+    EXPECT_EQ(stats.instructions(), 23u);
+    EXPECT_EQ(stats.totalBits, sampleLog().sizeBits());
+}
+
+TEST(Log, StatsAddition)
+{
+    LogStats a, b;
+    a.accumulate(sampleLog());
+    b.accumulate(sampleLog());
+    b += a;
+    EXPECT_EQ(b.intervals, 4u);
+    EXPECT_EQ(b.reordered(), 6u);
+}
+
+TEST(Log, PackUnpackRoundTrip)
+{
+    const CoreLog log = sampleLog();
+    const PackedLog packed = pack(log);
+    EXPECT_EQ(packed.bitCount, log.sizeBits() + 1); // +layout bit
+    const CoreLog back = unpack(packed);
+    ASSERT_EQ(back.intervals.size(), log.intervals.size());
+    for (std::size_t i = 0; i < log.intervals.size(); ++i) {
+        EXPECT_EQ(back.intervals[i].entries, log.intervals[i].entries);
+        EXPECT_EQ(back.intervals[i].cisn, log.intervals[i].cisn);
+        EXPECT_EQ(back.intervals[i].timestamp,
+                  log.intervals[i].timestamp);
+    }
+}
+
+TEST(Log, PackUnpackPatchedEntries)
+{
+    CoreLog log;
+    IntervalRecord iv;
+    iv.entries.push_back(LogEntry::patchedStore(0x4000, 77));
+    iv.entries.push_back(LogEntry::dummyStore());
+    iv.entries.push_back(LogEntry::dummyAtomic(88));
+    iv.cisn = 0;
+    iv.timestamp = 5;
+    log.intervals.push_back(iv);
+    const CoreLog back = unpack(pack(log));
+    EXPECT_EQ(back.intervals[0].entries, log.intervals[0].entries);
+}
+
+TEST(Log, RandomizedPackUnpack)
+{
+    rr::sim::Rng rng(99);
+    CoreLog log;
+    for (int i = 0; i < 50; ++i) {
+        IntervalRecord iv;
+        const int n = 1 + static_cast<int>(rng.below(6));
+        for (int e = 0; e < n; ++e) {
+            switch (rng.below(4)) {
+              case 0:
+                iv.entries.push_back(
+                    LogEntry::inorderBlock(rng.below(100000)));
+                break;
+              case 1:
+                iv.entries.push_back(LogEntry::reorderedLoad(rng.next()));
+                break;
+              case 2:
+                iv.entries.push_back(LogEntry::reorderedStore(
+                    rng.next() & 0xffffffffffffULL, rng.next(),
+                    1 + static_cast<std::uint32_t>(rng.below(100))));
+                break;
+              default:
+                iv.entries.push_back(LogEntry::reorderedAtomic(
+                    rng.next() & 0xffffffffffffULL, rng.next(),
+                    rng.next(),
+                    1 + static_cast<std::uint32_t>(rng.below(100))));
+                break;
+            }
+        }
+        iv.cisn = static_cast<rr::sim::Isn>(i);
+        iv.timestamp = rng.next();
+        log.intervals.push_back(iv);
+    }
+    const CoreLog back = unpack(pack(log));
+    ASSERT_EQ(back.intervals.size(), log.intervals.size());
+    for (std::size_t i = 0; i < log.intervals.size(); ++i)
+        EXPECT_EQ(back.intervals[i].entries, log.intervals[i].entries);
+}
+
+TEST(Log, EntryKindNames)
+{
+    EXPECT_STREQ(toString(EntryKind::InorderBlock), "InorderBlock");
+    EXPECT_STREQ(toString(EntryKind::ReorderedLoad), "ReorderedLoad");
+    EXPECT_STREQ(toString(EntryKind::PatchedStore), "PatchedStore");
+}
+
+} // namespace

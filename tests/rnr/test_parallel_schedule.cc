@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "rnr/parallel_schedule.hh"
+
+namespace
+{
+
+using namespace rr::rnr;
+
+IntervalRecord
+interval(std::uint64_t ts, std::uint64_t block,
+         std::vector<IntervalDep> preds = {})
+{
+    IntervalRecord iv;
+    iv.entries.push_back(LogEntry::inorderBlock(block));
+    iv.timestamp = ts;
+    iv.predecessors = std::move(preds);
+    return iv;
+}
+
+ReplayCostModel
+unitCost()
+{
+    ReplayCostModel m;
+    m.replayIpc = 1.0;
+    m.interruptCost = 0;
+    m.perEntryCost = 0;
+    m.perReorderedCost = 0;
+    m.perIntervalCost = 0;
+    return m;
+}
+
+TEST(ParallelSchedule, IndependentCoresRunConcurrently)
+{
+    std::vector<CoreLog> logs(2);
+    logs[0].intervals.push_back(interval(1, 100));
+    logs[1].intervals.push_back(interval(2, 100));
+    const auto s = buildParallelSchedule(logs, unitCost());
+    EXPECT_EQ(s.totalWork, 200u);
+    EXPECT_EQ(s.makespan, 100u); // fully parallel
+    EXPECT_DOUBLE_EQ(s.speedup(), 2.0);
+    EXPECT_EQ(s.edges, 0u);
+}
+
+TEST(ParallelSchedule, EdgesSerialize)
+{
+    std::vector<CoreLog> logs(2);
+    logs[0].intervals.push_back(interval(1, 100));
+    logs[1].intervals.push_back(interval(2, 100, {{0, 0}}));
+    const auto s = buildParallelSchedule(logs, unitCost());
+    EXPECT_EQ(s.makespan, 200u); // chained by the edge
+    EXPECT_EQ(s.edges, 1u);
+}
+
+TEST(ParallelSchedule, SameCoreChainIsImplicit)
+{
+    std::vector<CoreLog> logs(1);
+    logs[0].intervals.push_back(interval(1, 50));
+    logs[0].intervals.push_back(interval(2, 70));
+    const auto s = buildParallelSchedule(logs, unitCost());
+    EXPECT_EQ(s.makespan, 120u);
+}
+
+TEST(ParallelSchedule, DiamondDependency)
+{
+    // c0: A (ts1). c1: B after A (ts2). c2: C after A (ts3).
+    // c0: D after B and C (ts4, second interval of core 0).
+    std::vector<CoreLog> logs(3);
+    logs[0].intervals.push_back(interval(1, 100));                // A
+    logs[1].intervals.push_back(interval(2, 30, {{0, 0}}));       // B
+    logs[2].intervals.push_back(interval(3, 60, {{0, 0}}));       // C
+    logs[0].intervals.push_back(interval(4, 10, {{1, 0}, {2, 0}})); // D
+    const auto s = buildParallelSchedule(logs, unitCost());
+    // A: 0-100, B: 100-130, C: 100-160, D: 160-170.
+    EXPECT_EQ(s.makespan, 170u);
+    EXPECT_EQ(s.totalWork, 200u);
+}
+
+TEST(ParallelSchedule, OrderIsTopological)
+{
+    std::vector<CoreLog> logs(2);
+    logs[0].intervals.push_back(interval(1, 100));
+    logs[1].intervals.push_back(interval(2, 1, {{0, 0}}));
+    logs[0].intervals.push_back(interval(3, 1));
+    const auto s = buildParallelSchedule(logs, unitCost());
+    // Walk the order; maintain executed set and check preds.
+    std::vector<std::uint32_t> done(2, 0);
+    for (const auto &node : s.order) {
+        const auto &iv = logs[node.core].intervals[node.index];
+        EXPECT_EQ(done[node.core], node.index);
+        for (const auto &d : iv.predecessors)
+            EXPECT_GT(done[d.core], d.isn);
+        ++done[node.core];
+    }
+}
+
+TEST(ParallelSchedule, CostModelComponents)
+{
+    ReplayCostModel m;
+    m.replayIpc = 2.0;
+    m.interruptCost = 10;
+    m.perEntryCost = 1;
+    m.perReorderedCost = 5;
+    m.perIntervalCost = 100;
+    IntervalRecord iv;
+    iv.entries.push_back(LogEntry::inorderBlock(20)); // 10 + 10 + 1
+    iv.entries.push_back(LogEntry::reorderedLoad(1)); // 5 + 1
+    EXPECT_EQ(intervalReplayCost(iv, m), 100u + 21 + 6);
+}
+
+TEST(ParallelScheduleDeathTest, EdgeEscapingLogsIsRejected)
+{
+    std::vector<CoreLog> logs(1);
+    logs[0].intervals.push_back(interval(1, 10, {{0, 5}}));
+    EXPECT_DEATH(buildParallelSchedule(logs, unitCost()), "escapes");
+}
+
+} // namespace

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/rng.hh"
+
+namespace
+{
+
+using rr::sim::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(7);
+    const std::uint64_t first = a.next();
+    a.next();
+    a.reseed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = r.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 3u); // all three values appear
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.uniform();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(r.chance(5, 5));
+        EXPECT_FALSE(r.chance(0, 5));
+    }
+}
+
+TEST(Rng, BitsLookBalanced)
+{
+    Rng r(13);
+    int ones = 0;
+    for (int i = 0; i < 1000; ++i)
+        ones += __builtin_popcountll(r.next());
+    // 64000 bits, expect ~32000 ones.
+    EXPECT_NEAR(ones, 32000, 1200);
+}
+
+} // namespace

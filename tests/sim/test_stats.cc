@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace
+{
+
+using namespace rr::sim;
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    c++;
+    EXPECT_EQ(c.value(), 7u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ScalarStat, TracksMeanMinMax)
+{
+    ScalarStat s;
+    EXPECT_EQ(s.mean(), 0.0);
+    s.sample(2.0);
+    s.sample(4.0);
+    s.sample(9.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(ScalarStat, SingleSampleIsMinAndMax)
+{
+    ScalarStat s;
+    s.sample(-3.5);
+    EXPECT_DOUBLE_EQ(s.min(), -3.5);
+    EXPECT_DOUBLE_EQ(s.max(), -3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), -3.5);
+}
+
+TEST(Histogram, BinsByWidth)
+{
+    Histogram h(10, 3); // bins [0,10) [10,20) [20,30) + overflow
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(25);
+    h.sample(1000); // overflow
+    EXPECT_EQ(h.numBins(), 4u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(2), 1u);
+    EXPECT_EQ(h.binCount(3), 1u);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_DOUBLE_EQ(h.binFraction(0), 0.4);
+}
+
+TEST(Histogram, ExactBoundaryGoesToUpperBin)
+{
+    Histogram h(10, 5);
+    h.sample(10);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(0), 0u);
+}
+
+TEST(StatSet, CounterValueForMissingNameIsZero)
+{
+    StatSet s("x");
+    EXPECT_EQ(s.counterValue("nope"), 0u);
+    s.counter("hits") += 3;
+    EXPECT_EQ(s.counterValue("hits"), 3u);
+}
+
+TEST(StatSet, PrintIncludesNames)
+{
+    StatSet s("unit");
+    s.counter("events") += 2;
+    s.scalar("occ").sample(1.0);
+    std::ostringstream os;
+    s.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("unit.events 2"), std::string::npos);
+    EXPECT_NE(out.find("unit.occ"), std::string::npos);
+}
+
+} // namespace

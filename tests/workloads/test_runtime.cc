@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "machine/machine.hh"
+#include "workloads/runtime.hh"
+
+namespace
+{
+
+using namespace rr;
+using workloads::KernelBuilder;
+using workloads::WorkloadParams;
+
+sim::RecorderConfig
+optPolicy()
+{
+    sim::RecorderConfig rc;
+    rc.mode = sim::RecorderMode::Opt;
+    return rc;
+}
+
+machine::RecordingResult
+runOn(const workloads::Workload &w)
+{
+    sim::MachineConfig cfg;
+    cfg.numCores = w.numThreads;
+    machine::Machine m(cfg, w.program, {optPolicy()});
+    return m.run(50'000'000ULL);
+}
+
+TEST(KernelBuilder, AllocGivesLineSeparatedRegions)
+{
+    WorkloadParams p;
+    p.numThreads = 2;
+    KernelBuilder k("t", p);
+    const sim::Addr a = k.alloc("a", 1);
+    const sim::Addr b = k.alloc("b", 1);
+    EXPECT_EQ(a % sim::kLineBytes, 0u);
+    EXPECT_EQ(b % sim::kLineBytes, 0u);
+    EXPECT_FALSE(sim::sameLine(a, b));
+    EXPECT_EQ(k.region("a"), a);
+}
+
+TEST(KernelBuilderDeathTest, DuplicateRegionIsFatal)
+{
+    WorkloadParams p;
+    p.numThreads = 1;
+    KernelBuilder k("t", p);
+    k.alloc("a", 1);
+    EXPECT_DEATH(k.alloc("a", 1), "twice");
+}
+
+TEST(KernelBuilder, UniqLabelsAreUnique)
+{
+    WorkloadParams p;
+    p.numThreads = 1;
+    KernelBuilder k("t", p);
+    EXPECT_NE(k.uniq("x"), k.uniq("x"));
+}
+
+TEST(Runtime, LockProvidesMutualExclusion)
+{
+    // 4 threads each do 50 unlocked-unsafe increments of a shared word,
+    // but under the lock, so the final count must be exact.
+    WorkloadParams p;
+    p.numThreads = 4;
+    KernelBuilder k("locktest", p);
+    auto &a = k.a();
+    const sim::Addr lock = k.alloc("lock", 1);
+    const sim::Addr counter = k.alloc("counter", 1);
+    const int iters = 50;
+
+    k.emitPreamble();
+    k.loadImm(10, lock);
+    k.loadImm(11, counter);
+    a.li(3, iters);
+    a.label("loop");
+    k.lockAcquire(10);
+    a.ld(4, 11, 0);
+    a.addi(4, 4, 1);
+    a.st(4, 11, 0);
+    k.lockRelease(10);
+    a.addi(3, 3, -1);
+    a.bne(3, 0, "loop");
+    a.halt();
+
+    auto w = k.finish();
+    auto res = runOn(w);
+    (void)res;
+    sim::MachineConfig cfg;
+    cfg.numCores = 4;
+    machine::Machine m(cfg, w.program, {optPolicy()});
+    m.run(50'000'000ULL);
+    EXPECT_EQ(m.memory().read64(counter),
+              static_cast<std::uint64_t>(4 * iters));
+}
+
+TEST(Runtime, BarrierSeparatesPhases)
+{
+    // Each thread writes its slot, barriers, then sums all slots. Every
+    // thread must observe every other thread's write.
+    WorkloadParams p;
+    p.numThreads = 4;
+    KernelBuilder k("bartest", p);
+    auto &a = k.a();
+    const sim::Addr slots = k.alloc("slots", 4 * 4); // line per thread
+    const sim::Addr sums = k.alloc("sums", 4 * 4);
+
+    k.emitPreamble();
+    k.loadImm(10, slots);
+    k.loadImm(11, sums);
+    // slots[tid] = tid + 1
+    a.slli(3, 1, 5);
+    a.add(3, 3, 10);
+    a.addi(4, 1, 1);
+    a.st(4, 3, 0);
+    k.barrier();
+    // sum all slots
+    a.li(5, 0);
+    a.li(6, 0);
+    a.label("sum");
+    a.slli(3, 6, 5);
+    a.add(3, 3, 10);
+    a.ld(4, 3, 0);
+    a.add(5, 5, 4);
+    a.addi(6, 6, 1);
+    a.blt(6, 2, "sum");
+    // publish my sum
+    a.slli(3, 1, 5);
+    a.add(3, 3, 11);
+    a.st(5, 3, 0);
+    a.halt();
+
+    auto w = k.finish();
+    sim::MachineConfig cfg;
+    cfg.numCores = 4;
+    machine::Machine m(cfg, w.program, {optPolicy()});
+    m.run(50'000'000ULL);
+    for (std::uint32_t t = 0; t < 4; ++t)
+        EXPECT_EQ(m.memory().read64(sums + t * 32), 10u) << "thread " << t;
+}
+
+TEST(Runtime, BarrierIsReusable)
+{
+    // Alternating produce/consume over 6 barrier-separated rounds.
+    WorkloadParams p;
+    p.numThreads = 2;
+    KernelBuilder k("barloop", p);
+    auto &a = k.a();
+    const sim::Addr cell = k.alloc("cell", 1);
+
+    k.emitPreamble();
+    k.loadImm(10, cell);
+    a.li(3, 0); // round
+    a.label("round");
+    // Thread 0 writes round+1; thread 1 checks it after the barrier.
+    a.bne(1, 0, "wait");
+    a.addi(4, 3, 1);
+    a.st(4, 10, 0);
+    a.label("wait");
+    k.barrier();
+    a.ld(5, 10, 0);
+    a.addi(6, 3, 1);
+    a.beq(5, 6, "ok");
+    a.li(7, 999); // error marker
+    a.label("ok");
+    k.barrier();
+    a.addi(3, 3, 1);
+    a.li(4, 6);
+    a.blt(3, 4, "round");
+    a.halt();
+
+    auto w = k.finish();
+    sim::MachineConfig cfg;
+    cfg.numCores = 2;
+    machine::Machine m(cfg, w.program, {optPolicy()});
+    m.run(50'000'000ULL);
+    EXPECT_EQ(m.core(0).archReg(7), 0u);
+    EXPECT_EQ(m.core(1).archReg(7), 0u);
+}
+
+} // namespace

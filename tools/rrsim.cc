@@ -1,0 +1,311 @@
+/**
+ * @file
+ * rrsim — command-line driver for the RelaxReplay platform.
+ *
+ *   rrsim list
+ *       List the bundled workloads.
+ *   rrsim record <kernel> [--cores N] [--scale S] [--mode base|opt]
+ *                [--interval CAP|inf] [--deps] [--out FILE]
+ *       Record a kernel; print recording statistics; optionally save
+ *       the packed per-core logs to FILE (a simple container).
+ *   rrsim replay <kernel> [--cores N] [--scale S] [--mode ...]
+ *                [--interval ...] [--parallel]
+ *       Record, then replay (sequentially or in dependency-DAG order)
+ *       and verify determinism.
+ *   rrsim inspect <kernel> [...]
+ *       Record and dump the first intervals of core 0's log.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "machine/machine.hh"
+#include "rnr/parallel_schedule.hh"
+#include "rnr/patcher.hh"
+#include "rnr/replayer.hh"
+#include "workloads/kernels.hh"
+
+using namespace rr;
+
+namespace
+{
+
+struct Options
+{
+    std::string command;
+    std::string kernel;
+    std::uint32_t cores = 8;
+    std::uint64_t scale = 1;
+    sim::RecorderMode mode = sim::RecorderMode::Opt;
+    std::uint64_t interval = 0; // INF
+    bool deps = false;
+    bool parallel = false;
+    std::string outFile;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: rrsim <list|record|replay|inspect> [kernel] [options]\n"
+        "  --cores N        cores/threads (default 8)\n"
+        "  --scale S        problem-size multiplier (default 1)\n"
+        "  --mode base|opt  recorder design (default opt)\n"
+        "  --interval N|inf max interval size (default inf)\n"
+        "  --deps           record dependency edges (parallel replay)\n"
+        "  --parallel       replay in dependency-DAG order\n"
+        "  --out FILE       save packed logs (record)\n");
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    if (argc < 2)
+        usage();
+    o.command = argv[1];
+    int i = 2;
+    if (o.command != "list") {
+        if (argc < 3)
+            usage();
+        o.kernel = argv[2];
+        i = 3;
+    }
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (arg == "--cores") {
+            o.cores = static_cast<std::uint32_t>(std::stoul(next()));
+        } else if (arg == "--scale") {
+            o.scale = std::stoull(next());
+        } else if (arg == "--mode") {
+            const std::string m = next();
+            if (m == "base")
+                o.mode = sim::RecorderMode::Base;
+            else if (m == "opt")
+                o.mode = sim::RecorderMode::Opt;
+            else
+                usage();
+        } else if (arg == "--interval") {
+            const std::string v = next();
+            o.interval = v == "inf" ? 0 : std::stoull(v);
+        } else if (arg == "--deps") {
+            o.deps = true;
+        } else if (arg == "--parallel") {
+            o.parallel = true;
+            o.deps = true;
+        } else if (arg == "--out") {
+            o.outFile = next();
+        } else {
+            usage();
+        }
+    }
+    return o;
+}
+
+struct Run
+{
+    workloads::Workload workload;
+    std::unique_ptr<machine::Machine> machine;
+    mem::BackingStore initial;
+    machine::RecordingResult rec;
+};
+
+Run
+record(const Options &o)
+{
+    workloads::WorkloadParams wp;
+    wp.numThreads = o.cores;
+    wp.scale = o.scale;
+    Run run;
+    run.workload = workloads::buildKernel(o.kernel, wp);
+
+    sim::MachineConfig cfg;
+    cfg.numCores = o.cores;
+    std::vector<sim::RecorderConfig> policies(1);
+    policies[0].mode = o.mode;
+    policies[0].maxIntervalInstructions = o.interval;
+    policies[0].recordDependencies = o.deps;
+
+    run.machine = std::make_unique<machine::Machine>(
+        cfg, run.workload.program, policies);
+    run.initial = run.machine->initialMemory();
+    run.rec = run.machine->run();
+    return run;
+}
+
+void
+printRecordingStats(const Run &run, const Options &o)
+{
+    rnr::LogStats stats;
+    for (const auto &log : run.rec.logs[0])
+        stats.accumulate(log);
+    std::printf("kernel          %s (scale %llu, %u cores)\n",
+                o.kernel.c_str(), (unsigned long long)o.scale, o.cores);
+    std::printf("recorder        RelaxReplay_%s, interval cap %s%s\n",
+                sim::toString(o.mode),
+                o.interval ? std::to_string(o.interval).c_str() : "INF",
+                o.deps ? ", dependency edges" : "");
+    std::printf("instructions    %llu in %llu cycles (IPC/core %.2f)\n",
+                (unsigned long long)run.rec.totalInstructions,
+                (unsigned long long)run.rec.cycles,
+                (double)run.rec.totalInstructions / run.rec.cycles /
+                    o.cores);
+    std::printf("intervals       %llu\n",
+                (unsigned long long)stats.intervals);
+    std::printf("reordered       %llu accesses (%.4f%% of all "
+                "instructions)\n",
+                (unsigned long long)stats.reordered(),
+                100.0 * stats.reordered() /
+                    std::max<std::uint64_t>(
+                        1, stats.reordered() +
+                               stats.inorderInstructions));
+    std::printf("log size        %llu bits (%.1f bits/kinst, "
+                "%.1f MB/s at 2GHz)\n",
+                (unsigned long long)stats.totalBits,
+                1000.0 * stats.totalBits / run.rec.totalInstructions,
+                (double)stats.totalBits / run.rec.cycles * 2e9 / 8e6);
+}
+
+int
+cmdRecord(const Options &o)
+{
+    Run run = record(o);
+    printRecordingStats(run, o);
+    if (!o.outFile.empty()) {
+        std::ofstream out(o.outFile, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s\n", o.outFile.c_str());
+            return 1;
+        }
+        for (const auto &log : run.rec.logs[0]) {
+            const auto packed = rnr::pack(log);
+            const std::uint64_t bits = packed.bitCount;
+            const std::uint64_t bytes = packed.bytes.size();
+            out.write(reinterpret_cast<const char *>(&bits), 8);
+            out.write(reinterpret_cast<const char *>(&bytes), 8);
+            out.write(
+                reinterpret_cast<const char *>(packed.bytes.data()),
+                static_cast<std::streamsize>(bytes));
+        }
+        std::printf("logs saved      %s\n", o.outFile.c_str());
+    }
+    return 0;
+}
+
+int
+cmdReplay(const Options &o)
+{
+    Run run = record(o);
+    printRecordingStats(run, o);
+
+    std::vector<rnr::CoreLog> patched;
+    for (const auto &log : run.rec.logs[0])
+        patched.push_back(rnr::patch(log));
+
+    rnr::Replayer rep(run.workload.program, patched,
+                      run.initial.clone());
+    rnr::ReplayResult res;
+    if (o.parallel) {
+        const auto sched = rnr::buildParallelSchedule(patched);
+        std::vector<rnr::Replayer::OrderItem> order;
+        for (const auto &node : sched.order)
+            order.push_back({node.core, node.index});
+        res = rep.runInOrder(order);
+        std::printf("parallel replay %llu-cycle makespan, speedup "
+                    "%.2fx over sequential (%llu edges)\n",
+                    (unsigned long long)sched.makespan, sched.speedup(),
+                    (unsigned long long)sched.edges);
+    } else {
+        res = rep.run();
+        std::printf("sequential replay estimate: %llu user + %llu os "
+                    "cycles (%.1fx recording)\n",
+                    (unsigned long long)res.cost.userCycles,
+                    (unsigned long long)res.cost.osCycles,
+                    (double)res.cost.total() / run.rec.cycles);
+    }
+
+    const bool ok =
+        res.memory.fingerprint() == run.rec.memoryFingerprint &&
+        res.instructions == run.rec.totalInstructions;
+    std::printf("determinism     %s (%llu instructions replayed)\n",
+                ok ? "OK" : "MISMATCH",
+                (unsigned long long)res.instructions);
+    return ok ? 0 : 1;
+}
+
+int
+cmdInspect(const Options &o)
+{
+    Run run = record(o);
+    printRecordingStats(run, o);
+    const auto &log = run.rec.logs[0][0];
+    const std::size_t show = std::min<std::size_t>(8, log.intervals.size());
+    std::printf("\nfirst %zu intervals of core 0:\n", show);
+    for (std::size_t i = 0; i < show; ++i) {
+        const auto &iv = log.intervals[i];
+        std::printf("  interval %zu (ts %llu)", i,
+                    (unsigned long long)iv.timestamp);
+        for (const auto &d : iv.predecessors)
+            std::printf(" [after core%u#%llu]", d.core,
+                        (unsigned long long)d.isn);
+        std::printf(":\n");
+        for (const auto &e : iv.entries) {
+            switch (e.kind) {
+              case rnr::EntryKind::InorderBlock:
+                std::printf("    InorderBlock    %llu instructions\n",
+                            (unsigned long long)e.blockSize);
+                break;
+              case rnr::EntryKind::ReorderedLoad:
+                std::printf("    ReorderedLoad   value=%llu\n",
+                            (unsigned long long)e.loadValue);
+                break;
+              case rnr::EntryKind::ReorderedStore:
+                std::printf("    ReorderedStore  addr=0x%llx value=%llu "
+                            "offset=%u\n",
+                            (unsigned long long)e.addr,
+                            (unsigned long long)e.storeValue, e.offset);
+                break;
+              case rnr::EntryKind::ReorderedAtomic:
+                std::printf("    ReorderedAtomic addr=0x%llx old=%llu "
+                            "new=%llu offset=%u\n",
+                            (unsigned long long)e.addr,
+                            (unsigned long long)e.loadValue,
+                            (unsigned long long)e.storeValue, e.offset);
+                break;
+              default:
+                std::printf("    %s\n", rnr::toString(e.kind));
+                break;
+            }
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parse(argc, argv);
+    if (o.command == "list") {
+        for (const auto &name : workloads::kernelNames())
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+    if (o.command == "record")
+        return cmdRecord(o);
+    if (o.command == "replay")
+        return cmdReplay(o);
+    if (o.command == "inspect")
+        return cmdInspect(o);
+    usage();
+}

@@ -12,22 +12,26 @@
 #include "bench/common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rrbench;
+    const BenchOptions opt = parseBenchOptions(argc, argv);
 
     printTitle("Ablation: Section 4.3 dirty-eviction bump "
                "(Opt-INF, 8 cores)");
+
+    std::vector<rr::sim::RecorderConfig> pol(2);
+    pol[0].mode = rr::sim::RecorderMode::Opt;
+    pol[1].mode = rr::sim::RecorderMode::Opt;
+    pol[1].directoryEvictionBump = true;
+    const std::vector<Recorded> suite = recordSuite(8, pol, opt);
+
     printColumns({"app", "snoopy reord%", "directory reord%",
                   "snoopy bits/ki", "dir bits/ki"});
-
     double s_sum = 0, d_sum = 0;
-    for (const App &app : apps()) {
-        std::vector<rr::sim::RecorderConfig> pol(2);
-        pol[0].mode = rr::sim::RecorderMode::Opt;
-        pol[1].mode = rr::sim::RecorderMode::Opt;
-        pol[1].directoryEvictionBump = true;
-        Recorded r = record(app, 8, pol);
+    for (std::size_t i = 0; i < apps().size(); ++i) {
+        const App &app = apps()[i];
+        const Recorded &r = suite[i];
         const double mem = static_cast<double>(r.countedMem());
         const double s = 100.0 * r.logStats(0).reordered() / mem;
         const double d = 100.0 * r.logStats(1).reordered() / mem;

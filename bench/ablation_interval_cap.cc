@@ -11,24 +11,32 @@
 #include "bench/common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rrbench;
+    const BenchOptions opt = parseBenchOptions(argc, argv);
 
     const std::uint64_t caps[] = {256, 1024, 4096, 16384, 65536, 0};
     const App fft{"fft", 8};
 
     printTitle("Ablation: max interval size (fft, 8 cores)");
-    printColumns({"cap", "intervals", "Base reord%", "Base bits/ki",
-                  "Opt bits/ki"});
 
+    std::vector<RecordJob> jobs;
     for (std::uint64_t cap : caps) {
         std::vector<rr::sim::RecorderConfig> pol(2);
         pol[0].mode = rr::sim::RecorderMode::Base;
         pol[0].maxIntervalInstructions = cap;
         pol[1].mode = rr::sim::RecorderMode::Opt;
         pol[1].maxIntervalInstructions = cap;
-        Recorded r = record(fft, 8, pol);
+        jobs.push_back({fft, 8, pol});
+    }
+    const std::vector<Recorded> runs = recordAll(jobs, opt);
+
+    printColumns({"cap", "intervals", "Base reord%", "Base bits/ki",
+                  "Opt bits/ki"});
+    for (std::size_t i = 0; i < std::size(caps); ++i) {
+        const std::uint64_t cap = caps[i];
+        const Recorded &r = runs[i];
         printCell(cap == 0 ? "INF" : std::to_string(cap));
         printCell(static_cast<double>(r.logStats(0).intervals), 0);
         printCell(100.0 * r.logStats(0).reordered() / r.countedMem(), 4);

@@ -12,9 +12,10 @@
 #include "bench/common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rrbench;
+    const BenchOptions opt = parseBenchOptions(argc, argv);
 
     const std::uint32_t sizes[] = {4, 8, 16, 32, 64, 128};
     const App fft{"fft", 8};
@@ -22,17 +23,24 @@ main()
 
     printTitle("Ablation: Snoop Table entries per array vs Opt-INF "
                "reordered accesses (8 cores)");
-    printColumns({"entries", "fft %", "water-sp %", "fft bits/ki",
-                  "water bits/ki"});
 
+    std::vector<RecordJob> jobs;
     for (std::uint32_t entries : sizes) {
         std::vector<rr::sim::RecorderConfig> pol(1);
         pol[0].mode = rr::sim::RecorderMode::Opt;
         pol[0].maxIntervalInstructions = 0;
         pol[0].snoopTableEntries = entries;
+        jobs.push_back({fft, 8, pol});
+        jobs.push_back({water, 8, pol});
+    }
+    const std::vector<Recorded> runs = recordAll(jobs, opt);
 
-        Recorded rf = record(fft, 8, pol);
-        Recorded rw = record(water, 8, pol);
+    printColumns({"entries", "fft %", "water-sp %", "fft bits/ki",
+                  "water bits/ki"});
+    for (std::size_t i = 0; i < std::size(sizes); ++i) {
+        const std::uint32_t entries = sizes[i];
+        const Recorded &rf = runs[2 * i];
+        const Recorded &rw = runs[2 * i + 1];
         printCell(std::to_string(entries));
         printCell(100.0 * rf.logStats(0).reordered() / rf.countedMem(),
                   4);

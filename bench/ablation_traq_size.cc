@@ -10,30 +10,38 @@
 #include "bench/common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rrbench;
+    const BenchOptions opt = parseBenchOptions(argc, argv);
 
     const std::uint32_t sizes[] = {16, 32, 64, 128, 176, 256};
     const App radix{"radix", 8}; // the suite's deepest TRAQ user
 
-    // Baseline without any recorder back-pressure (huge TRAQ).
+    // Job 0 is the back-pressure-free baseline (huge TRAQ); the sweep
+    // points follow.
+    std::vector<RecordJob> jobs;
     std::vector<rr::sim::RecorderConfig> base_pol(1);
     base_pol[0].mode = rr::sim::RecorderMode::Opt;
     base_pol[0].traqEntries = 100000;
-    const Recorded baseline = record(radix, 8, base_pol);
-    const double base_cycles =
-        static_cast<double>(baseline.result.cycles);
-
-    printTitle("Ablation: TRAQ entries vs recording slowdown "
-               "(radix, 8 cores)");
-    printColumns({"entries", "cycles", "slowdown", "dispatch-stalls"});
-
+    jobs.push_back({radix, 8, base_pol});
     for (std::uint32_t entries : sizes) {
         std::vector<rr::sim::RecorderConfig> pol(1);
         pol[0].mode = rr::sim::RecorderMode::Opt;
         pol[0].traqEntries = entries;
-        Recorded r = record(radix, 8, pol);
+        jobs.push_back({radix, 8, pol});
+    }
+
+    printTitle("Ablation: TRAQ entries vs recording slowdown "
+               "(radix, 8 cores)");
+    const std::vector<Recorded> runs = recordAll(jobs, opt);
+    const double base_cycles =
+        static_cast<double>(runs[0].result.cycles);
+
+    printColumns({"entries", "cycles", "slowdown", "dispatch-stalls"});
+    for (std::size_t i = 0; i < std::size(sizes); ++i) {
+        const std::uint32_t entries = sizes[i];
+        const Recorded &r = runs[i + 1];
         std::uint64_t stalls = 0;
         for (rr::sim::CoreId c = 0; c < 8; ++c)
             stalls += r.machine->core(c).stats().counterValue(

@@ -1,5 +1,7 @@
 #include "bench/common.hh"
 
+#include <cstdlib>
+
 namespace rrbench
 {
 
@@ -94,6 +96,102 @@ record(const App &app, std::uint32_t cores,
     r.initial = r.machine->initialMemory();
     r.result = r.machine->run(5'000'000'000ULL);
     return r;
+}
+
+namespace
+{
+
+[[noreturn]] void
+benchUsage(const char *prog)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--jobs N] [--timing]\n"
+                 "  --jobs N   concurrent recordings "
+                 "(default: all host cores; env RR_JOBS)\n"
+                 "  --timing   print wall-clock and simulated-"
+                 "instruction throughput\n",
+                 prog);
+    std::exit(2);
+}
+
+std::uint32_t
+parseJobs(const std::string &text, const char *prog)
+{
+    if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos)
+        benchUsage(prog);
+    return static_cast<std::uint32_t>(
+        std::strtoul(text.c_str(), nullptr, 10));
+}
+
+} // namespace
+
+BenchOptions
+parseBenchOptions(int argc, char **argv)
+{
+    BenchOptions o;
+    if (const char *env = std::getenv("RR_JOBS"))
+        o.jobs = static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
+            o.jobs = parseJobs(argv[++i], argv[0]);
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            o.jobs = parseJobs(arg.substr(7), argv[0]);
+        } else if (arg == "--timing") {
+            o.timing = true;
+        } else {
+            benchUsage(argv[0]);
+        }
+    }
+    return o;
+}
+
+std::vector<Recorded>
+recordAll(const std::vector<RecordJob> &jobs, const BenchOptions &opt)
+{
+    sim::SweepRunner runner(opt.jobs);
+    std::vector<Recorded> out = sim::sweepMap<Recorded>(
+        runner, jobs.size(), [&runner, &jobs](std::size_t i, std::uint64_t) {
+            Recorded r =
+                record(jobs[i].app, jobs[i].cores, jobs[i].policies);
+            runner.countInstructions(r.result.totalInstructions);
+            return r;
+        });
+    if (opt.timing)
+        printSweepStats(runner.lastStats());
+    return out;
+}
+
+std::vector<Recorded>
+recordSuite(std::uint32_t cores,
+            const std::vector<sim::RecorderConfig> &policies,
+            const BenchOptions &opt)
+{
+    std::vector<RecordJob> jobs;
+    for (const App &app : apps())
+        jobs.push_back({app, cores, policies});
+    return recordAll(jobs, opt);
+}
+
+void
+forEachParallel(std::size_t count, const BenchOptions &opt,
+                const std::function<void(std::size_t)> &task)
+{
+    sim::SweepRunner runner(opt.jobs);
+    for (std::size_t i = 0; i < count; ++i)
+        runner.enqueue([&task, i] { task(i); });
+    runner.run();
+}
+
+void
+printSweepStats(const sim::SweepStats &stats)
+{
+    std::printf("[sweep] %llu jobs on %u workers: %.2fs wall, "
+                "%.1fM simulated instructions, %.2fM instr/s\n",
+                static_cast<unsigned long long>(stats.jobsRun),
+                stats.workers, stats.wallSeconds,
+                static_cast<double>(stats.totalInstructions) / 1e6,
+                stats.instructionsPerSecond() / 1e6);
 }
 
 double

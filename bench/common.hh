@@ -2,7 +2,11 @@
  * @file
  * Shared infrastructure for the evaluation benches: the application
  * suite with its calibrated scales, the four recorder configurations
- * of the paper's evaluation, a record-once helper, and table printing.
+ * of the paper's evaluation, record helpers that run the sweep through
+ * the parallel experiment engine (sim::SweepRunner), and table
+ * printing. Every bench accepts `--jobs N` (host threads; default all
+ * cores, also settable via the RR_JOBS environment variable) and
+ * `--timing` (print wall-clock and simulated-instruction throughput).
  */
 
 #ifndef RR_BENCH_COMMON_HH
@@ -16,6 +20,7 @@
 
 #include "machine/machine.hh"
 #include "rnr/log.hh"
+#include "sim/sweep.hh"
 #include "workloads/kernels.hh"
 
 namespace rrbench
@@ -68,6 +73,53 @@ struct Recorded
 /** Record one app; uses the calibrated scale unless overridden. */
 Recorded record(const App &app, std::uint32_t cores,
                 std::vector<rr::sim::RecorderConfig> policies);
+
+/** Common bench command-line options. */
+struct BenchOptions
+{
+    /** Concurrent recording jobs; 0 means all host cores. */
+    std::uint32_t jobs = 0;
+    /** Print the [sweep] wall-clock / throughput summary line. */
+    bool timing = false;
+};
+
+/**
+ * Parse `--jobs N` / `-j N` / `--timing`; honors RR_JOBS when the flag
+ * is absent. Exits with a usage message on unknown arguments.
+ */
+BenchOptions parseBenchOptions(int argc, char **argv);
+
+/** One recording of a sweep: app x core count x policy set. */
+struct RecordJob
+{
+    App app;
+    std::uint32_t cores = 8;
+    std::vector<rr::sim::RecorderConfig> policies;
+};
+
+/**
+ * Record all jobs concurrently on opt.jobs host threads. Results are
+ * indexed like @p jobs regardless of completion order, and each
+ * recording is bit-identical to a serial run (jobs share no state).
+ * Prints the throughput summary when opt.timing is set.
+ */
+std::vector<Recorded> recordAll(const std::vector<RecordJob> &jobs,
+                                const BenchOptions &opt);
+
+/** The whole app suite at one core count (the common figure pattern). */
+std::vector<Recorded> recordSuite(std::uint32_t cores,
+                                  const std::vector<rr::sim::RecorderConfig> &policies,
+                                  const BenchOptions &opt);
+
+/**
+ * Run @p count independent post-processing tasks (replays, schedule
+ * builds) on opt.jobs threads; task i must write only its own slots.
+ */
+void forEachParallel(std::size_t count, const BenchOptions &opt,
+                     const std::function<void(std::size_t)> &task);
+
+/** Print the [sweep] summary line of a finished run. */
+void printSweepStats(const rr::sim::SweepStats &stats);
 
 /** Bits-per-kiloinstruction of a policy's aggregate log. */
 double bitsPerKinst(const Recorded &r, int policy);

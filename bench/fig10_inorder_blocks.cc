@@ -9,18 +9,21 @@
 #include "bench/common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rrbench;
+    const BenchOptions opt = parseBenchOptions(argc, argv);
 
     printTitle("Figure 10: InorderBlock entries, normalized to Base "
                "(8 cores)");
+    const std::vector<Recorded> suite = recordSuite(8, fourPolicies(), opt);
     printColumns({"app", "Opt/Base-4K", "Opt/Base-INF", "Base-4K(abs)",
                   "Base-INF(abs)"});
 
     double sum4k = 0, suminf = 0;
-    for (const App &app : apps()) {
-        Recorded r = record(app, 8, fourPolicies());
+    for (std::size_t i = 0; i < apps().size(); ++i) {
+        const App &app = apps()[i];
+        const Recorded &r = suite[i];
         const double b4 =
             static_cast<double>(r.logStats(kBase4K).inorderBlocks);
         const double o4 =

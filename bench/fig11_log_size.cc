@@ -10,18 +10,21 @@
 #include "bench/common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rrbench;
+    const BenchOptions opt = parseBenchOptions(argc, argv);
 
     printTitle("Figure 11: uncompressed log size (bits per 1000 "
                "instructions, 8 cores)");
+    const std::vector<Recorded> suite = recordSuite(8, fourPolicies(), opt);
     printColumns({"app", "Base-4K", "Opt-4K", "Base-INF", "Opt-INF"});
 
     double bit_sum[kNumPolicies] = {};
     double rate_sum[kNumPolicies] = {};
-    for (const App &app : apps()) {
-        Recorded r = record(app, 8, fourPolicies());
+    for (std::size_t i = 0; i < apps().size(); ++i) {
+        const App &app = apps()[i];
+        const Recorded &r = suite[i];
         printCell(app.name);
         for (int p : {kBase4K, kOpt4K, kBaseInf, kOptInf}) {
             const double bits = bitsPerKinst(r, p);

@@ -9,24 +9,27 @@
 #include "bench/common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rrbench;
     using rr::sim::CoreId;
+    const BenchOptions opt = parseBenchOptions(argc, argv);
 
     std::vector<rr::sim::RecorderConfig> policy(1);
     policy[0].mode = rr::sim::RecorderMode::Opt;
 
     printTitle("Figure 12(a): average TRAQ occupancy (176 entries, "
                "8 cores)");
+    const std::vector<Recorded> suite = recordSuite(8, policy, opt);
     printColumns({"app", "avg-entries", "max-seen"});
 
-    std::vector<Recorded> kept;
+    std::vector<const Recorded *> kept;
     const std::vector<std::string> representatives = {"fft", "ocean",
                                                       "radix",
                                                       "water-nsq"};
-    for (const App &app : apps()) {
-        Recorded r = record(app, 8, policy);
+    for (std::size_t i = 0; i < apps().size(); ++i) {
+        const App &app = apps()[i];
+        const Recorded &r = suite[i];
         double mean = 0, maxv = 0;
         for (CoreId c = 0; c < 8; ++c) {
             const auto &occ =
@@ -40,13 +43,14 @@ main()
         endRow();
         for (const auto &rep : representatives) {
             if (rep == app.name)
-                kept.push_back(std::move(r));
+                kept.push_back(&r);
         }
     }
 
     printTitle("Figure 12(b): occupancy distribution, bins of 10 "
                "(fraction of cycles)");
-    for (const Recorded &r : kept) {
+    for (const Recorded *rp : kept) {
+        const Recorded &r = *rp;
         std::printf("%s:\n", r.workload.name.c_str());
         // Merge the 8 per-core histograms.
         const auto &h0 = r.machine->hub(0).occupancyHistogram();

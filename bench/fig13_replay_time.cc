@@ -16,6 +16,8 @@
 
 #include "bench/common.hh"
 
+#include <array>
+
 #include "rnr/patcher.hh"
 #include "rnr/replayer.hh"
 
@@ -36,23 +38,37 @@ replayCost(const rrbench::Recorded &r, int policy)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rrbench;
+    const BenchOptions opt = parseBenchOptions(argc, argv);
 
     printTitle("Figure 13: sequential replay time / parallel recording "
                "time (8 cores)");
+    const std::vector<Recorded> suite = recordSuite(8, fourPolicies(), opt);
+
+    // The replays are read-only over the recordings, so they fan out
+    // over app x policy jobs just like the recordings did.
+    std::vector<std::array<rr::rnr::ReplayCost, kNumPolicies>> costs(
+        suite.size());
+    forEachParallel(suite.size() * kNumPolicies, opt,
+                    [&suite, &costs](std::size_t j) {
+                        const std::size_t i = j / kNumPolicies;
+                        const int p = static_cast<int>(j % kNumPolicies);
+                        costs[i][p] = replayCost(suite[i], p);
+                    });
+
     printColumns({"app", "Opt-4K", "(os%)", "Base-4K", "(os%)", "Opt-INF",
                   "(os%)", "Base-INF", "(os%)"});
-
     const int order[4] = {kOpt4K, kBase4K, kOptInf, kBaseInf};
     double sums[kNumPolicies] = {};
     double os_share[kNumPolicies] = {};
-    for (const App &app : apps()) {
-        Recorded r = record(app, 8, fourPolicies());
+    for (std::size_t i = 0; i < apps().size(); ++i) {
+        const App &app = apps()[i];
+        const Recorded &r = suite[i];
         printCell(app.name);
         for (int p : order) {
-            const rr::rnr::ReplayCost cost = replayCost(r, p);
+            const rr::rnr::ReplayCost cost = costs[i][p];
             const double x = static_cast<double>(cost.total()) /
                              static_cast<double>(r.result.cycles);
             const double os = 100.0 * static_cast<double>(cost.osCycles) /

@@ -12,17 +12,26 @@
 #include "bench/common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rrbench;
+    const BenchOptions opt = parseBenchOptions(argc, argv);
 
     const std::uint32_t core_counts[] = {4, 8, 16};
     double reordered[3][kNumPolicies] = {};
     double rate[3][kNumPolicies] = {};
 
+    // One job per app x core count: the full 30-recording sweep runs
+    // concurrently rather than per core-count batch.
+    std::vector<RecordJob> jobs;
+    for (std::uint32_t cores : core_counts)
+        for (const App &app : apps())
+            jobs.push_back({app, cores, fourPolicies()});
+    const std::vector<Recorded> runs = recordAll(jobs, opt);
+
     for (int ci = 0; ci < 3; ++ci) {
-        for (const App &app : apps()) {
-            Recorded r = record(app, core_counts[ci], fourPolicies());
+        for (std::size_t a = 0; a < apps().size(); ++a) {
+            const Recorded &r = runs[ci * apps().size() + a];
             const double mem = static_cast<double>(r.countedMem());
             for (int p = 0; p < kNumPolicies; ++p) {
                 reordered[ci][p] +=

@@ -32,14 +32,13 @@ scheduleFor(const rrbench::Recorded &r, int policy)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rrbench;
+    const BenchOptions opt = parseBenchOptions(argc, argv);
 
     printTitle("Extension: parallel replay speedup from recorded "
                "dependencies (Opt, 8 cores)");
-    printColumns({"app", "speedup-1K", "speedup-4K", "edges-1K",
-                  "edges/interval"});
 
     std::vector<rr::sim::RecorderConfig> pol(2);
     pol[0].mode = rr::sim::RecorderMode::Opt;
@@ -49,11 +48,24 @@ main()
     pol[1].maxIntervalInstructions = 4096;
     pol[1].recordDependencies = true;
 
+    const std::vector<Recorded> suite = recordSuite(8, pol, opt);
+    std::vector<rr::rnr::ParallelSchedule> s1s(suite.size());
+    std::vector<rr::rnr::ParallelSchedule> s4s(suite.size());
+    forEachParallel(suite.size() * 2, opt, [&](std::size_t j) {
+        const std::size_t i = j / 2;
+        if (j % 2 == 0)
+            s1s[i] = scheduleFor(suite[i], 0);
+        else
+            s4s[i] = scheduleFor(suite[i], 1);
+    });
+
+    printColumns({"app", "speedup-1K", "speedup-4K", "edges-1K",
+                  "edges/interval"});
     double sum1k = 0, sum4k = 0;
-    for (const App &app : apps()) {
-        Recorded r = record(app, 8, pol);
-        const auto s1 = scheduleFor(r, 0);
-        const auto s4 = scheduleFor(r, 1);
+    for (std::size_t i = 0; i < apps().size(); ++i) {
+        const App &app = apps()[i];
+        const auto &s1 = s1s[i];
+        const auto &s4 = s4s[i];
         sum1k += s1.speedup();
         sum4k += s4.speedup();
         printCell(app.name);

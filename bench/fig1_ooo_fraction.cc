@@ -10,22 +10,25 @@
 #include "bench/common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rrbench;
+    const BenchOptions opt = parseBenchOptions(argc, argv);
 
     printTitle("Figure 1: accesses performed out of program order "
                "(8 cores, RC)");
-    printColumns({"app", "ooo-loads%", "ooo-stores%", "mem-instrs"});
 
     // Only one (cheap) recorder policy is needed; the metric comes from
     // the TRAQ, which is policy-independent.
     std::vector<rr::sim::RecorderConfig> policy(1);
     policy[0].mode = rr::sim::RecorderMode::Base;
+    const std::vector<Recorded> suite = recordSuite(8, policy, opt);
 
+    printColumns({"app", "ooo-loads%", "ooo-stores%", "mem-instrs"});
     double sum_loads = 0, sum_stores = 0;
-    for (const App &app : apps()) {
-        Recorded r = record(app, 8, policy);
+    for (std::size_t i = 0; i < apps().size(); ++i) {
+        const App &app = apps()[i];
+        const Recorded &r = suite[i];
         const double mem = static_cast<double>(r.countedMem());
         const double ld = 100.0 * r.hubCounter("ooo_loads") / mem;
         const double st = 100.0 * r.hubCounter("ooo_stores") / mem;

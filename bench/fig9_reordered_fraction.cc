@@ -10,17 +10,20 @@
 #include "bench/common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rrbench;
+    const BenchOptions opt = parseBenchOptions(argc, argv);
 
     printTitle("Figure 9: reordered accesses (% of memory instructions, "
                "8 cores)");
+    const std::vector<Recorded> suite = recordSuite(8, fourPolicies(), opt);
     printColumns({"app", "Base-4K", "Opt-4K", "Base-INF", "Opt-INF"});
 
     double sums[kNumPolicies] = {};
-    for (const App &app : apps()) {
-        Recorded r = record(app, 8, fourPolicies());
+    for (std::size_t i = 0; i < apps().size(); ++i) {
+        const App &app = apps()[i];
+        const Recorded &r = suite[i];
         const double mem = static_cast<double>(r.countedMem());
         printCell(app.name);
         for (int p : {kBase4K, kOpt4K, kBaseInf, kOptInf}) {

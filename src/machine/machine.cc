@@ -47,7 +47,9 @@ Machine::Machine(const sim::MachineConfig &cfg, isa::Program prog,
         tracers_.push_back(std::make_unique<TraceListener>());
         cores_[c]->addListener(hubs_[c].get());
         cores_[c]->addListener(tracers_[c].get());
-        memsys_->addObserver(hubs_[c].get());
+        // The hub only consumes core c's events; register it for
+        // direct routing instead of the broadcast fan-out.
+        memsys_->addCoreObserver(c, hubs_[c].get());
         cores_[c]->start(c, cfg_.numCores);
     }
 

@@ -32,6 +32,7 @@ MemorySystem::MemorySystem(const sim::MachineConfig &cfg,
         l1s_.emplace_back(cfg.l1);
     mshrs_.resize(cfg.numCores);
     mshrByLine_.resize(cfg.numCores);
+    coreObservers_.resize(cfg.numCores);
 }
 
 void
@@ -46,12 +47,17 @@ MemorySystem::addObserver(MemoryObserver *obs)
     observers_.push_back(obs);
 }
 
+void
+MemorySystem::addCoreObserver(sim::CoreId core, MemoryObserver *obs)
+{
+    coreObservers_.at(core).push_back(obs);
+}
+
 MemorySystem::Mshr *
 MemorySystem::mshrFor(sim::CoreId core, sim::Addr line) const
 {
-    const auto &map = mshrByLine_.at(core);
-    auto it = map.find(line);
-    return it == map.end() ? nullptr : it->second;
+    Mshr *const *slot = mshrByLine_[core].find(line);
+    return slot ? *slot : nullptr;
 }
 
 std::size_t
@@ -63,8 +69,8 @@ MemorySystem::freeMshrs(sim::CoreId core) const
 bool
 MemorySystem::lineHasAnyMshr(sim::Addr line) const
 {
-    auto it = lineMshrCount_.find(line);
-    return it != lineMshrCount_.end() && it->second > 0;
+    const std::uint32_t *count = lineMshrCount_.find(line);
+    return count != nullptr && *count > 0;
 }
 
 bool
@@ -101,8 +107,7 @@ MemorySystem::serialize(sim::CoreId core, const PendingAccess &acc)
     }
     const PerformEvent ev{core,    acc.tag, acc.kind, acc.word,
                           load_v,  store_v, stamp,    now_};
-    for (auto *obs : observers_)
-        obs->onPerform(ev);
+    notifyObservers(core, [&ev](MemoryObserver *obs) { obs->onPerform(ev); });
     return load_v;
 }
 
@@ -245,8 +250,9 @@ MemorySystem::installL2(sim::Addr line)
             stats_.counter("back_invalidations")++;
             if (l1_line->state == MesiState::Modified) {
                 const std::uint64_t stamp = clock_.next();
-                for (auto *obs : observers_)
+                notifyObservers(c, [&](MemoryObserver *obs) {
                     obs->onDirtyEviction(c, victim, stamp);
+                });
                 busQueue_.push_back(
                     BusRequest{c, victim, BusKind::PutM, nullptr});
             }
@@ -359,8 +365,8 @@ MemorySystem::emitSnoop(sim::CoreId requester, sim::Addr line,
         if (c == requester)
             continue;
         ev.observerHadLine = had_line.empty() ? false : had_line[c];
-        for (auto *obs : observers_)
-            obs->onSnoop(c, ev);
+        notifyObservers(c,
+                        [&ev, c](MemoryObserver *obs) { obs->onSnoop(c, ev); });
     }
 }
 
@@ -370,8 +376,9 @@ MemorySystem::evictL1Line(sim::CoreId core, CacheArray::Line &way)
     stats_.counter("l1_evictions")++;
     if (way.state == MesiState::Modified) {
         const std::uint64_t stamp = clock_.next();
-        for (auto *obs : observers_)
+        notifyObservers(core, [&](MemoryObserver *obs) {
             obs->onDirtyEviction(core, way.tag, stamp);
+        });
         busQueue_.push_back(BusRequest{core, way.tag, BusKind::PutM,
                                        nullptr});
     }
@@ -425,11 +432,10 @@ MemorySystem::completeFill(Mshr *mshr)
             break;
         }
     }
-    auto cnt = lineMshrCount_.find(line);
-    RR_ASSERT(cnt != lineMshrCount_.end() && cnt->second > 0,
-              "MSHR line count out of sync");
-    if (--cnt->second == 0)
-        lineMshrCount_.erase(cnt);
+    std::uint32_t *cnt = lineMshrCount_.find(line);
+    RR_ASSERT(cnt != nullptr && *cnt > 0, "MSHR line count out of sync");
+    if (--*cnt == 0)
+        lineMshrCount_.erase(line);
 
     for (const PendingAccess &acc : leftovers)
         accessInternal(core, acc);

@@ -28,14 +28,13 @@
 #include <deque>
 #include <list>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "mem/backing_store.hh"
 #include "mem/cache_array.hh"
 #include "mem/coherence.hh"
 #include "sim/config.hh"
+#include "sim/flat_map.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -51,8 +50,22 @@ class MemorySystem
     /** Register the completion-callback target for a core. */
     void setClient(sim::CoreId core, MemClient *client);
 
-    /** Register an event observer (MRR hub, tracer, test harness). */
+    /**
+     * Register a broadcast event observer (tracer, test harness): it
+     * receives every perform/snoop/eviction event for every core.
+     */
     void addObserver(MemoryObserver *obs);
+
+    /**
+     * Register an observer that only cares about one core's events — a
+     * perform by @p core, a snoop observed by @p core, or a dirty
+     * eviction from @p core 's L1 — as the per-core MRR hubs do. The
+     * memory system then routes events directly instead of fanning
+     * every event out to every hub (which rejected all but one
+     * delivery), turning the O(cores^2) virtual-call pattern on the
+     * serialize/snoop hot path into O(cores).
+     */
+    void addCoreObserver(sim::CoreId core, MemoryObserver *obs);
 
     /**
      * Whether core @p core can issue an access to @p word_addr this
@@ -168,18 +181,36 @@ class MemorySystem
     sim::Cycle now_ = 0;
     std::uint64_t eventOrder_ = 0;
 
+    /** Deliver a perform/snoop/eviction event for @p core. */
+    template <typename Fn>
+    void
+    notifyObservers(sim::CoreId core, Fn &&fn)
+    {
+        for (auto *obs : coreObservers_[core])
+            fn(obs);
+        for (auto *obs : observers_)
+            fn(obs);
+    }
+
     std::vector<MemClient *> clients_;
     std::vector<MemoryObserver *> observers_;
+    std::vector<std::vector<MemoryObserver *>> coreObservers_;
 
     std::vector<CacheArray> l1s_;
     CacheArray l2_;
 
     std::vector<std::list<Mshr>> mshrs_; // per core
-    std::vector<std::unordered_map<sim::Addr, Mshr *>> mshrByLine_;
-    std::unordered_map<sim::Addr, std::uint32_t> lineMshrCount_;
+    /**
+     * Per-core line -> MSHR index, probed on every access (merge
+     * check) and every canAccept(); open-addressing flat maps keep the
+     * lookup a single short probe instead of an unordered_map's
+     * node-pointer chase.
+     */
+    std::vector<sim::FlatMap<Mshr *>> mshrByLine_;
+    sim::FlatMap<std::uint32_t> lineMshrCount_;
 
     std::deque<BusRequest> busQueue_;
-    std::unordered_set<sim::Addr> inflight_;
+    sim::FlatSet inflight_;
     std::priority_queue<Event, std::vector<Event>, EventLater> events_;
 
     sim::StatSet stats_;

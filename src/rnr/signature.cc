@@ -31,6 +31,8 @@ Signature::Signature(std::uint32_t banks, std::uint32_t bits_per_bank,
     for (auto &row : h3Rows_)
         row = rng.next();
     bits_.assign(static_cast<std::size_t>(banks_) * bitsPerBank_ / 64, 0);
+    cacheTags_.assign(kIndexCacheSlots, kNoCachedLine);
+    cacheIdx_.assign(static_cast<std::size_t>(kIndexCacheSlots) * banks_, 0);
 }
 
 std::uint32_t
@@ -47,13 +49,28 @@ Signature::bankIndex(std::uint32_t bank, sim::Addr line) const
     return idx;
 }
 
+const std::uint32_t *
+Signature::cachedIndexes(sim::Addr line) const
+{
+    const std::uint64_t key = line / sim::kLineBytes;
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(key) & (kIndexCacheSlots - 1);
+    std::uint32_t *idx = &cacheIdx_[static_cast<std::size_t>(slot) * banks_];
+    if (cacheTags_[slot] != key) {
+        for (std::uint32_t bank = 0; bank < banks_; ++bank)
+            idx[bank] = bankIndex(bank, line);
+        cacheTags_[slot] = key;
+    }
+    return idx;
+}
+
 void
 Signature::insert(sim::Addr line_addr)
 {
+    const std::uint32_t *idx = cachedIndexes(line_addr);
     for (std::uint32_t bank = 0; bank < banks_; ++bank) {
-        const std::uint32_t idx = bankIndex(bank, line_addr);
         const std::size_t bit =
-            static_cast<std::size_t>(bank) * bitsPerBank_ + idx;
+            static_cast<std::size_t>(bank) * bitsPerBank_ + idx[bank];
         const std::uint64_t mask = 1ULL << (bit % 64);
         if (!(bits_[bit / 64] & mask)) {
             bits_[bit / 64] |= mask;
@@ -67,13 +84,34 @@ Signature::mightContain(sim::Addr line_addr) const
 {
     if (population_ == 0)
         return false;
-    for (std::uint32_t bank = 0; bank < banks_; ++bank) {
-        const std::uint32_t idx = bankIndex(bank, line_addr);
-        const std::size_t bit =
-            static_cast<std::size_t>(bank) * bitsPerBank_ + idx;
-        if (!(bits_[bit / 64] & (1ULL << (bit % 64))))
-            return false;
+    const std::uint64_t key = line_addr / sim::kLineBytes;
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(key) & (kIndexCacheSlots - 1);
+    std::uint32_t *idx = &cacheIdx_[static_cast<std::size_t>(slot) * banks_];
+    if (cacheTags_[slot] == key) {
+        for (std::uint32_t bank = 0; bank < banks_; ++bank) {
+            const std::size_t bit =
+                static_cast<std::size_t>(bank) * bitsPerBank_ + idx[bank];
+            if (!(bits_[bit / 64] & (1ULL << (bit % 64))))
+                return false;
+        }
+        return true;
     }
+    // Cache miss: compute bank indexes lazily so a clear bit in an
+    // early bank short-circuits the remaining H3 hashes. An early exit
+    // leaves the slot's index array partially overwritten, so the tag
+    // must be dropped; it is (re)published only when all banks were
+    // computed.
+    for (std::uint32_t bank = 0; bank < banks_; ++bank) {
+        idx[bank] = bankIndex(bank, line_addr);
+        const std::size_t bit =
+            static_cast<std::size_t>(bank) * bitsPerBank_ + idx[bank];
+        if (!(bits_[bit / 64] & (1ULL << (bit % 64)))) {
+            cacheTags_[slot] = kNoCachedLine;
+            return false;
+        }
+    }
+    cacheTags_[slot] = key;
     return true;
 }
 

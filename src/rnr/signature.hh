@@ -51,6 +51,18 @@ class Signature
   private:
     std::uint32_t bankIndex(std::uint32_t bank, sim::Addr line) const;
 
+    /**
+     * All banks' H3 indexes for @p line, served from the line->index
+     * cache. The cached values depend only on the (fixed) H3 matrices,
+     * never on the filter contents, so clear() need not invalidate —
+     * membership is always re-read from bits_.
+     */
+    const std::uint32_t *cachedIndexes(sim::Addr line) const;
+
+    /** Direct-mapped line->index cache geometry (power of two). */
+    static constexpr std::uint32_t kIndexCacheSlots = 64;
+    static constexpr std::uint64_t kNoCachedLine = ~0ULL;
+
     std::uint32_t banks_;
     std::uint32_t bitsPerBank_;
     std::uint32_t indexBits_;
@@ -58,6 +70,17 @@ class Signature
     std::vector<std::uint64_t> h3Rows_;
     std::vector<std::uint64_t> bits_; ///< banks_ * bitsPerBank_ / 64 words
     std::uint32_t population_ = 0;
+
+    /**
+     * The per-access record path hashes the same handful of hot lines
+     * over and over (every insert and every snoop lookup runs the H3
+     * popcount loop banks x indexBits times); a tiny direct-mapped
+     * cache of recently hashed lines removes almost all of that work.
+     * mutable: the cache is pure memoization, updated from const
+     * lookups.
+     */
+    mutable std::vector<std::uint64_t> cacheTags_;
+    mutable std::vector<std::uint32_t> cacheIdx_;
 };
 
 } // namespace rr::rnr

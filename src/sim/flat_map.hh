@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Open-addressing hash containers keyed on 64-bit addresses, used on
+ * the memory-system hot path instead of std::unordered_map. Linear
+ * probing over a power-of-two table with backward-shift deletion (no
+ * tombstones), so lookups stay one cache line long even after heavy
+ * insert/erase churn — exactly the MSHR traffic pattern, where a few
+ * dozen lines are tracked at a time but every access probes the table.
+ *
+ * The all-ones key is reserved as the empty-slot marker; line and word
+ * addresses never take that value (the simulated address space is far
+ * below 2^64).
+ */
+
+#ifndef RR_SIM_FLAT_MAP_HH
+#define RR_SIM_FLAT_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace rr::sim
+{
+
+/** Open-addressing map from 64-bit keys to values of type V. */
+template <typename V>
+class FlatMap
+{
+  public:
+    static constexpr std::uint64_t kEmptyKey = ~0ULL;
+
+    explicit FlatMap(std::size_t initial_capacity = 16)
+    {
+        std::size_t cap = 16;
+        while (cap < initial_capacity * 2)
+            cap *= 2;
+        keys_.assign(cap, kEmptyKey);
+        vals_.assign(cap, V{});
+        mask_ = cap - 1;
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    void
+    clear()
+    {
+        std::fill(keys_.begin(), keys_.end(), kEmptyKey);
+        std::fill(vals_.begin(), vals_.end(), V{});
+        size_ = 0;
+    }
+
+    /** Pointer to the value for @p key, or nullptr when absent. */
+    V *
+    find(std::uint64_t key)
+    {
+        const std::size_t slot = probe(key);
+        return keys_[slot] == key ? &vals_[slot] : nullptr;
+    }
+
+    const V *
+    find(std::uint64_t key) const
+    {
+        const std::size_t slot = probe(key);
+        return keys_[slot] == key ? &vals_[slot] : nullptr;
+    }
+
+    bool contains(std::uint64_t key) const { return find(key) != nullptr; }
+
+    /** Value for @p key, default-constructing it when absent. */
+    V &
+    operator[](std::uint64_t key)
+    {
+        RR_ASSERT(key != kEmptyKey, "FlatMap key reserved for empty slots");
+        std::size_t slot = probe(key);
+        if (keys_[slot] != key) {
+            if ((size_ + 1) * 4 >= (mask_ + 1) * 3) {
+                grow();
+                slot = probe(key);
+            }
+            keys_[slot] = key;
+            vals_[slot] = V{};
+            ++size_;
+        }
+        return vals_[slot];
+    }
+
+    /** Remove @p key; returns false when it was absent. */
+    bool
+    erase(std::uint64_t key)
+    {
+        std::size_t slot = probe(key);
+        if (keys_[slot] != key)
+            return false;
+        // Backward-shift deletion: pull displaced entries back so every
+        // remaining key stays reachable from its home slot.
+        std::size_t hole = slot;
+        std::size_t next = hole;
+        for (;;) {
+            next = (next + 1) & mask_;
+            if (keys_[next] == kEmptyKey)
+                break;
+            const std::size_t home = homeSlot(keys_[next]);
+            // The entry at `next` may move into the hole iff the hole
+            // lies on its probe path, i.e. home..next (cyclically)
+            // passes through the hole.
+            if (((next - home) & mask_) >= ((next - hole) & mask_)) {
+                keys_[hole] = keys_[next];
+                vals_[hole] = std::move(vals_[next]);
+                hole = next;
+            }
+        }
+        keys_[hole] = kEmptyKey;
+        vals_[hole] = V{};
+        --size_;
+        return true;
+    }
+
+  private:
+    std::size_t
+    homeSlot(std::uint64_t key) const
+    {
+        // Fibonacci hashing: multiply by the 64-bit golden ratio and
+        // keep the top bits, which mix the (line-aligned, low-entropy)
+        // address bits well.
+        return static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ULL) >> 33) &
+               mask_;
+    }
+
+    /** Slot holding @p key, or the first empty slot on its probe path. */
+    std::size_t
+    probe(std::uint64_t key) const
+    {
+        std::size_t slot = homeSlot(key);
+        while (keys_[slot] != key && keys_[slot] != kEmptyKey)
+            slot = (slot + 1) & mask_;
+        return slot;
+    }
+
+    void
+    grow()
+    {
+        std::vector<std::uint64_t> old_keys = std::move(keys_);
+        std::vector<V> old_vals = std::move(vals_);
+        const std::size_t cap = (mask_ + 1) * 2;
+        keys_.assign(cap, kEmptyKey);
+        vals_.assign(cap, V{});
+        mask_ = cap - 1;
+        for (std::size_t i = 0; i < old_keys.size(); ++i) {
+            if (old_keys[i] == kEmptyKey)
+                continue;
+            const std::size_t slot = probe(old_keys[i]);
+            keys_[slot] = old_keys[i];
+            vals_[slot] = std::move(old_vals[i]);
+        }
+    }
+
+    std::vector<std::uint64_t> keys_;
+    std::vector<V> vals_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+};
+
+/** Open-addressing set of 64-bit keys (a FlatMap with empty payloads). */
+class FlatSet
+{
+  public:
+    explicit FlatSet(std::size_t initial_capacity = 16)
+        : map_(initial_capacity)
+    {
+    }
+
+    std::size_t size() const { return map_.size(); }
+    bool empty() const { return map_.empty(); }
+    void clear() { map_.clear(); }
+    bool contains(std::uint64_t key) const { return map_.contains(key); }
+    std::size_t count(std::uint64_t key) const { return map_.contains(key); }
+    void insert(std::uint64_t key) { map_[key] = Unit{}; }
+    bool erase(std::uint64_t key) { return map_.erase(key); }
+
+  private:
+    struct Unit
+    {
+    };
+    FlatMap<Unit> map_;
+};
+
+} // namespace rr::sim
+
+#endif // RR_SIM_FLAT_MAP_HH

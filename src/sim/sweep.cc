@@ -1,0 +1,96 @@
+#include "sim/sweep.hh"
+
+#include <chrono>
+#include <thread>
+
+namespace rr::sim
+{
+
+namespace
+{
+
+std::uint32_t
+hardwareWorkers()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(std::uint32_t workers, std::uint64_t base_seed)
+    : workers_(workers == 0 ? hardwareWorkers() : workers),
+      baseSeed_(base_seed)
+{
+}
+
+std::uint64_t
+SweepRunner::jobSeed(std::uint64_t index) const
+{
+    // Two mixing rounds keep adjacent indices uncorrelated even for a
+    // base seed of 0; never 0 so callers can use the seed directly.
+    const std::uint64_t seed = splitmix64(splitmix64(baseSeed_) ^ index);
+    return seed == 0 ? 1 : seed;
+}
+
+void
+SweepRunner::enqueue(Job job)
+{
+    jobs_.push_back(std::move(job));
+}
+
+SweepStats
+SweepRunner::run()
+{
+    const auto start = std::chrono::steady_clock::now();
+    instructions_.store(0, std::memory_order_relaxed);
+
+    const std::size_t n = jobs_.size();
+    const std::uint32_t active = static_cast<std::uint32_t>(
+        std::min<std::size_t>(workers_, n));
+
+    if (active <= 1) {
+        // Inline execution: zero threading overhead, and the natural
+        // reference ordering for determinism comparisons.
+        for (auto &job : jobs_)
+            job();
+    } else {
+        std::atomic<std::size_t> next{0};
+        auto worker = [&] {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                jobs_[i]();
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(active);
+        for (std::uint32_t t = 0; t < active; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    jobs_.clear();
+    const auto end = std::chrono::steady_clock::now();
+    lastStats_.wallSeconds =
+        std::chrono::duration<double>(end - start).count();
+    lastStats_.jobsRun = n;
+    lastStats_.workers = active == 0 ? 1 : active;
+    lastStats_.totalInstructions =
+        instructions_.load(std::memory_order_relaxed);
+    return lastStats_;
+}
+
+} // namespace rr::sim

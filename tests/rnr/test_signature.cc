@@ -106,6 +106,63 @@ TEST(Signature, DifferentSeedsHashDifferently)
     EXPECT_GT(differ, 0);
 }
 
+TEST(Signature, InsertAndQueryAgreeAcrossClearCycles)
+{
+    // The line->H3-index cache must stay a pure memoization: across
+    // many insert/clear() cycles, membership answers always come from
+    // the current filter contents, with no stale hits after clear()
+    // even for lines whose indexes are still cached.
+    Signature s(4, 256, 1);
+    rr::sim::Rng rng(21);
+    for (int cycle = 0; cycle < 8; ++cycle) {
+        std::vector<Addr> inserted;
+        for (int i = 0; i < 40; ++i) {
+            // Recycle a small line pool so later cycles re-query lines
+            // whose indexes were cached (and inserted) in earlier
+            // cycles.
+            Addr line = (rng.next() & 0x3ff) * 32;
+            s.insert(line);
+            inserted.push_back(line);
+        }
+        for (Addr line : inserted)
+            EXPECT_TRUE(s.mightContain(line));
+        s.clear();
+        EXPECT_TRUE(s.empty());
+        EXPECT_EQ(s.population(), 0u);
+        // No stale hits: every previously inserted (and index-cached)
+        // line must now miss.
+        for (Addr line : inserted)
+            EXPECT_FALSE(s.mightContain(line));
+    }
+}
+
+TEST(Signature, IndexCacheConflictsDoNotChangeAnswers)
+{
+    // Lines that collide in the direct-mapped index cache (same slot,
+    // different tags) must still hash to their own H3 indexes: an
+    // uncached recomputation and a cache-thrashed query must agree.
+    Signature cached(4, 256, 5);
+    Signature reference(4, 256, 5);
+    // 64-slot cache: addresses 64 lines apart share a slot.
+    const Addr stride = 64 * 32;
+    std::vector<Addr> lines;
+    for (int i = 0; i < 32; ++i)
+        lines.push_back(0x1000 + static_cast<Addr>(i) * stride);
+    for (Addr line : lines) {
+        cached.insert(line);
+        reference.insert(line);
+    }
+    EXPECT_EQ(cached.population(), reference.population());
+    // Thrash the cache slot between queries; answers must not change.
+    for (Addr line : lines) {
+        EXPECT_TRUE(cached.mightContain(line));
+        cached.mightContain(line + stride * 1000); // evicts line's slot
+        EXPECT_TRUE(cached.mightContain(line));
+        EXPECT_EQ(cached.mightContain(line + 7 * stride),
+                  reference.mightContain(line + 7 * stride));
+    }
+}
+
 TEST(Signature, SaturatedSignatureStillHasNoFalseNegatives)
 {
     Signature s(4, 256, 1);

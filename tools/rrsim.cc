@@ -14,6 +14,11 @@
  *       and verify determinism.
  *   rrsim inspect <kernel> [...]
  *       Record and dump the first intervals of core 0's log.
+ *   rrsim sweep <kernel|all> [--cores N] [--scale S] [--jobs J]
+ *       Record one kernel (or the whole suite) under all four paper
+ *       policies concurrently on J host threads via sim::SweepRunner,
+ *       and report per-kernel log stats plus wall-clock and
+ *       simulated-instruction throughput (self-timing mode).
  */
 
 #include <cstdio>
@@ -25,6 +30,7 @@
 #include "rnr/parallel_schedule.hh"
 #include "rnr/patcher.hh"
 #include "rnr/replayer.hh"
+#include "sim/sweep.hh"
 #include "workloads/kernels.hh"
 
 using namespace rr;
@@ -42,6 +48,7 @@ struct Options
     std::uint64_t interval = 0; // INF
     bool deps = false;
     bool parallel = false;
+    std::uint32_t jobs = 0; // sweep: host threads; 0 = all cores
     std::string outFile;
 };
 
@@ -50,15 +57,28 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: rrsim <list|record|replay|inspect> [kernel] [options]\n"
+        "usage: rrsim <list|record|replay|inspect|sweep> [kernel] "
+        "[options]\n"
         "  --cores N        cores/threads (default 8)\n"
         "  --scale S        problem-size multiplier (default 1)\n"
         "  --mode base|opt  recorder design (default opt)\n"
         "  --interval N|inf max interval size (default inf)\n"
         "  --deps           record dependency edges (parallel replay)\n"
         "  --parallel       replay in dependency-DAG order\n"
-        "  --out FILE       save packed logs (record)\n");
+        "  --jobs J         concurrent recordings for sweep "
+        "(default: all host cores)\n"
+        "  --out FILE       save packed logs (record)\n"
+        "sweep takes a kernel name or 'all' for the whole suite.\n");
     std::exit(2);
+}
+
+std::uint64_t
+parseNum(const std::string &text)
+{
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos)
+        usage();
+    return std::strtoull(text.c_str(), nullptr, 10);
 }
 
 Options
@@ -83,9 +103,9 @@ parse(int argc, char **argv)
             return argv[i];
         };
         if (arg == "--cores") {
-            o.cores = static_cast<std::uint32_t>(std::stoul(next()));
+            o.cores = static_cast<std::uint32_t>(parseNum(next()));
         } else if (arg == "--scale") {
-            o.scale = std::stoull(next());
+            o.scale = parseNum(next());
         } else if (arg == "--mode") {
             const std::string m = next();
             if (m == "base")
@@ -96,12 +116,14 @@ parse(int argc, char **argv)
                 usage();
         } else if (arg == "--interval") {
             const std::string v = next();
-            o.interval = v == "inf" ? 0 : std::stoull(v);
+            o.interval = v == "inf" ? 0 : parseNum(v);
         } else if (arg == "--deps") {
             o.deps = true;
         } else if (arg == "--parallel") {
             o.parallel = true;
             o.deps = true;
+        } else if (arg == "--jobs") {
+            o.jobs = static_cast<std::uint32_t>(parseNum(next()));
         } else if (arg == "--out") {
             o.outFile = next();
         } else {
@@ -290,6 +312,75 @@ cmdInspect(const Options &o)
     return 0;
 }
 
+int
+cmdSweep(const Options &o)
+{
+    std::vector<std::string> kernels;
+    if (o.kernel == "all")
+        kernels = workloads::kernelNames();
+    else
+        kernels.push_back(o.kernel);
+
+    // The paper's four evaluation policies, recorded simultaneously.
+    std::vector<sim::RecorderConfig> pol(4);
+    pol[0].mode = sim::RecorderMode::Base;
+    pol[0].maxIntervalInstructions = 4096;
+    pol[1].mode = sim::RecorderMode::Base;
+    pol[1].maxIntervalInstructions = 0;
+    pol[2].mode = sim::RecorderMode::Opt;
+    pol[2].maxIntervalInstructions = 4096;
+    pol[3].mode = sim::RecorderMode::Opt;
+    pol[3].maxIntervalInstructions = 0;
+    const char *pol_names[4] = {"Base-4K", "Base-INF", "Opt-4K",
+                                "Opt-INF"};
+
+    sim::SweepRunner runner(o.jobs);
+    const std::vector<machine::RecordingResult> recs =
+        sim::sweepMap<machine::RecordingResult>(
+            runner, kernels.size(),
+            [&](std::size_t i, std::uint64_t) {
+                workloads::WorkloadParams wp;
+                wp.numThreads = o.cores;
+                wp.scale = o.scale;
+                const auto w = workloads::buildKernel(kernels[i], wp);
+                sim::MachineConfig cfg;
+                cfg.numCores = o.cores;
+                machine::Machine m(cfg, w.program, pol);
+                machine::RecordingResult rec = m.run(5'000'000'000ULL);
+                runner.countInstructions(rec.totalInstructions);
+                return rec;
+            });
+
+    std::printf("%-12s%12s%12s", "kernel", "instrs", "cycles");
+    for (const char *name : pol_names)
+        std::printf("%12s", name);
+    std::printf("\n%48s (bits/kinst)\n", "");
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        const auto &rec = recs[i];
+        std::printf("%-12s%12llu%12llu", kernels[i].c_str(),
+                    (unsigned long long)rec.totalInstructions,
+                    (unsigned long long)rec.cycles);
+        for (std::size_t p = 0; p < pol.size(); ++p) {
+            rnr::LogStats stats;
+            for (const auto &log : rec.logs[p])
+                stats.accumulate(log);
+            std::printf("%12.1f",
+                        1000.0 * static_cast<double>(stats.totalBits) /
+                            static_cast<double>(rec.totalInstructions));
+        }
+        std::printf("\n");
+    }
+
+    const sim::SweepStats &stats = runner.lastStats();
+    std::printf("[sweep] %llu jobs on %u workers: %.2fs wall, "
+                "%.1fM simulated instructions, %.2fM instr/s\n",
+                (unsigned long long)stats.jobsRun, stats.workers,
+                stats.wallSeconds,
+                static_cast<double>(stats.totalInstructions) / 1e6,
+                stats.instructionsPerSecond() / 1e6);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -307,5 +398,7 @@ main(int argc, char **argv)
         return cmdReplay(o);
     if (o.command == "inspect")
         return cmdInspect(o);
+    if (o.command == "sweep")
+        return cmdSweep(o);
     usage();
 }

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+#
+# Build, test, and regenerate every paper figure in one shot.
+#
+#   tools/run_all_figures.sh [--jobs N] [--build-dir DIR]
+#
+# Builds RelWithDebInfo, runs the full ctest suite, then runs every
+# fig*/ablation*/table* bench through the SweepRunner parallel engine
+# (--jobs N workers per bench, --timing so each prints its [sweep]
+# throughput line). Any nonzero exit aborts the run.
+
+set -euo pipefail
+
+jobs="${RR_JOBS:-$(nproc)}"
+build_dir="build"
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --jobs|-j) jobs="$2"; shift 2 ;;
+        --jobs=*) jobs="${1#*=}"; shift ;;
+        --build-dir) build_dir="$2"; shift 2 ;;
+        *) echo "usage: $0 [--jobs N] [--build-dir DIR]" >&2; exit 2 ;;
+    esac
+done
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+echo "== configure + build ($build_dir, RelWithDebInfo) =="
+cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j "$(nproc)"
+
+echo "== ctest =="
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+
+benches=(
+    table1_params
+    fig1_ooo_fraction
+    fig9_reordered_fraction
+    fig10_inorder_blocks
+    fig11_log_size
+    fig12_traq_utilization
+    fig13_replay_time
+    fig14_scalability
+    fig15_parallel_replay
+    ablation_interval_cap
+    ablation_snoop_table
+    ablation_traq_size
+    ablation_directory
+)
+
+start=$SECONDS
+for bench in "${benches[@]}"; do
+    echo
+    echo "== $bench (--jobs $jobs) =="
+    if [[ "$bench" == "table1_params" ]]; then
+        # Prints static structure sizes; no sweep options.
+        "$build_dir/bench/$bench"
+    else
+        "$build_dir/bench/$bench" --jobs "$jobs" --timing
+    fi
+done
+
+echo
+echo "== all figures done in $((SECONDS - start))s (jobs=$jobs) =="

@@ -1,6 +1,9 @@
 #include "bench/common.hh"
 
 #include <cstdlib>
+#include <fstream>
+
+#include "sim/trace.hh"
 
 namespace rrbench
 {
@@ -105,11 +108,14 @@ namespace
 benchUsage(const char *prog)
 {
     std::fprintf(stderr,
-                 "usage: %s [--jobs N] [--timing]\n"
-                 "  --jobs N   concurrent recordings "
+                 "usage: %s [--jobs N] [--timing] [--stats-json FILE]\n"
+                 "  --jobs N           concurrent recordings "
                  "(default: all host cores; env RR_JOBS)\n"
-                 "  --timing   print wall-clock and simulated-"
-                 "instruction throughput\n",
+                 "  --timing           print wall-clock and simulated-"
+                 "instruction throughput\n"
+                 "  --stats-json FILE  export aggregated recording "
+                 "stats as JSON\n"
+                 "event tracing: set RR_TRACE=FILE.\n",
                  prog);
     std::exit(2);
 }
@@ -139,10 +145,15 @@ parseBenchOptions(int argc, char **argv)
             o.jobs = parseJobs(arg.substr(7), argv[0]);
         } else if (arg == "--timing") {
             o.timing = true;
+        } else if (arg == "--stats-json" && i + 1 < argc) {
+            o.statsJson = argv[++i];
+        } else if (arg.rfind("--stats-json=", 0) == 0) {
+            o.statsJson = arg.substr(13);
         } else {
             benchUsage(argv[0]);
         }
     }
+    sim::TraceSink::openFromEnv();
     return o;
 }
 
@@ -150,15 +161,32 @@ std::vector<Recorded>
 recordAll(const std::vector<RecordJob> &jobs, const BenchOptions &opt)
 {
     sim::SweepRunner runner(opt.jobs);
-    std::vector<Recorded> out = sim::sweepMap<Recorded>(
-        runner, jobs.size(), [&runner, &jobs](std::size_t i, std::uint64_t) {
-            Recorded r =
-                record(jobs[i].app, jobs[i].cores, jobs[i].policies);
-            runner.countInstructions(r.result.totalInstructions);
-            return r;
+    std::vector<Recorded> out(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        runner.enqueue(jobs[i].app.name, [&runner, &jobs, &out, &opt, i] {
+            out[i] = record(jobs[i].app, jobs[i].cores, jobs[i].policies);
+            runner.countInstructions(out[i].result.totalInstructions);
+            if (!opt.statsJson.empty()) {
+                std::vector<const sim::StatSet *> sets;
+                out[i].machine->collectStats(sets);
+                for (const sim::StatSet *s : sets)
+                    runner.accumulateStats(*s);
+            }
         });
+    }
+    runner.run();
     if (opt.timing)
         printSweepStats(runner.lastStats());
+    if (!opt.statsJson.empty()) {
+        std::ofstream os(opt.statsJson);
+        if (os) {
+            sim::writeStatsJson(os, {&runner.aggregatedStats()});
+            std::printf("[stats] saved %s\n", opt.statsJson.c_str());
+        } else {
+            std::fprintf(stderr, "[stats] cannot open %s\n",
+                         opt.statsJson.c_str());
+        }
+    }
     return out;
 }
 

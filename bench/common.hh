@@ -81,11 +81,14 @@ struct BenchOptions
     std::uint32_t jobs = 0;
     /** Print the [sweep] wall-clock / throughput summary line. */
     bool timing = false;
+    /** Export the aggregated recording stats as JSON after recordAll. */
+    std::string statsJson;
 };
 
 /**
- * Parse `--jobs N` / `-j N` / `--timing`; honors RR_JOBS when the flag
- * is absent. Exits with a usage message on unknown arguments.
+ * Parse `--jobs N` / `-j N` / `--timing` / `--stats-json FILE`; honors
+ * RR_JOBS when the flag is absent and opens the trace sink when
+ * RR_TRACE is set. Exits with a usage message on unknown arguments.
  */
 BenchOptions parseBenchOptions(int argc, char **argv);
 

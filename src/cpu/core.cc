@@ -1,6 +1,7 @@
 #include "cpu/core.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace rr::cpu
 {
@@ -167,6 +168,11 @@ Core::retirePhase(sim::Cycle now)
 
         if (is_halt) {
             halted_ = true;
+            if (sim::TraceSink::enabled()) {
+                sim::TraceSink::get()->instant(
+                    sim::TraceSink::kRecordPid, id_, "core", "halt", now,
+                    {{"retired", retiredCount_}});
+            }
             squashAfter(seq, 0);
             for (auto *l : listeners_)
                 l->onHalted(now, halt_nmi);

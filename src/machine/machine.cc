@@ -62,6 +62,19 @@ Machine::Machine(const sim::MachineConfig &cfg, isa::Program prog,
 
 Machine::~Machine() = default;
 
+void
+Machine::collectStats(std::vector<const sim::StatSet *> &out)
+{
+    out.push_back(&memsys_->stats());
+    for (auto &core : cores_)
+        out.push_back(&core->stats());
+    for (auto &hub : hubs_) {
+        out.push_back(&hub->stats());
+        for (std::size_t p = 0; p < hub->numPolicies(); ++p)
+            out.push_back(&hub->recorder(p).stats());
+    }
+}
+
 RecordingResult
 Machine::run(std::uint64_t max_cycles)
 {

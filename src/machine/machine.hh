@@ -75,6 +75,14 @@ class Machine
 
     cpu::Core &core(sim::CoreId c) { return *cores_.at(c); }
     rnr::MrrHub &hub(sim::CoreId c) { return *hubs_.at(c); }
+
+    /**
+     * Append every StatSet this machine owns (memory system, cores, MRR
+     * hubs, and each hub's per-policy recorders) to @p out, for JSON/CSV
+     * export. The pointers stay valid as long as the Machine lives.
+     */
+    void collectStats(std::vector<const sim::StatSet *> &out);
+
     mem::MemorySystem &memorySystem() { return *memsys_; }
     mem::BackingStore &memory() { return backing_; }
     sim::Cycle cycles() const { return cycle_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace rr::mem
 {
@@ -268,6 +269,11 @@ MemorySystem::grant(const BusRequest &req)
 {
     if (req.kind == BusKind::PutM) {
         stats_.counter("bus_putm")++;
+        if (sim::TraceSink::enabled()) {
+            sim::TraceSink::get()->instant(
+                sim::TraceSink::kRecordPid, req.core, "coherence", "PutM",
+                now_, {{"line", req.line}});
+        }
         return; // bandwidth-only: the BackingStore already has the value
     }
 
@@ -275,6 +281,11 @@ MemorySystem::grant(const BusRequest &req)
     const sim::Addr line = req.line;
     const bool is_write = req.kind == BusKind::GetM;
     stats_.counter(is_write ? "bus_getm" : "bus_gets")++;
+    if (sim::TraceSink::enabled()) {
+        sim::TraceSink::get()->instant(
+            sim::TraceSink::kRecordPid, req.core, "coherence",
+            is_write ? "GetM" : "GetS", now_, {{"line", line}});
+    }
 
     // Snoop all other caches; find a supplier and apply transitions.
     bool other_has_line = false;

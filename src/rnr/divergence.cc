@@ -1,0 +1,72 @@
+#include "rnr/divergence.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace rr::rnr
+{
+
+std::string
+DivergenceReport::format() const
+{
+    std::ostringstream os;
+    os << "replay divergence at core " << core << ", interval "
+       << intervalIndex << " (timestamp " << timestamp
+       << ", replay position " << orderPosition << "), entry "
+       << entryIndex << ", pc " << pc << "\n";
+    os << "  log entry: " << toString(entry.kind);
+    switch (entry.kind) {
+      case EntryKind::InorderBlock:
+        os << " block=" << entry.blockSize;
+        break;
+      case EntryKind::ReorderedLoad:
+      case EntryKind::DummyAtomic:
+        os << " value=" << entry.loadValue;
+        break;
+      case EntryKind::ReorderedStore:
+      case EntryKind::PatchedStore:
+        os << sim::strfmt(" addr=0x%llx value=%llu",
+                          static_cast<unsigned long long>(entry.addr),
+                          static_cast<unsigned long long>(
+                              entry.storeValue));
+        break;
+      case EntryKind::ReorderedAtomic:
+        os << sim::strfmt(" addr=0x%llx old=%llu new=%llu",
+                          static_cast<unsigned long long>(entry.addr),
+                          static_cast<unsigned long long>(entry.loadValue),
+                          static_cast<unsigned long long>(
+                              entry.storeValue));
+        break;
+      default:
+        break;
+    }
+    os << "\n  expected: " << expected << "\n  actual:   " << actual
+       << "\n";
+    if (!predecessors.empty()) {
+        os << "  interval ordering: after";
+        for (const IntervalDep &d : predecessors)
+            os << " core" << d.core << "#" << d.isn;
+        os << "\n";
+    }
+    if (!recentSteps.empty()) {
+        os << "  last replay steps (oldest first):\n";
+        for (const ReplayStep &s : recentSteps) {
+            os << sim::strfmt("    core %u iv %u entry %u %-15s pc=%llu "
+                              "value=%llu addr=0x%llx\n",
+                              s.core, s.interval, s.entry,
+                              toString(s.kind),
+                              static_cast<unsigned long long>(s.pc),
+                              static_cast<unsigned long long>(s.value),
+                              static_cast<unsigned long long>(s.addr));
+        }
+    }
+    return os.str();
+}
+
+ReplayDivergence::ReplayDivergence(DivergenceReport report)
+    : std::runtime_error(report.format()), report_(std::move(report))
+{
+}
+
+} // namespace rr::rnr

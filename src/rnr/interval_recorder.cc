@@ -1,9 +1,29 @@
 #include "rnr/interval_recorder.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace rr::rnr
 {
+
+namespace
+{
+
+const char *
+toString(IntervalRecorder::Termination why)
+{
+    switch (why) {
+      case IntervalRecorder::Termination::Conflict:
+        return "snoop-conflict";
+      case IntervalRecorder::Termination::MaxSize:
+        return "size-cap";
+      case IntervalRecorder::Termination::Finish:
+        return "finish";
+    }
+    return "?";
+}
+
+} // namespace
 
 IntervalRecorder::IntervalRecorder(sim::CoreId core,
                                    const sim::RecorderConfig &cfg,
@@ -51,6 +71,15 @@ IntervalRecorder::onSnoop(const mem::SnoopEvent &ev)
         stats_.counter("terminations_conflict")++;
         terminate(Termination::Conflict, ev.cycle);
         conflicted = true;
+    }
+    if (sim::TraceSink::enabled()) {
+        sim::TraceSink::get()->instant(
+            sim::TraceSink::kRecordPid, core_, "snoop",
+            conflicted ? "snoop-conflict" : "snoop", ev.cycle,
+            {{"line", ev.lineAddr},
+             {"requester", ev.requester},
+             {"write", ev.isWrite},
+             {"policy", stats_.name().c_str()}});
     }
     if (cfg_.mode == sim::RecorderMode::Opt)
         snoopTable_.bump(ev.lineAddr);
@@ -131,6 +160,9 @@ IntervalRecorder::countMem(mem::AccessKind kind, sim::Addr word_addr,
     } else if (cfg_.mode == sim::RecorderMode::Base) {
         reordered = true;
     } else {
+        // The Snoop Table's hit/miss decision: a "hit" (both counters
+        // moved) means a conflicting transaction may have been observed
+        // between perform and counting, so the access logs as reordered.
         reordered = snoopTable_.conflictSince(line, ps.counts);
         if (!reordered) {
             // Moving the perform event across intervals: the access now
@@ -139,6 +171,15 @@ IntervalRecorder::countMem(mem::AccessKind kind, sim::Addr word_addr,
             // (Section 4.2).
             insertSignature(kind, line);
             stats_.counter("moved_across_intervals")++;
+        }
+        if (sim::TraceSink::enabled()) {
+            sim::TraceSink::get()->instant(
+                sim::TraceSink::kRecordPid, core_, "traq",
+                reordered ? "snoop-table-hit" : "snoop-table-miss", now,
+                {{"addr", word_addr},
+                 {"pisn", static_cast<std::uint64_t>(ps.pisn)},
+                 {"cisn", static_cast<std::uint64_t>(cisn_)},
+                 {"policy", stats_.name().c_str()}});
         }
     }
 
@@ -154,6 +195,14 @@ IntervalRecorder::countMem(mem::AccessKind kind, sim::Addr word_addr,
         RR_ASSERT(delta > 0 && delta < (1ULL << bits::kOffset),
                   "interval offset out of range");
         const auto offset = static_cast<std::uint32_t>(delta);
+        if (sim::TraceSink::enabled()) {
+            sim::TraceSink::get()->instant(
+                sim::TraceSink::kRecordPid, core_, "traq", "reordered",
+                now,
+                {{"addr", word_addr},
+                 {"offset", offset},
+                 {"policy", stats_.name().c_str()}});
+        }
         switch (kind) {
           case mem::AccessKind::Load:
             current_.entries.push_back(LogEntry::reorderedLoad(load_value));
@@ -191,15 +240,26 @@ IntervalRecorder::flushBlock()
 void
 IntervalRecorder::terminate(Termination why, sim::Cycle now)
 {
-    (void)why;
     flushBlock();
     current_.cisn = cisn_;
     current_.timestamp = clock_.next();
     current_.cycle = now;
+    if (sim::TraceSink::enabled()) {
+        sim::TraceSink::get()->complete(
+            sim::TraceSink::kRecordPid, core_, "interval", stats_.name(),
+            intervalStartCycle_, now - intervalStartCycle_,
+            {{"cisn", static_cast<std::uint64_t>(cisn_)},
+             {"reason", toString(why)},
+             {"entries", static_cast<std::uint64_t>(
+                             current_.entries.size())},
+             {"instructions", intervalInstructions_},
+             {"timestamp", current_.timestamp}});
+    }
     log_.intervals.push_back(std::move(current_));
     current_ = IntervalRecord{};
     ++cisn_;
     intervalInstructions_ = 0;
+    intervalStartCycle_ = now;
     readSig_.clear();
     writeSig_.clear();
     stats_.counter("intervals")++;

@@ -38,6 +38,14 @@ class IntervalRecorder
         SnoopTable::Counts counts; ///< Snoop Count field (Opt only)
     };
 
+    /** Why an interval was closed (trace + stats reporting). */
+    enum class Termination
+    {
+        Conflict,
+        MaxSize,
+        Finish,
+    };
+
     IntervalRecorder(sim::CoreId core, const sim::RecorderConfig &cfg,
                      mem::StampClock &clock, std::string name);
 
@@ -95,19 +103,12 @@ class IntervalRecorder
     sim::StatSet &stats() { return stats_; }
 
   private:
-    enum class Termination
-    {
-        Conflict,
-        MaxSize,
-        Finish,
-    };
-
     void insertSignature(mem::AccessKind kind, sim::Addr line);
     bool conflicts(const mem::SnoopEvent &ev) const;
     void flushBlock();
     void terminate(Termination why, sim::Cycle now);
 
-    [[maybe_unused]] const sim::CoreId core_;
+    const sim::CoreId core_;
     const sim::RecorderConfig cfg_;
     mem::StampClock &clock_;
 
@@ -118,6 +119,7 @@ class IntervalRecorder
     sim::Isn cisn_ = 0;
     std::uint64_t blockSize_ = 0;        ///< Current InorderBlock Size
     std::uint64_t intervalInstructions_ = 0;
+    sim::Cycle intervalStartCycle_ = 0;  ///< For interval trace events
     IntervalRecord current_;
     CoreLog log_;
     bool finished_ = false;

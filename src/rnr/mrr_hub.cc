@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace rr::rnr
 {
@@ -12,7 +13,8 @@ MrrHub::MrrHub(sim::CoreId core,
                mem::StampClock &clock)
     : core_(core), clock_(clock),
       traqCapacity_(policies.empty() ? 176 : policies.front().traqEntries),
-      stats_(sim::strfmt("mrr%u", core))
+      stats_(sim::strfmt("mrr%u", core)),
+      histogram_(stats_.histogram("traq_occupancy", 10, 20))
 {
     RR_ASSERT(!policies.empty(), "MrrHub needs at least one policy");
     for (std::size_t i = 0; i < policies.size(); ++i) {
@@ -87,7 +89,8 @@ MrrHub::onDispatchNmiGroup(sim::SeqNum last_seq, std::uint32_t count)
 
 void
 MrrHub::recordPerform(TraqEntry &e, mem::AccessKind kind, sim::Addr word,
-                      std::uint64_t load_value, std::uint64_t store_value)
+                      std::uint64_t load_value, std::uint64_t store_value,
+                      sim::Cycle cycle)
 {
     RR_ASSERT(!e.performed, "double perform for seq %llu",
               static_cast<unsigned long long>(e.seq));
@@ -106,6 +109,14 @@ MrrHub::recordPerform(TraqEntry &e, mem::AccessKind kind, sim::Addr word,
         }
     }
 
+    if (sim::TraceSink::enabled()) {
+        sim::TraceSink::get()->instant(
+            sim::TraceSink::kRecordPid, core_, "traq", "perform", cycle,
+            {{"seq", e.seq},
+             {"addr", word},
+             {"ooo", e.oooAtPerform}});
+    }
+
     for (std::size_t i = 0; i < recorders_.size(); ++i)
         e.ps[i] = recorders_[i]->notePerform(kind, word);
 }
@@ -122,7 +133,8 @@ MrrHub::onPerform(const mem::PerformEvent &ev)
         stats_.counter("squashed_performs")++;
         return;
     }
-    recordPerform(*e, ev.kind, ev.addr, ev.loadValue, ev.storeValue);
+    recordPerform(*e, ev.kind, ev.addr, ev.loadValue, ev.storeValue,
+                  ev.cycle);
     drainCountable(ev.cycle);
 }
 
@@ -135,7 +147,7 @@ MrrHub::onForwardedLoadPerform(sim::SeqNum seq, sim::Addr word_addr,
     TraqEntry *e = findBySeq(seq);
     RR_ASSERT(e, "forwarded perform for unknown seq");
     stats_.counter("forwarded_performs")++;
-    recordPerform(*e, mem::AccessKind::Load, word_addr, value, 0);
+    recordPerform(*e, mem::AccessKind::Load, word_addr, value, 0, cycle);
     drainCountable(cycle);
 }
 
@@ -230,6 +242,14 @@ MrrHub::drainCountable(sim::Cycle now)
                                                      : "ooo_loads")++;
             }
             stats_.counter("counted_mem")++;
+            if (sim::TraceSink::enabled()) {
+                sim::TraceSink::get()->instant(
+                    sim::TraceSink::kRecordPid, core_, "traq", "count",
+                    now,
+                    {{"seq", e.seq},
+                     {"addr", e.word},
+                     {"ooo", e.oooAtPerform}});
+            }
             const mem::AccessKind kind = accessKindOf(e);
             for (std::size_t i = 0; i < recorders_.size(); ++i) {
                 recorders_[i]->countMem(kind, e.word, e.loadValue,

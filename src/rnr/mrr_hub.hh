@@ -111,7 +111,8 @@ class MrrHub : public cpu::CoreListener, public mem::MemoryObserver
 
     TraqEntry *findBySeq(sim::SeqNum seq);
     void recordPerform(TraqEntry &e, mem::AccessKind kind, sim::Addr word,
-                       std::uint64_t load_value, std::uint64_t store_value);
+                       std::uint64_t load_value, std::uint64_t store_value,
+                       sim::Cycle cycle);
     void drainCountable(sim::Cycle now);
     static mem::AccessKind accessKindOf(const TraqEntry &e);
 
@@ -129,8 +130,9 @@ class MrrHub : public cpu::CoreListener, public mem::MemoryObserver
     sim::Cycle haltCycle_ = 0;
     bool finished_ = false;
 
-    sim::Histogram histogram_{10, 20};
     sim::StatSet stats_;
+    /** Registered in stats_ ("traq_occupancy"); exported with them. */
+    sim::Histogram &histogram_;
 };
 
 } // namespace rr::rnr

@@ -42,10 +42,44 @@ class TracingMemory : public isa::MemoryIf
 Replayer::Replayer(isa::Program prog, std::vector<CoreLog> patched_logs,
                    mem::BackingStore initial_memory)
     : prog_(std::move(prog)), logs_(std::move(patched_logs)),
-      memory_(std::move(initial_memory))
+      memory_(std::move(initial_memory)), recentSteps_(logs_.size())
 {
     for (const auto &log : logs_)
         RR_ASSERT(isPatched(log), "replayer requires a patched log");
+}
+
+void
+Replayer::noteStep(const ReplayStep &step)
+{
+    auto &ring = recentSteps_[step.core];
+    if (ring.size() >= kRingDepth)
+        ring.pop_front();
+    ring.push_back(step);
+}
+
+void
+Replayer::diverge(sim::CoreId core, std::uint32_t interval_index,
+                  std::uint32_t entry_index, std::uint64_t order_position,
+                  std::uint64_t pc, const LogEntry &entry,
+                  std::string expected, std::string actual)
+{
+    const IntervalRecord &iv = logs_[core].intervals[interval_index];
+    DivergenceReport report;
+    report.core = core;
+    report.intervalIndex = interval_index;
+    report.entryIndex = entry_index;
+    report.pc = pc;
+    report.entry = entry;
+    report.expected = std::move(expected);
+    report.actual = std::move(actual);
+    report.timestamp = iv.timestamp;
+    report.orderPosition = order_position;
+    report.predecessors = iv.predecessors;
+    // Rings are chronological per core; concatenate in core order.
+    for (const auto &ring : recentSteps_)
+        for (const ReplayStep &s : ring)
+            report.recentSteps.push_back(s);
+    throw ReplayDivergence(std::move(report));
 }
 
 ReplayResult
@@ -99,8 +133,9 @@ Replayer::runInOrder(const std::vector<OrderItem> &order)
         expected += log.intervals.size();
     RR_ASSERT(total == expected, "order must cover every interval");
 
+    std::uint64_t position = 0;
     for (const OrderItem &it : order) {
-        replayInterval(it.core, logs_[it.core].intervals[it.index], res);
+        replayInterval(it.core, it.index, position++, res);
         ++res.intervals;
         res.cost.osCycles += costModel_.perIntervalCost;
     }
@@ -109,20 +144,57 @@ Replayer::runInOrder(const std::vector<OrderItem> &order)
     return res;
 }
 
-void
-Replayer::replayInterval(sim::CoreId core, const IntervalRecord &iv,
-                         ReplayResult &res)
+namespace
 {
+
+/** Render the instruction at @p pc (or the halted state) for a report. */
+std::string
+describeProgramPoint(const isa::Program &prog, const isa::ExecContext &ctx)
+{
+    if (ctx.halted)
+        return "core already halted";
+    return sim::strfmt("pc %llu: %s",
+                       static_cast<unsigned long long>(ctx.pc),
+                       isa::disassemble(prog.at(ctx.pc)).c_str());
+}
+
+} // namespace
+
+void
+Replayer::replayInterval(sim::CoreId core, std::uint32_t interval_index,
+                         std::uint64_t order_position, ReplayResult &res)
+{
+    const IntervalRecord &iv = logs_[core].intervals[interval_index];
     isa::ExecContext &ctx = res.contexts[core];
     TracingMemory tmem(memory_);
 
-    for (const LogEntry &e : iv.entries) {
+    for (std::uint32_t ei = 0; ei < iv.entries.size(); ++ei) {
+        const LogEntry &e = iv.entries[ei];
+        std::uint64_t step_value = e.loadValue;
+        if (e.kind == EntryKind::InorderBlock)
+            step_value = e.blockSize;
+        else if (e.kind == EntryKind::ReorderedStore ||
+                 e.kind == EntryKind::PatchedStore)
+            step_value = e.storeValue;
+        noteStep(ReplayStep{core, interval_index, ei, e.kind, ctx.pc,
+                            step_value, e.addr});
         res.cost.osCycles += costModel_.perEntryCost;
         switch (e.kind) {
           case EntryKind::InorderBlock: {
             for (std::uint64_t n = 0; n < e.blockSize; ++n) {
-                RR_ASSERT(!ctx.halted,
-                          "InorderBlock continues past HALT");
+                if (ctx.halted) {
+                    diverge(core, interval_index, ei, order_position,
+                            ctx.pc, e,
+                            sim::strfmt("%llu more executable "
+                                        "instructions (%llu of %llu "
+                                        "replayed)",
+                                        static_cast<unsigned long long>(
+                                            e.blockSize - n),
+                                        static_cast<unsigned long long>(n),
+                                        static_cast<unsigned long long>(
+                                            e.blockSize)),
+                            "core already halted");
+                }
                 tmem.didRead = false;
                 const isa::Instruction &inst =
                     isa::step(prog_, ctx, tmem);
@@ -137,11 +209,12 @@ Replayer::replayInterval(sim::CoreId core, const IntervalRecord &iv,
             break;
           }
           case EntryKind::ReorderedLoad: {
+            if (ctx.halted || !prog_.at(ctx.pc).isLoad()) {
+                diverge(core, interval_index, ei, order_position, ctx.pc,
+                        e, "a load instruction",
+                        describeProgramPoint(prog_, ctx));
+            }
             const isa::Instruction &inst = prog_.at(ctx.pc);
-            RR_ASSERT(inst.isLoad(),
-                      "ReorderedLoad does not align with a load at pc "
-                      "%llu",
-                      static_cast<unsigned long long>(ctx.pc));
             ctx.writeReg(inst.rd, e.loadValue);
             ++ctx.pc;
             ++ctx.instructions;
@@ -152,9 +225,11 @@ Replayer::replayInterval(sim::CoreId core, const IntervalRecord &iv,
             break;
           }
           case EntryKind::DummyStore: {
-            const isa::Instruction &inst = prog_.at(ctx.pc);
-            RR_ASSERT(inst.isStore(),
-                      "DummyStore does not align with a store");
+            if (ctx.halted || !prog_.at(ctx.pc).isStore()) {
+                diverge(core, interval_index, ei, order_position, ctx.pc,
+                        e, "a store instruction",
+                        describeProgramPoint(prog_, ctx));
+            }
             ++ctx.pc;
             ++ctx.instructions;
             ++res.instructions;
@@ -162,9 +237,12 @@ Replayer::replayInterval(sim::CoreId core, const IntervalRecord &iv,
             break;
           }
           case EntryKind::DummyAtomic: {
+            if (ctx.halted || !prog_.at(ctx.pc).isAtomic()) {
+                diverge(core, interval_index, ei, order_position, ctx.pc,
+                        e, "an atomic instruction",
+                        describeProgramPoint(prog_, ctx));
+            }
             const isa::Instruction &inst = prog_.at(ctx.pc);
-            RR_ASSERT(inst.isAtomic(),
-                      "DummyAtomic does not align with an atomic");
             ctx.writeReg(inst.rd, e.loadValue);
             ++ctx.pc;
             ++ctx.instructions;
@@ -183,7 +261,10 @@ Replayer::replayInterval(sim::CoreId core, const IntervalRecord &iv,
             break;
           case EntryKind::ReorderedStore:
           case EntryKind::ReorderedAtomic:
-            sim::panic("unpatched entry reached the replayer");
+            diverge(core, interval_index, ei, order_position, ctx.pc, e,
+                    "a patched log (ReorderedStore/Atomic rewritten by "
+                    "rnr::patch)",
+                    "an unpatched recording-side entry");
         }
     }
 }

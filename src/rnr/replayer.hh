@@ -20,11 +20,13 @@
 #define RR_RNR_REPLAYER_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <vector>
 
 #include "isa/program.hh"
 #include "mem/backing_store.hh"
+#include "rnr/divergence.hh"
 #include "rnr/log.hh"
 #include "sim/types.hh"
 
@@ -116,8 +118,15 @@ class Replayer
      * contain every interval of every core exactly once and must
      * respect per-core interval order; correctness additionally
      * requires it to respect the recorded dependencies.
+     *
+     * Both run() and runInOrder() throw ReplayDivergence (see
+     * divergence.hh) when a log entry does not line up with the
+     * program — e.g. a corrupted log.
      */
     ReplayResult runInOrder(const std::vector<OrderItem> &order);
+
+    /** Replay steps kept per core for divergence reports. */
+    static constexpr std::size_t kRingDepth = 8;
 
   private:
     struct IntervalRef
@@ -127,8 +136,19 @@ class Replayer
         std::uint32_t index;
     };
 
-    void replayInterval(sim::CoreId core, const IntervalRecord &iv,
-                        ReplayResult &res);
+    void replayInterval(sim::CoreId core, std::uint32_t interval_index,
+                        std::uint64_t order_position, ReplayResult &res);
+
+    /** Remember one replay step in core @p core 's ring buffer. */
+    void noteStep(const ReplayStep &step);
+
+    /** Throw a ReplayDivergence describing the current failure. */
+    [[noreturn]] void diverge(sim::CoreId core,
+                              std::uint32_t interval_index,
+                              std::uint32_t entry_index,
+                              std::uint64_t order_position,
+                              std::uint64_t pc, const LogEntry &entry,
+                              std::string expected, std::string actual);
 
     /** Owned copy: callers may pass temporaries. */
     const isa::Program prog_;
@@ -136,6 +156,8 @@ class Replayer
     mem::BackingStore memory_;
     ReplayCostModel costModel_;
     std::function<void(sim::CoreId, std::uint64_t)> loadHook_;
+    /** Per-core ring of the last kRingDepth replay steps. */
+    std::vector<std::deque<ReplayStep>> recentSteps_;
 };
 
 } // namespace rr::rnr

@@ -1,7 +1,9 @@
 /**
  * @file
  * Lightweight statistics: named counters, scalar samples and binned
- * histograms, grouped into StatSet objects that can be printed or merged.
+ * histograms, grouped into StatSet objects that can be printed, merged
+ * hierarchically, and serialized to JSON or CSV for machine-readable
+ * experiment output (`rrsim --stats-json`, bench `--stats-json`).
  */
 
 #ifndef RR_SIM_STATS_HH
@@ -26,6 +28,9 @@ class Counter
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
 
+    /** Fold another counter in (hierarchical aggregation). */
+    void merge(const Counter &o) { value_ += o.value_; }
+
   private:
     std::uint64_t value_ = 0;
 };
@@ -33,6 +38,12 @@ class Counter
 /**
  * Running mean/min/max of a scalar sample stream (e.g. queue occupancy
  * sampled every cycle).
+ *
+ * An empty stream has no minimum or maximum: min()/max()/mean() return
+ * 0.0 for convenience in arithmetic, but that value is indistinguishable
+ * from a real 0 sample — consumers that must tell the two apart check
+ * count() == 0 first, and the JSON export serializes the three fields as
+ * `null` for empty streams.
  */
 class ScalarStat
 {
@@ -54,6 +65,24 @@ class ScalarStat
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
+
+    /** Fold another sample stream in (hierarchical aggregation). */
+    void
+    merge(const ScalarStat &o)
+    {
+        if (o.count_ == 0)
+            return;
+        if (count_ == 0) {
+            *this = o;
+            return;
+        }
+        sum_ += o.sum_;
+        count_ += o.count_;
+        if (o.min_ < min_)
+            min_ = o.min_;
+        if (o.max_ > max_)
+            max_ = o.max_;
+    }
 
     void
     reset()
@@ -112,6 +141,9 @@ class Histogram
         return total_ ? static_cast<double>(bins_.at(i)) / total_ : 0.0;
     }
 
+    /** Fold another histogram in; shapes must match (asserted). */
+    void merge(const Histogram &o);
+
   private:
     std::uint64_t binWidth_;
     std::vector<std::uint64_t> bins_;
@@ -119,9 +151,9 @@ class Histogram
 };
 
 /**
- * A named, ordered collection of counters and scalar stats. Modules own a
- * StatSet and register their statistics by name; harnesses print or query
- * them generically.
+ * A named, ordered collection of counters, scalar stats and histograms.
+ * Modules own a StatSet and register their statistics by name; harnesses
+ * print, merge or serialize them generically.
  */
 class StatSet
 {
@@ -132,6 +164,13 @@ class StatSet
     Counter &counter(const std::string &name) { return counters_[name]; }
     /** Get-or-create a scalar stat by name. */
     ScalarStat &scalar(const std::string &name) { return scalars_[name]; }
+    /**
+     * Get-or-create a histogram by name. The shape arguments only apply
+     * on creation; an existing histogram is returned as-is.
+     */
+    Histogram &histogram(const std::string &name,
+                         std::uint64_t bin_width = 10,
+                         std::size_t num_bins = 20);
 
     /** Read a counter; returns 0 when absent. */
     std::uint64_t
@@ -142,6 +181,7 @@ class StatSet
     }
 
     const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
     const std::map<std::string, Counter> &counters() const
     {
         return counters_;
@@ -150,15 +190,49 @@ class StatSet
     {
         return scalars_;
     }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+
+    /**
+     * Hierarchical merge: fold every statistic of @p o into this set by
+     * name (counters add, scalar streams combine, histogram bins add).
+     * The other set's name is ignored.
+     */
+    void mergeFrom(const StatSet &o);
 
     /** Pretty-print all statistics, one per line, prefixed by set name. */
     void print(std::ostream &os) const;
+
+    /**
+     * Serialize as one JSON object:
+     * {"name":..., "counters":{...}, "scalars":{...}, "histograms":{...}}.
+     * Empty scalar streams serialize mean/min/max as null (see
+     * ScalarStat).
+     */
+    void toJson(std::ostream &os) const;
+
+    /**
+     * Serialize as CSV rows `set,stat,field,value` (one row per counter,
+     * per scalar field, and per histogram bin). Empty scalar streams
+     * leave the mean/min/max value column empty.
+     */
+    void toCsv(std::ostream &os) const;
 
   private:
     std::string name_;
     std::map<std::string, Counter> counters_;
     std::map<std::string, ScalarStat> scalars_;
+    std::map<std::string, Histogram> histograms_;
 };
+
+/**
+ * Write several stat sets as one JSON array (the payload of
+ * `--stats-json` outputs).
+ */
+void writeStatsJson(std::ostream &os,
+                    const std::vector<const StatSet *> &sets);
 
 } // namespace rr::sim
 

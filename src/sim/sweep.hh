@@ -14,9 +14,14 @@
 #define RR_SIM_SWEEP_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <mutex>
+#include <string>
 #include <vector>
+
+#include "sim/stats.hh"
 
 namespace rr::sim
 {
@@ -67,6 +72,9 @@ class SweepRunner
     /** Queue a job for the next run(). Jobs must be independent. */
     void enqueue(Job job);
 
+    /** Same, with a label used by trace events ("sweep" track). */
+    void enqueue(std::string label, Job job);
+
     std::size_t pending() const { return jobs_.size(); }
 
     /**
@@ -90,12 +98,33 @@ class SweepRunner
         instructions_.fetch_add(n, std::memory_order_relaxed);
     }
 
+    /**
+     * Thread-safe merge of a finished job's StatSet into the batch-wide
+     * aggregate (counters add, scalars/histograms combine); call from
+     * inside jobs. The aggregate survives run() for later export.
+     */
+    void accumulateStats(const StatSet &s);
+
+    /** Batch-wide aggregate built by accumulateStats(). */
+    const StatSet &aggregatedStats() const { return aggregated_; }
+
   private:
+    struct QueuedJob
+    {
+        std::string label;
+        Job fn;
+    };
+
+    void runJob(std::size_t index, std::uint32_t worker,
+                std::chrono::steady_clock::time_point run_start);
+
     std::uint32_t workers_;
     std::uint64_t baseSeed_;
-    std::vector<Job> jobs_;
+    std::vector<QueuedJob> jobs_;
     std::atomic<std::uint64_t> instructions_{0};
     SweepStats lastStats_;
+    std::mutex statsMutex_;
+    StatSet aggregated_{"sweep"};
 };
 
 /**

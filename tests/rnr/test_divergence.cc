@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "machine/machine.hh"
+#include "rnr/patcher.hh"
+#include "rnr/replayer.hh"
+#include "workloads/kernels.hh"
+
+namespace
+{
+
+using namespace rr;
+
+struct RecordedForReplay
+{
+    workloads::Workload workload;
+    mem::BackingStore initial;
+    std::vector<rnr::CoreLog> patched;
+};
+
+RecordedForReplay
+recordKernel(const std::string &name, std::uint32_t cores)
+{
+    workloads::WorkloadParams wp;
+    wp.numThreads = cores;
+    wp.scale = 1;
+    RecordedForReplay r;
+    r.workload = workloads::buildKernel(name, wp);
+    sim::MachineConfig cfg;
+    cfg.numCores = cores;
+    std::vector<sim::RecorderConfig> pol(1);
+    machine::Machine m(cfg, r.workload.program, pol);
+    r.initial = m.initialMemory();
+    const auto rec = m.run();
+    for (const auto &log : rec.logs[0])
+        r.patched.push_back(rnr::patch(log));
+    return r;
+}
+
+TEST(Divergence, CorruptedLogEntryIsPreciselyLocated)
+{
+    RecordedForReplay r = recordKernel("fft", 2);
+
+    // Corrupt core 1: prepend a log entry whose kind cannot match the
+    // first instruction the core replays, so the very first step of its
+    // first interval diverges.
+    const sim::CoreId core = 1;
+    const isa::Program &prog = r.workload.program;
+    const isa::Instruction &first = prog.at(prog.entryFor(core));
+    const rnr::LogEntry bogus = first.isStore()
+                                    ? rnr::LogEntry::reorderedLoad(0xdead)
+                                    : rnr::LogEntry::dummyStore();
+    auto &entries = r.patched[core].intervals[0].entries;
+    entries.insert(entries.begin(), bogus);
+
+    rnr::Replayer rep(r.workload.program, r.patched, r.initial.clone());
+    try {
+        rep.run();
+        FAIL() << "expected ReplayDivergence";
+    } catch (const rnr::ReplayDivergence &d) {
+        const rnr::DivergenceReport &rep_r = d.report();
+        EXPECT_EQ(rep_r.core, core);
+        EXPECT_EQ(rep_r.intervalIndex, 0u);
+        EXPECT_EQ(rep_r.entryIndex, 0u);
+        EXPECT_EQ(rep_r.entry.kind, bogus.kind);
+        EXPECT_NE(rep_r.expected.find("instruction"), std::string::npos);
+        EXPECT_NE(rep_r.actual.find("pc "), std::string::npos);
+
+        // The ring buffer holds the offending step as the newest entry
+        // of the diverging core.
+        const rnr::ReplayStep *newest = nullptr;
+        for (const rnr::ReplayStep &s : rep_r.recentSteps) {
+            if (s.core == core)
+                newest = &s;
+        }
+        ASSERT_NE(newest, nullptr);
+        EXPECT_EQ(newest->interval, 0u);
+        EXPECT_EQ(newest->entry, 0u);
+        EXPECT_EQ(newest->kind, bogus.kind);
+
+        const std::string text = rep_r.format();
+        EXPECT_NE(text.find("replay divergence at core 1"),
+                  std::string::npos);
+        EXPECT_NE(text.find("last replay steps"), std::string::npos);
+    }
+}
+
+TEST(Divergence, IntactLogReplaysWithoutThrowing)
+{
+    RecordedForReplay r = recordKernel("fft", 2);
+    rnr::Replayer rep(r.workload.program, r.patched, r.initial.clone());
+    EXPECT_NO_THROW(rep.run());
+}
+
+} // namespace

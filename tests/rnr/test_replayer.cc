@@ -246,7 +246,7 @@ TEST(ReplayerDeathTest, UnpatchedLogRejected)
     EXPECT_DEATH(Replayer(p, logs, mem::BackingStore{}), "patched");
 }
 
-TEST(ReplayerDeathTest, MisalignedReorderedLoadRejected)
+TEST(ReplayerDivergenceTest, MisalignedReorderedLoadRejected)
 {
     Assembler a;
     a.li(3, 1); // not a load
@@ -256,7 +256,22 @@ TEST(ReplayerDeathTest, MisalignedReorderedLoadRejected)
     logs[0].intervals.push_back(
         interval({LogEntry::reorderedLoad(1)}, 1));
     Replayer rep(p, logs, mem::BackingStore{});
-    EXPECT_DEATH(rep.run(), "align");
+    try {
+        rep.run();
+        FAIL() << "expected ReplayDivergence";
+    } catch (const ReplayDivergence &d) {
+        const DivergenceReport &r = d.report();
+        EXPECT_EQ(r.core, 0u);
+        EXPECT_EQ(r.intervalIndex, 0u);
+        EXPECT_EQ(r.entryIndex, 0u);
+        EXPECT_EQ(r.entry.kind, EntryKind::ReorderedLoad);
+        EXPECT_NE(r.expected.find("load"), std::string::npos);
+        // The offending step itself is the newest ring-buffer entry.
+        ASSERT_FALSE(r.recentSteps.empty());
+        EXPECT_EQ(r.recentSteps.back().entry, 0u);
+        EXPECT_NE(r.format().find("replay divergence at core 0"),
+                  std::string::npos);
+    }
 }
 
 } // namespace

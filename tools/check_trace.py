@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Validate a trace file emitted by rrsim/sim::TraceSink.
+
+Checks that the file is well-formed Chrome trace format (the subset the
+simulator emits) and that its event structure is sane:
+
+  * top level is an object with a "traceEvents" list;
+  * every event has name/ph/pid/tid, a numeric ts (except "M" metadata),
+    and a known phase ("X", "i", "C" or "M");
+  * "X" (complete) events carry a non-negative numeric "dur";
+  * per (pid, tid, name) series, "X" events are properly nested: two
+    events either do not overlap in time or one fully contains the
+    other. Grouping by name keeps simultaneous-policy recordings valid:
+    each recorder policy emits its own back-to-back interval series on
+    the core's track, and different policies' intervals may overlap;
+  * instant events use thread scope ("s": "t"), so Perfetto does not
+    draw them as whole-trace vertical lines.
+
+Usage: check_trace.py FILE [--quiet]
+Exit status 0 when the trace is valid, 1 otherwise.
+"""
+
+import json
+import sys
+
+KNOWN_PHASES = {"X", "i", "C", "M"}
+
+
+def fail(msg):
+    print(f"check_trace: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_events(events):
+    """Field-level validation; returns per-track lists of X events."""
+    tracks = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i}: not an object")
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in ev:
+                fail(f"event {i}: missing '{field}'")
+        ph = ev["ph"]
+        if ph not in KNOWN_PHASES:
+            fail(f"event {i}: unknown phase {ph!r}")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            fail(f"event {i} ({ev['name']!r}): missing/non-numeric 'ts'")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"event {i} ({ev['name']!r}): bad 'dur' {dur!r}")
+            tracks.setdefault((ev["pid"], ev["tid"], ev["name"]),
+                              []).append((ts, ts + dur, i, ev["name"]))
+        if ph == "i" and ev.get("s") not in (None, "t", "p", "g"):
+            fail(f"event {i}: bad instant scope {ev.get('s')!r}")
+    return tracks
+
+
+def check_nesting(tracks):
+    """X events of one series must not partially overlap."""
+    for (pid, tid, _series), spans in tracks.items():
+        # Earlier start first; for ties, the longer (outer) event first.
+        spans.sort(key=lambda s: (s[0], -(s[1] - s[0])))
+        stack = []
+        for start, end, idx, name in spans:
+            while stack and stack[-1][1] <= start:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                o_start, o_end, o_idx, o_name = stack[-1]
+                fail(f"track pid={pid} tid={tid}: event {idx} "
+                     f"({name!r}, [{start}, {end})) partially overlaps "
+                     f"event {o_idx} ({o_name!r}, [{o_start}, {o_end}))")
+            stack.append((start, end, idx, name))
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--quiet"]
+    quiet = "--quiet" in argv[1:]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(args[0], encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(f"cannot read {args[0]}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{args[0]}: invalid JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("'traceEvents' must be a list")
+
+    tracks = validate_events(events)
+    check_nesting(tracks)
+
+    if not quiet:
+        n_x = sum(len(s) for s in tracks.values())
+        print(f"check_trace: OK — {len(events)} events, "
+              f"{n_x} complete events on {len(tracks)} tracks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -25,12 +25,14 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "machine/machine.hh"
 #include "rnr/parallel_schedule.hh"
 #include "rnr/patcher.hh"
 #include "rnr/replayer.hh"
 #include "sim/sweep.hh"
+#include "sim/trace.hh"
 #include "workloads/kernels.hh"
 
 using namespace rr;
@@ -50,6 +52,8 @@ struct Options
     bool parallel = false;
     std::uint32_t jobs = 0; // sweep: host threads; 0 = all cores
     std::string outFile;
+    std::string traceFile;
+    std::string statsJson;
 };
 
 [[noreturn]] void
@@ -68,7 +72,11 @@ usage()
         "  --jobs J         concurrent recordings for sweep "
         "(default: all host cores)\n"
         "  --out FILE       save packed logs (record)\n"
-        "sweep takes a kernel name or 'all' for the whole suite.\n");
+        "  --trace FILE     write a Chrome-trace-format event trace "
+        "(also: env RR_TRACE)\n"
+        "  --stats-json FILE  export simulator statistics as JSON\n"
+        "sweep takes a kernel name or 'all' for the whole suite.\n"
+        "flags may appear before or after the command.\n");
     std::exit(2);
 }
 
@@ -85,24 +93,25 @@ Options
 parse(int argc, char **argv)
 {
     Options o;
-    if (argc < 2)
-        usage();
-    o.command = argv[1];
-    int i = 2;
-    if (o.command != "list") {
-        if (argc < 3)
-            usage();
-        o.kernel = argv[2];
-        i = 3;
-    }
-    for (; i < argc; ++i) {
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
             if (++i >= argc)
                 usage();
             return argv[i];
         };
-        if (arg == "--cores") {
+        if (arg.rfind("--", 0) != 0) {
+            positional.push_back(arg);
+        } else if (arg == "--trace") {
+            o.traceFile = next();
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            o.traceFile = arg.substr(8);
+        } else if (arg == "--stats-json") {
+            o.statsJson = next();
+        } else if (arg.rfind("--stats-json=", 0) == 0) {
+            o.statsJson = arg.substr(13);
+        } else if (arg == "--cores") {
             o.cores = static_cast<std::uint32_t>(parseNum(next()));
         } else if (arg == "--scale") {
             o.scale = parseNum(next());
@@ -130,7 +139,43 @@ parse(int argc, char **argv)
             usage();
         }
     }
+    if (positional.empty())
+        usage();
+    o.command = positional[0];
+    if (o.command == "list") {
+        if (positional.size() > 1)
+            usage();
+    } else {
+        if (positional.size() != 2)
+            usage();
+        o.kernel = positional[1];
+    }
     return o;
+}
+
+/** Export @p sets as JSON to @p path (the --stats-json flag). */
+bool
+writeStatsFile(const std::string &path,
+               const std::vector<const sim::StatSet *> &sets)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return false;
+    }
+    sim::writeStatsJson(out, sets);
+    std::printf("stats saved     %s\n", path.c_str());
+    return true;
+}
+
+bool
+maybeExportStats(const Options &o, machine::Machine &m)
+{
+    if (o.statsJson.empty())
+        return true;
+    std::vector<const sim::StatSet *> sets;
+    m.collectStats(sets);
+    return writeStatsFile(o.statsJson, sets);
 }
 
 struct Run
@@ -220,7 +265,7 @@ cmdRecord(const Options &o)
         }
         std::printf("logs saved      %s\n", o.outFile.c_str());
     }
-    return 0;
+    return maybeExportStats(o, *run.machine) ? 0 : 1;
 }
 
 int
@@ -261,6 +306,8 @@ cmdReplay(const Options &o)
     std::printf("determinism     %s (%llu instructions replayed)\n",
                 ok ? "OK" : "MISMATCH",
                 (unsigned long long)res.instructions);
+    if (!maybeExportStats(o, *run.machine))
+        return 1;
     return ok ? 0 : 1;
 }
 
@@ -309,7 +356,7 @@ cmdInspect(const Options &o)
             }
         }
     }
-    return 0;
+    return maybeExportStats(o, *run.machine) ? 0 : 1;
 }
 
 int
@@ -335,21 +382,27 @@ cmdSweep(const Options &o)
                                 "Opt-INF"};
 
     sim::SweepRunner runner(o.jobs);
-    const std::vector<machine::RecordingResult> recs =
-        sim::sweepMap<machine::RecordingResult>(
-            runner, kernels.size(),
-            [&](std::size_t i, std::uint64_t) {
-                workloads::WorkloadParams wp;
-                wp.numThreads = o.cores;
-                wp.scale = o.scale;
-                const auto w = workloads::buildKernel(kernels[i], wp);
-                sim::MachineConfig cfg;
-                cfg.numCores = o.cores;
-                machine::Machine m(cfg, w.program, pol);
-                machine::RecordingResult rec = m.run(5'000'000'000ULL);
-                runner.countInstructions(rec.totalInstructions);
-                return rec;
-            });
+    std::vector<machine::RecordingResult> recs(kernels.size());
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        runner.enqueue(kernels[i], [&, i] {
+            workloads::WorkloadParams wp;
+            wp.numThreads = o.cores;
+            wp.scale = o.scale;
+            const auto w = workloads::buildKernel(kernels[i], wp);
+            sim::MachineConfig cfg;
+            cfg.numCores = o.cores;
+            machine::Machine m(cfg, w.program, pol);
+            recs[i] = m.run(5'000'000'000ULL);
+            runner.countInstructions(recs[i].totalInstructions);
+            if (!o.statsJson.empty()) {
+                std::vector<const sim::StatSet *> sets;
+                m.collectStats(sets);
+                for (const sim::StatSet *s : sets)
+                    runner.accumulateStats(*s);
+            }
+        });
+    }
+    runner.run();
 
     std::printf("%-12s%12s%12s", "kernel", "instrs", "cycles");
     for (const char *name : pol_names)
@@ -378,7 +431,24 @@ cmdSweep(const Options &o)
                 stats.wallSeconds,
                 static_cast<double>(stats.totalInstructions) / 1e6,
                 stats.instructionsPerSecond() / 1e6);
+    if (!o.statsJson.empty() &&
+        !writeStatsFile(o.statsJson, {&runner.aggregatedStats()}))
+        return 1;
     return 0;
+}
+
+int
+dispatch(const Options &o)
+{
+    if (o.command == "record")
+        return cmdRecord(o);
+    if (o.command == "replay")
+        return cmdReplay(o);
+    if (o.command == "inspect")
+        return cmdInspect(o);
+    if (o.command == "sweep")
+        return cmdSweep(o);
+    usage();
 }
 
 } // namespace
@@ -392,13 +462,19 @@ main(int argc, char **argv)
             std::printf("%s\n", name.c_str());
         return 0;
     }
-    if (o.command == "record")
-        return cmdRecord(o);
-    if (o.command == "replay")
-        return cmdReplay(o);
-    if (o.command == "inspect")
-        return cmdInspect(o);
-    if (o.command == "sweep")
-        return cmdSweep(o);
-    usage();
+
+    if (!o.traceFile.empty())
+        sim::TraceSink::open(o.traceFile);
+    else
+        sim::TraceSink::openFromEnv();
+
+    int rc;
+    try {
+        rc = dispatch(o);
+    } catch (const rnr::ReplayDivergence &d) {
+        std::fprintf(stderr, "%s\n", d.report().format().c_str());
+        rc = 1;
+    }
+    sim::TraceSink::close();
+    return rc;
 }

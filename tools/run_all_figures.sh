@@ -2,28 +2,48 @@
 #
 # Build, test, and regenerate every paper figure in one shot.
 #
-#   tools/run_all_figures.sh [--jobs N] [--build-dir DIR]
+#   tools/run_all_figures.sh [--jobs N] [--build-dir DIR] [--check]
 #
 # Builds RelWithDebInfo, runs the full ctest suite, then runs every
 # fig*/ablation*/table* bench through the SweepRunner parallel engine
 # (--jobs N workers per bench, --timing so each prints its [sweep]
 # throughput line). Any nonzero exit aborts the run.
+#
+# --check: instead of the figure run, configure a separate
+# AddressSanitizer build (-DRR_SANITIZE=address, build-asan/) and run
+# the tier-1 ctest suite under it. Use RR_SANITIZE=thread in the
+# environment to check with ThreadSanitizer instead.
 
 set -euo pipefail
 
 jobs="${RR_JOBS:-$(nproc)}"
 build_dir="build"
+check=0
 while [[ $# -gt 0 ]]; do
     case "$1" in
         --jobs|-j) jobs="$2"; shift 2 ;;
         --jobs=*) jobs="${1#*=}"; shift ;;
         --build-dir) build_dir="$2"; shift 2 ;;
-        *) echo "usage: $0 [--jobs N] [--build-dir DIR]" >&2; exit 2 ;;
+        --check) check=1; shift ;;
+        *) echo "usage: $0 [--jobs N] [--build-dir DIR] [--check]" >&2
+           exit 2 ;;
     esac
 done
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo_root"
+
+if [[ $check -eq 1 ]]; then
+    sanitizer="${RR_SANITIZE:-address}"
+    san_dir="build-${sanitizer:0:4}san"
+    echo "== sanitizer check ($sanitizer, $san_dir) =="
+    cmake -B "$san_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DRR_SANITIZE="$sanitizer"
+    cmake --build "$san_dir" -j "$(nproc)"
+    ctest --test-dir "$san_dir" --output-on-failure -j "$(nproc)"
+    echo "== sanitizer check passed ($sanitizer) =="
+    exit 0
+fi
 
 echo "== configure + build ($build_dir, RelWithDebInfo) =="
 cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo

@@ -63,6 +63,18 @@ Machine::Machine(const sim::MachineConfig &cfg, isa::Program prog,
 Machine::~Machine() = default;
 
 void
+Machine::setIntervalSink(
+    std::size_t policy,
+    std::function<void(sim::CoreId, const rnr::IntervalRecord &)> sink)
+{
+    RR_ASSERT(!ran_, "setIntervalSink must be called before run");
+    for (sim::CoreId c = 0; c < cfg_.numCores; ++c) {
+        hubs_[c]->recorder(policy).setIntervalSink(
+            [sink, c](const rnr::IntervalRecord &iv) { sink(c, iv); });
+    }
+}
+
+void
 Machine::collectStats(std::vector<const sim::StatSet *> &out)
 {
     out.push_back(&memsys_->stats());

@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -75,6 +76,16 @@ class Machine
 
     cpu::Core &core(sim::CoreId c) { return *cores_.at(c); }
     rnr::MrrHub &hub(sim::CoreId c) { return *hubs_.at(c); }
+
+    /**
+     * Stream every interval policy @p policy closes, on any core, into
+     * @p sink as recording proceeds (the persistent log store's entry
+     * point; see rnr::LogWriter). Call before run().
+     */
+    void setIntervalSink(
+        std::size_t policy,
+        std::function<void(sim::CoreId, const rnr::IntervalRecord &)>
+            sink);
 
     /**
      * Append every StatSet this machine owns (memory system, cores, MRR

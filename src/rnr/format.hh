@@ -1,0 +1,239 @@
+/**
+ * @file
+ * The `.rrlog` wire format: the on-disk container for RelaxReplay
+ * recordings (see docs/LOG_FORMAT.md for the full specification).
+ *
+ * Layout (all integers little-endian):
+ *
+ *   FileHeader      24 bytes: magic "RRLG", format version, machine
+ *                   configuration fingerprint, core count, header CRC.
+ *   Chunk*          a sequence of self-framing chunks, each a 32-byte
+ *                   CRC-protected header followed by a payload whose
+ *                   CRC32 the header carries:
+ *                     Meta     recording parameters (one, first)
+ *                     Data     bit-packed intervals of one core
+ *                     Summary  replay-verification targets (one)
+ *                     End      clean-termination marker (one, last)
+ *
+ * Data payloads use the existing rnr::BitWriter bit packer plus the
+ * varint / zigzag-delta codecs defined here: entry fields, interval
+ * sequence numbers (delta per chunk) and timestamps (zigzag delta per
+ * chunk) shrink to their information content instead of the fixed
+ * Figure-6c field widths the in-memory size model reports.
+ */
+
+#ifndef RR_RNR_FORMAT_HH
+#define RR_RNR_FORMAT_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "rnr/bitstream.hh"
+
+namespace rr::rnr::fmt
+{
+
+/** First bytes of every .rrlog file. */
+inline constexpr std::array<char, 4> kMagic = {'R', 'R', 'L', 'G'};
+
+/** Current container format version; readers refuse newer files. */
+inline constexpr std::uint16_t kFormatVersion = 1;
+
+inline constexpr std::size_t kFileHeaderBytes = 24;
+inline constexpr std::size_t kChunkHeaderBytes = 32;
+
+/** A core's pending chunk is flushed once its payload reaches this. */
+inline constexpr std::size_t kChunkTargetBytes = 64 * 1024;
+
+enum class ChunkType : std::uint8_t
+{
+    Meta = 1,
+    Data = 2,
+    Summary = 3,
+    End = 4,
+};
+
+inline const char *
+toString(ChunkType t)
+{
+    switch (t) {
+      case ChunkType::Meta: return "meta";
+      case ChunkType::Data: return "data";
+      case ChunkType::Summary: return "summary";
+      case ChunkType::End: return "end";
+    }
+    return "?";
+}
+
+/** CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). */
+inline std::uint32_t
+crc32(const std::uint8_t *data, std::size_t len)
+{
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t crc = 0xffffffffu;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+/** @name Little-endian byte append/extract helpers */
+///@{
+inline void
+putU16(std::vector<std::uint8_t> &out, std::uint16_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+inline void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+/** Callers bounds-check; these just assemble little-endian fields. */
+inline std::uint16_t
+getU16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+inline std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+inline std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+///@}
+
+/**
+ * Append a LEB128-style varint to a bitstream: 8-bit groups of one
+ * continuation bit (0x80) plus 7 value bits, least-significant first.
+ * A 64-bit value needs at most kMaxVarintGroups groups.
+ */
+inline constexpr std::uint32_t kMaxVarintGroups = 10;
+
+inline void
+writeVarint(BitWriter &w, std::uint64_t v)
+{
+    do {
+        std::uint64_t group = v & 0x7f;
+        v >>= 7;
+        if (v != 0)
+            group |= 0x80;
+        w.write(group, 8);
+    } while (v != 0);
+}
+
+/** Zigzag-fold a signed delta so small magnitudes stay small. */
+inline std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/** Bits writeVarint() will emit for @p v (stats/size accounting). */
+inline std::uint32_t
+varintBits(std::uint64_t v)
+{
+    std::uint32_t groups = 1;
+    while ((v >>= 7) != 0)
+        ++groups;
+    return groups * 8;
+}
+
+/**
+ * One chunk's 32-byte framing header. Both the payload and the header
+ * itself are CRC-protected so corruption is reported with the offending
+ * file offset instead of being decoded into garbage.
+ */
+struct ChunkHeader
+{
+    ChunkType type = ChunkType::Data;
+    std::uint32_t core = 0;    ///< producing core (Data chunks)
+    std::uint64_t seq = 0;     ///< chunk index within the file, from 0
+    std::uint64_t payloadBits = 0; ///< valid payload bits; bytes round up
+    std::uint32_t payloadCrc = 0;  ///< CRC-32 of the payload bytes
+
+    std::uint64_t
+    payloadBytes() const
+    {
+        return (payloadBits + 7) / 8;
+    }
+
+    /** Serialize, computing the trailing header CRC. */
+    std::array<std::uint8_t, kChunkHeaderBytes>
+    encode() const
+    {
+        std::vector<std::uint8_t> b;
+        b.reserve(kChunkHeaderBytes);
+        b.push_back(static_cast<std::uint8_t>(type));
+        b.push_back(0);
+        b.push_back(0);
+        b.push_back(0);
+        putU32(b, core);
+        putU64(b, seq);
+        putU64(b, payloadBits);
+        putU32(b, payloadCrc);
+        putU32(b, crc32(b.data(), b.size()));
+        std::array<std::uint8_t, kChunkHeaderBytes> out{};
+        std::memcpy(out.data(), b.data(), kChunkHeaderBytes);
+        return out;
+    }
+
+    /** @return false when the trailing header CRC does not match. */
+    static bool
+    decode(const std::uint8_t *p, ChunkHeader &out)
+    {
+        if (crc32(p, kChunkHeaderBytes - 4) !=
+            getU32(p + kChunkHeaderBytes - 4))
+            return false;
+        out.type = static_cast<ChunkType>(p[0]);
+        out.core = getU32(p + 4);
+        out.seq = getU64(p + 8);
+        out.payloadBits = getU64(p + 16);
+        out.payloadCrc = getU32(p + 24);
+        return true;
+    }
+};
+
+} // namespace rr::rnr::fmt
+
+#endif // RR_RNR_FORMAT_HH

@@ -256,6 +256,8 @@ IntervalRecorder::terminate(Termination why, sim::Cycle now)
              {"timestamp", current_.timestamp}});
     }
     log_.intervals.push_back(std::move(current_));
+    if (sink_)
+        sink_(log_.intervals.back());
     current_ = IntervalRecord{};
     ++cisn_;
     intervalInstructions_ = 0;

@@ -16,6 +16,7 @@
 #define RR_RNR_INTERVAL_RECORDER_HH
 
 #include <cstdint>
+#include <functional>
 
 #include "mem/coherence.hh"
 #include "rnr/log.hh"
@@ -96,6 +97,19 @@ class IntervalRecorder
     /** Close the final interval at program end. */
     void finish(sim::Cycle now);
 
+    /**
+     * Observe every interval as it closes (before the next one opens).
+     * The streaming log store (rnr::LogWriter) hooks in here so a
+     * recording flows to disk with bounded memory instead of being
+     * serialized in one end-of-run pass. The interval stays in the
+     * in-memory CoreLog regardless.
+     */
+    void
+    setIntervalSink(std::function<void(const IntervalRecord &)> sink)
+    {
+        sink_ = std::move(sink);
+    }
+
     const CoreLog &log() const { return log_; }
     CoreLog takeLog() { return std::move(log_); }
     const sim::RecorderConfig &config() const { return cfg_; }
@@ -122,6 +136,7 @@ class IntervalRecorder
     sim::Cycle intervalStartCycle_ = 0;  ///< For interval trace events
     IntervalRecord current_;
     CoreLog log_;
+    std::function<void(const IntervalRecord &)> sink_;
     bool finished_ = false;
 
     sim::StatSet stats_;

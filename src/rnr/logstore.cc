@@ -1,0 +1,815 @@
+#include "rnr/logstore.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace rr::rnr
+{
+
+namespace
+{
+
+using fmt::ChunkType;
+
+std::string
+formatError(const std::string &message, std::uint64_t offset,
+            std::int64_t chunk_seq)
+{
+    char loc[96];
+    if (chunk_seq >= 0)
+        std::snprintf(loc, sizeof loc,
+                      " (file offset %" PRIu64 ", chunk %" PRId64 ")",
+                      offset, chunk_seq);
+    else
+        std::snprintf(loc, sizeof loc, " (file offset %" PRIu64 ")",
+                      offset);
+    return message + loc;
+}
+
+/** FNV-1a 64-bit. */
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t
+fnv1a(std::uint64_t hash, const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        hash ^= p[i];
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+std::uint64_t
+fnv1aU64(std::uint64_t hash, std::uint64_t v)
+{
+    std::uint8_t b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    return fnv1a(hash, b, sizeof b);
+}
+
+/**
+ * Bounds-checked bitstream cursor over one chunk payload: every decode
+ * failure becomes a LogStoreError naming the chunk, never an assertion
+ * or an out-of-range read.
+ */
+class Cursor
+{
+  public:
+    Cursor(const std::vector<std::uint8_t> &bytes, std::uint64_t bits,
+           std::uint64_t chunk_offset, std::int64_t chunk_seq)
+        : reader_(bytes, bits), bits_(bits), chunkOffset_(chunk_offset),
+          chunkSeq_(chunk_seq)
+    {
+    }
+
+    std::uint64_t
+    read(std::uint32_t width)
+    {
+        if (reader_.position() + width > bits_)
+            fail("payload ends mid-field");
+        return reader_.read(width);
+    }
+
+    std::uint64_t
+    varint()
+    {
+        std::uint64_t v = 0;
+        for (std::uint32_t g = 0; g < fmt::kMaxVarintGroups; ++g) {
+            const std::uint64_t group = read(8);
+            v |= (group & 0x7f) << (7 * g);
+            if (!(group & 0x80))
+                return v;
+        }
+        fail("varint longer than 10 groups");
+    }
+
+    bool atEnd() const { return reader_.position() >= bits_; }
+    std::uint64_t position() const { return reader_.position(); }
+
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw LogStoreError(
+            "corrupt chunk payload: " + what + " at payload bit " +
+                std::to_string(reader_.position()),
+            chunkOffset_, chunkSeq_);
+    }
+
+  private:
+    BitReader reader_;
+    std::uint64_t bits_;
+    std::uint64_t chunkOffset_;
+    std::int64_t chunkSeq_;
+};
+
+void
+encodeMeta(BitWriter &w, const RecordingMeta &meta)
+{
+    fmt::writeVarint(w, meta.kernel.size());
+    for (char c : meta.kernel)
+        w.write(static_cast<std::uint8_t>(c), 8);
+    fmt::writeVarint(w, meta.cores);
+    fmt::writeVarint(w, meta.scale);
+    fmt::writeVarint(w, meta.intensity);
+    fmt::writeVarint(w, meta.workloadSeed);
+    fmt::writeVarint(w, meta.machineSeed);
+    fmt::writeVarint(w, meta.mode == sim::RecorderMode::Opt ? 1 : 0);
+    fmt::writeVarint(w, meta.intervalCap);
+    fmt::writeVarint(w, meta.deps ? 1 : 0);
+}
+
+RecordingMeta
+decodeMeta(Cursor &c)
+{
+    RecordingMeta meta;
+    const std::uint64_t name_len = c.varint();
+    if (name_len > 4096)
+        c.fail("unreasonable kernel-name length");
+    meta.kernel.reserve(name_len);
+    for (std::uint64_t i = 0; i < name_len; ++i)
+        meta.kernel.push_back(static_cast<char>(c.read(8)));
+    meta.cores = static_cast<std::uint32_t>(c.varint());
+    meta.scale = c.varint();
+    meta.intensity = c.varint();
+    meta.workloadSeed = c.varint();
+    meta.machineSeed = c.varint();
+    meta.mode = c.varint() ? sim::RecorderMode::Opt
+                           : sim::RecorderMode::Base;
+    meta.intervalCap = c.varint();
+    meta.deps = c.varint() != 0;
+    return meta;
+}
+
+void
+encodeSummary(BitWriter &w, const RecordingSummary &s)
+{
+    fmt::writeVarint(w, s.totalInstructions);
+    fmt::writeVarint(w, s.cycles);
+    fmt::writeVarint(w, s.memoryFingerprint);
+    fmt::writeVarint(w, s.cores.size());
+    for (const auto &core : s.cores) {
+        fmt::writeVarint(w, core.intervals);
+        fmt::writeVarint(w, core.retiredInstructions);
+        fmt::writeVarint(w, core.retiredLoads);
+        fmt::writeVarint(w, core.loadValueHash);
+    }
+}
+
+RecordingSummary
+decodeSummary(Cursor &c)
+{
+    RecordingSummary s;
+    s.totalInstructions = c.varint();
+    s.cycles = c.varint();
+    s.memoryFingerprint = c.varint();
+    const std::uint64_t n = c.varint();
+    if (n > 1u << 20)
+        c.fail("unreasonable summary core count");
+    for (std::uint64_t i = 0; i < n; ++i) {
+        CoreReplaySummary core;
+        core.intervals = c.varint();
+        core.retiredInstructions = c.varint();
+        core.retiredLoads = c.varint();
+        core.loadValueHash = c.varint();
+        s.cores.push_back(core);
+    }
+    return s;
+}
+
+/** Decode one interval (the inverse of LogWriter::encodeInterval). */
+IntervalRecord
+decodeInterval(Cursor &c, bool first_in_chunk, sim::Isn &prev_cisn,
+               std::uint64_t &prev_ts)
+{
+    IntervalRecord iv;
+    const std::uint64_t entry_count = c.varint();
+    for (std::uint64_t e = 0; e < entry_count; ++e) {
+        LogEntry entry;
+        const std::uint64_t tag = c.read(bits::kTypeTag);
+        if (tag > static_cast<std::uint64_t>(EntryKind::DummyAtomic))
+            c.fail("invalid entry tag " + std::to_string(tag));
+        entry.kind = static_cast<EntryKind>(tag);
+        switch (entry.kind) {
+          case EntryKind::InorderBlock:
+            entry.blockSize = c.varint();
+            break;
+          case EntryKind::ReorderedLoad:
+            entry.loadValue = c.varint();
+            break;
+          case EntryKind::ReorderedStore:
+            entry.addr = c.varint();
+            entry.storeValue = c.varint();
+            entry.offset = static_cast<std::uint32_t>(c.varint());
+            break;
+          case EntryKind::ReorderedAtomic:
+            entry.addr = c.varint();
+            entry.loadValue = c.varint();
+            entry.storeValue = c.varint();
+            entry.offset = static_cast<std::uint32_t>(c.varint());
+            break;
+          case EntryKind::PatchedStore:
+            entry.addr = c.varint();
+            entry.storeValue = c.varint();
+            break;
+          case EntryKind::DummyStore:
+            break;
+          case EntryKind::DummyAtomic:
+            entry.loadValue = c.varint();
+            break;
+        }
+        iv.entries.push_back(entry);
+    }
+    if (first_in_chunk) {
+        iv.cisn = c.varint();
+        iv.timestamp = c.varint();
+    } else {
+        iv.cisn = static_cast<sim::Isn>(
+            static_cast<std::int64_t>(prev_cisn) +
+            fmt::unzigzag(c.varint()));
+        iv.timestamp = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(prev_ts) +
+            fmt::unzigzag(c.varint()));
+    }
+    prev_cisn = iv.cisn;
+    prev_ts = iv.timestamp;
+    const std::uint64_t dep_count = c.varint();
+    if (dep_count > 1u << 20)
+        c.fail("unreasonable dependency count");
+    for (std::uint64_t d = 0; d < dep_count; ++d) {
+        IntervalDep dep;
+        dep.core = static_cast<sim::CoreId>(c.varint());
+        dep.isn = c.varint();
+        iv.predecessors.push_back(dep);
+    }
+    return iv;
+}
+
+} // namespace
+
+LogStoreError::LogStoreError(const std::string &message,
+                             std::uint64_t file_offset,
+                             std::int64_t chunk_seq)
+    : std::runtime_error(formatError(message, file_offset, chunk_seq)),
+      fileOffset_(file_offset), chunkSeq_(chunk_seq)
+{
+}
+
+std::uint64_t
+RecordingMeta::fingerprint() const
+{
+    std::uint64_t h = kFnvOffset;
+    h = fnv1aU64(h, fmt::kFormatVersion);
+    h = fnv1a(h, kernel.data(), kernel.size());
+    h = fnv1aU64(h, cores);
+    h = fnv1aU64(h, scale);
+    h = fnv1aU64(h, intensity);
+    h = fnv1aU64(h, workloadSeed);
+    h = fnv1aU64(h, machineSeed);
+    h = fnv1aU64(h, mode == sim::RecorderMode::Opt ? 1 : 0);
+    h = fnv1aU64(h, intervalCap);
+    h = fnv1aU64(h, deps ? 1 : 0);
+    return h;
+}
+
+// --- LogWriter ---
+
+LogWriter::LogWriter(std::ostream &out, const RecordingMeta &meta)
+    : out_(out), meta_(meta), streams_(meta.cores), stats_("logstore")
+{
+    writeFileHeader();
+    writeMetaChunk();
+}
+
+LogWriter::LogWriter(const std::string &path, const RecordingMeta &meta)
+    : owned_(std::make_unique<std::ofstream>(
+          path, std::ios::binary | std::ios::trunc)),
+      out_(*owned_), path_(path), meta_(meta), streams_(meta.cores),
+      stats_("logstore")
+{
+    if (!*owned_)
+        throw LogStoreError("cannot open " + path + " for writing", 0);
+    writeFileHeader();
+    writeMetaChunk();
+}
+
+LogWriter::~LogWriter() = default;
+
+void
+LogWriter::writeFileHeader()
+{
+    std::vector<std::uint8_t> h;
+    h.reserve(fmt::kFileHeaderBytes);
+    for (char c : fmt::kMagic)
+        h.push_back(static_cast<std::uint8_t>(c));
+    fmt::putU16(h, fmt::kFormatVersion);
+    fmt::putU16(h, 0); // flags, reserved
+    fmt::putU64(h, meta_.fingerprint());
+    fmt::putU32(h, meta_.cores);
+    fmt::putU32(h, fmt::crc32(h.data(), h.size()));
+    out_.write(reinterpret_cast<const char *>(h.data()),
+               static_cast<std::streamsize>(h.size()));
+    bytesWritten_ += h.size();
+}
+
+void
+LogWriter::writeMetaChunk()
+{
+    BitWriter w;
+    encodeMeta(w, meta_);
+    writeChunk(ChunkType::Meta, 0, w.bytes(), w.bitCount());
+}
+
+void
+LogWriter::writeChunk(ChunkType type, std::uint32_t core,
+                      const std::vector<std::uint8_t> &payload,
+                      std::uint64_t payload_bits)
+{
+    fmt::ChunkHeader h;
+    h.type = type;
+    h.core = core;
+    h.seq = nextChunkSeq_++;
+    h.payloadBits = payload_bits;
+    h.payloadCrc = fmt::crc32(payload.data(), payload.size());
+    const auto encoded = h.encode();
+    out_.write(reinterpret_cast<const char *>(encoded.data()),
+               static_cast<std::streamsize>(encoded.size()));
+    out_.write(reinterpret_cast<const char *>(payload.data()),
+               static_cast<std::streamsize>(payload.size()));
+    if (!out_)
+        throw LogStoreError("write failed" +
+                                (path_.empty() ? "" : " on " + path_),
+                            bytesWritten_, static_cast<std::int64_t>(h.seq));
+    bytesWritten_ += encoded.size() + payload.size();
+    stats_.counter("chunks_written")++;
+    stats_.counter("bytes_written") += encoded.size() + payload.size();
+    // Bits lost to byte-aligning the payload: recoverable by a
+    // bit-contiguous (compressed) framing, hence "compression-eligible".
+    stats_.counter("padding_bits") += payload.size() * 8 - payload_bits;
+    stats_.counter("payload_bits") += payload_bits;
+}
+
+void
+LogWriter::encodeInterval(CoreStream &cs, const IntervalRecord &iv)
+{
+    BitWriter &w = cs.bits;
+    fmt::writeVarint(w, iv.entries.size());
+    for (const auto &e : iv.entries) {
+        w.write(static_cast<std::uint64_t>(e.kind), bits::kTypeTag);
+        switch (e.kind) {
+          case EntryKind::InorderBlock:
+            fmt::writeVarint(w, e.blockSize);
+            break;
+          case EntryKind::ReorderedLoad:
+            fmt::writeVarint(w, e.loadValue);
+            break;
+          case EntryKind::ReorderedStore:
+            fmt::writeVarint(w, e.addr);
+            fmt::writeVarint(w, e.storeValue);
+            fmt::writeVarint(w, e.offset);
+            break;
+          case EntryKind::ReorderedAtomic:
+            fmt::writeVarint(w, e.addr);
+            fmt::writeVarint(w, e.loadValue);
+            fmt::writeVarint(w, e.storeValue);
+            fmt::writeVarint(w, e.offset);
+            break;
+          case EntryKind::PatchedStore:
+            fmt::writeVarint(w, e.addr);
+            fmt::writeVarint(w, e.storeValue);
+            break;
+          case EntryKind::DummyStore:
+            break;
+          case EntryKind::DummyAtomic:
+            fmt::writeVarint(w, e.loadValue);
+            break;
+        }
+    }
+    if (cs.first) {
+        fmt::writeVarint(w, iv.cisn);
+        fmt::writeVarint(w, iv.timestamp);
+        cs.first = false;
+    } else {
+        fmt::writeVarint(
+            w, fmt::zigzag(static_cast<std::int64_t>(iv.cisn) -
+                           static_cast<std::int64_t>(cs.prevCisn)));
+        fmt::writeVarint(
+            w, fmt::zigzag(static_cast<std::int64_t>(iv.timestamp) -
+                           static_cast<std::int64_t>(cs.prevTimestamp)));
+    }
+    cs.prevCisn = iv.cisn;
+    cs.prevTimestamp = iv.timestamp;
+    fmt::writeVarint(w, iv.predecessors.size());
+    for (const auto &d : iv.predecessors) {
+        fmt::writeVarint(w, d.core);
+        fmt::writeVarint(w, d.isn);
+    }
+}
+
+void
+LogWriter::append(sim::CoreId core, const IntervalRecord &interval)
+{
+    RR_ASSERT(!finished_, "append after finish");
+    RR_ASSERT(core < streams_.size(), "core %u out of range", core);
+    CoreStream &cs = streams_[core];
+    encodeInterval(cs, interval);
+    ++cs.intervals;
+    ++intervalsWritten_;
+    stats_.counter("intervals_written")++;
+    if (cs.bits.bytes().size() >= fmt::kChunkTargetBytes)
+        flushCore(core);
+}
+
+void
+LogWriter::flushCore(sim::CoreId core)
+{
+    CoreStream &cs = streams_[core];
+    if (cs.intervals == 0)
+        return;
+    // Data payload: varint interval count, then the intervals.
+    BitWriter framed;
+    fmt::writeVarint(framed, cs.intervals);
+    const auto &body = cs.bits.bytes();
+    // Splice the already-encoded interval stream after the count. The
+    // count is byte-aligned (whole varint groups), so this is a byte
+    // append plus a final bit-count fixup.
+    std::vector<std::uint8_t> payload = framed.bytes();
+    payload.insert(payload.end(), body.begin(), body.end());
+    const std::uint64_t payload_bits =
+        framed.bitCount() + cs.bits.bitCount();
+    // The interval stream's own padding (none: varints and the 3-bit
+    // tags pack back to back, so bitCount is exact).
+    writeChunk(ChunkType::Data, core, payload, payload_bits);
+    stats_.counter("flushes")++;
+    cs = CoreStream{};
+}
+
+void
+LogWriter::finish(const RecordingSummary &summary)
+{
+    RR_ASSERT(!finished_, "finish twice");
+    for (sim::CoreId c = 0; c < streams_.size(); ++c)
+        flushCore(c);
+    BitWriter w;
+    encodeSummary(w, summary);
+    writeChunk(ChunkType::Summary, 0, w.bytes(), w.bitCount());
+    writeChunk(ChunkType::End, 0, {}, 0);
+    out_.flush();
+    if (!out_)
+        throw LogStoreError("flush failed" +
+                                (path_.empty() ? "" : " on " + path_),
+                            bytesWritten_);
+    finished_ = true;
+}
+
+// --- LogReader ---
+
+LogReader::LogReader(const std::string &path)
+    : path_(path), in_(path, std::ios::binary)
+{
+    if (!in_)
+        throw LogStoreError("cannot open " + path + " for reading", 0);
+    in_.seekg(0, std::ios::end);
+    fileBytes_ = static_cast<std::uint64_t>(in_.tellg());
+    in_.seekg(0);
+
+    std::uint8_t h[fmt::kFileHeaderBytes];
+    if (fileBytes_ < fmt::kFileHeaderBytes)
+        throw LogStoreError("file shorter than the 24-byte header", 0);
+    in_.read(reinterpret_cast<char *>(h), sizeof h);
+    if (std::memcmp(h, fmt::kMagic.data(), 4) != 0)
+        throw LogStoreError("bad magic: not an .rrlog file", 0);
+    if (fmt::crc32(h, fmt::kFileHeaderBytes - 4) !=
+        fmt::getU32(h + fmt::kFileHeaderBytes - 4))
+        throw LogStoreError("file header CRC mismatch", 0);
+    version_ = fmt::getU16(h + 4);
+    if (version_ > fmt::kFormatVersion)
+        throw LogStoreError(
+            "format version " + std::to_string(version_) +
+                " is newer than this reader (supports up to " +
+                std::to_string(fmt::kFormatVersion) + ")",
+            4);
+    fingerprint_ = fmt::getU64(h + 8);
+    coreCount_ = fmt::getU32(h + 16);
+
+    Chunk meta_chunk;
+    if (!readChunkAt(fmt::kFileHeaderBytes, meta_chunk))
+        throw LogStoreError("file ends before the meta chunk",
+                            fmt::kFileHeaderBytes);
+    if (meta_chunk.header.type != ChunkType::Meta)
+        throw LogStoreError("first chunk is not the meta chunk",
+                            meta_chunk.offset, 0);
+    Cursor c(meta_chunk.payload, meta_chunk.header.payloadBits,
+             meta_chunk.offset, 0);
+    meta_ = decodeMeta(c);
+    if (meta_.fingerprint() != fingerprint_)
+        throw LogStoreError(
+            "configuration fingerprint mismatch: header says " +
+                std::to_string(fingerprint_) + ", meta chunk hashes to " +
+                std::to_string(meta_.fingerprint()),
+            meta_chunk.offset, 0);
+    if (meta_.cores != coreCount_)
+        throw LogStoreError("header core count disagrees with meta chunk",
+                            meta_chunk.offset, 0);
+    firstDataOffset_ = meta_chunk.offset + fmt::kChunkHeaderBytes +
+                       meta_chunk.header.payloadBytes();
+}
+
+bool
+LogReader::readChunkAt(std::uint64_t offset, Chunk &out,
+                       bool verify_payload_crc)
+{
+    if (offset == fileBytes_)
+        return false; // clean boundary; caller checks for End chunk
+    if (offset + fmt::kChunkHeaderBytes > fileBytes_)
+        throw LogStoreError("truncated chunk header", offset);
+    std::uint8_t h[fmt::kChunkHeaderBytes];
+    in_.clear();
+    in_.seekg(static_cast<std::streamoff>(offset));
+    in_.read(reinterpret_cast<char *>(h), sizeof h);
+    if (!in_)
+        throw LogStoreError("read failed on chunk header", offset);
+    if (!fmt::ChunkHeader::decode(h, out.header))
+        throw LogStoreError("chunk header CRC mismatch "
+                            "(corrupt or misaligned framing)",
+                            offset);
+    out.offset = offset;
+    const std::uint64_t payload_bytes = out.header.payloadBytes();
+    if (offset + fmt::kChunkHeaderBytes + payload_bytes > fileBytes_)
+        throw LogStoreError(
+            "truncated chunk: header promises " +
+                std::to_string(payload_bytes) +
+                " payload bytes but the file ends first",
+            offset, static_cast<std::int64_t>(out.header.seq));
+    out.payload.resize(payload_bytes);
+    in_.read(reinterpret_cast<char *>(out.payload.data()),
+             static_cast<std::streamsize>(payload_bytes));
+    if (!in_)
+        throw LogStoreError("read failed on chunk payload", offset,
+                            static_cast<std::int64_t>(out.header.seq));
+    if (verify_payload_crc &&
+        fmt::crc32(out.payload.data(), out.payload.size()) !=
+            out.header.payloadCrc)
+        throw LogStoreError("chunk payload CRC mismatch", offset,
+                            static_cast<std::int64_t>(out.header.seq));
+    return true;
+}
+
+void
+LogReader::decodeDataChunk(
+    const Chunk &chunk,
+    const std::function<void(sim::CoreId, const IntervalRecord &)> &fn)
+{
+    const auto seq = static_cast<std::int64_t>(chunk.header.seq);
+    if (chunk.header.core >= coreCount_)
+        throw LogStoreError("data chunk names core " +
+                                std::to_string(chunk.header.core) +
+                                " but the file has " +
+                                std::to_string(coreCount_) + " cores",
+                            chunk.offset, seq);
+    Cursor c(chunk.payload, chunk.header.payloadBits, chunk.offset, seq);
+    const std::uint64_t count = c.varint();
+    sim::Isn prev_cisn = 0;
+    std::uint64_t prev_ts = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const IntervalRecord iv =
+            decodeInterval(c, i == 0, prev_cisn, prev_ts);
+        fn(chunk.header.core, iv);
+    }
+    if (!c.atEnd())
+        c.fail("trailing bits after the last interval");
+}
+
+void
+LogReader::forEachInterval(
+    const std::function<void(sim::CoreId, const IntervalRecord &,
+                             std::uint64_t, std::uint64_t)> &fn)
+{
+    std::uint64_t offset = firstDataOffset_;
+    std::uint64_t expected_seq = 1; // the meta chunk was seq 0
+    bool clean_end = false;
+    Chunk chunk;
+    while (readChunkAt(offset, chunk)) {
+        if (chunk.header.seq != expected_seq)
+            throw LogStoreError(
+                "chunk sequence break: expected " +
+                    std::to_string(expected_seq) + ", found " +
+                    std::to_string(chunk.header.seq),
+                chunk.offset,
+                static_cast<std::int64_t>(chunk.header.seq));
+        ++expected_seq;
+        switch (chunk.header.type) {
+          case ChunkType::Data:
+            decodeDataChunk(chunk, [&](sim::CoreId core,
+                                       const IntervalRecord &iv) {
+                fn(core, iv, chunk.header.seq, chunk.offset);
+            });
+            break;
+          case ChunkType::Summary: {
+            Cursor c(chunk.payload, chunk.header.payloadBits,
+                     chunk.offset,
+                     static_cast<std::int64_t>(chunk.header.seq));
+            summary_ = decodeSummary(c);
+            haveSummary_ = true;
+            break;
+          }
+          case ChunkType::End:
+            clean_end = true;
+            break;
+          case ChunkType::Meta:
+            throw LogStoreError("duplicate meta chunk", chunk.offset,
+                                static_cast<std::int64_t>(
+                                    chunk.header.seq));
+        }
+        offset =
+            chunk.offset + fmt::kChunkHeaderBytes +
+            chunk.header.payloadBytes();
+        if (clean_end)
+            break;
+    }
+    if (!clean_end)
+        throw LogStoreError(
+            "no end-of-log marker: the recording was truncated "
+            "(LogWriter::finish never ran or the file was cut short)",
+            offset);
+    if (offset != fileBytes_)
+        throw LogStoreError("trailing bytes after the end-of-log marker",
+                            offset);
+}
+
+std::vector<CoreLog>
+LogReader::readAll()
+{
+    std::vector<CoreLog> logs(coreCount_);
+    forEachInterval([&](sim::CoreId core, const IntervalRecord &iv,
+                        std::uint64_t, std::uint64_t) {
+        logs[core].intervals.push_back(iv);
+    });
+    return logs;
+}
+
+LogFileInfo
+LogReader::info()
+{
+    LogFileInfo info;
+    info.version = version_;
+    info.fingerprint = fingerprint_;
+    info.coreCount = coreCount_;
+    info.meta = meta_;
+    info.fileBytes = fileBytes_;
+    info.chunks = 1; // the meta chunk
+    std::uint64_t offset = firstDataOffset_;
+    Chunk chunk;
+    while (readChunkAt(offset, chunk)) {
+        ++info.chunks;
+        switch (chunk.header.type) {
+          case ChunkType::Data:
+            ++info.dataChunks;
+            info.payloadBits += chunk.header.payloadBits;
+            decodeDataChunk(chunk, [&](sim::CoreId,
+                                       const IntervalRecord &) {
+                ++info.intervals;
+            });
+            break;
+          case ChunkType::Summary: {
+            Cursor c(chunk.payload, chunk.header.payloadBits,
+                     chunk.offset,
+                     static_cast<std::int64_t>(chunk.header.seq));
+            summary_ = decodeSummary(c);
+            haveSummary_ = true;
+            break;
+          }
+          case ChunkType::End:
+            info.cleanEnd = true;
+            break;
+          case ChunkType::Meta:
+            throw LogStoreError("duplicate meta chunk", chunk.offset,
+                                static_cast<std::int64_t>(
+                                    chunk.header.seq));
+        }
+        offset = chunk.offset + fmt::kChunkHeaderBytes +
+                 chunk.header.payloadBytes();
+        if (info.cleanEnd)
+            break;
+    }
+    info.hasSummary = haveSummary_;
+    if (haveSummary_)
+        info.summary = summary_;
+    return info;
+}
+
+RecordingSummary
+LogReader::summary()
+{
+    if (!haveSummary_) {
+        forEachInterval([](sim::CoreId, const IntervalRecord &,
+                           std::uint64_t, std::uint64_t) {});
+    }
+    if (!haveSummary_)
+        throw LogStoreError("file has no summary chunk "
+                            "(recording was never finished)",
+                            fileBytes_);
+    return summary_;
+}
+
+std::vector<VerifyIssue>
+LogReader::verify()
+{
+    std::vector<VerifyIssue> issues;
+    auto note = [&](std::uint64_t offset, std::int64_t seq,
+                    std::string message) {
+        issues.push_back({offset, seq, std::move(message)});
+    };
+
+    std::vector<std::uint64_t> intervals_per_core(coreCount_, 0);
+    bool clean_end = false;
+    bool have_summary = false;
+    RecordingSummary summary;
+    std::uint64_t offset = firstDataOffset_;
+    std::uint64_t expected_seq = 1;
+
+    while (true) {
+        Chunk chunk;
+        try {
+            if (!readChunkAt(offset, chunk, /*verify_payload_crc=*/false))
+                break;
+        } catch (const LogStoreError &e) {
+            // Framing is unrecoverable: without a trusted header we
+            // cannot find the next chunk boundary.
+            note(e.fileOffset(), e.chunkSeq(), e.what());
+            return issues;
+        }
+        const auto seq = static_cast<std::int64_t>(chunk.header.seq);
+        if (chunk.header.seq != expected_seq)
+            note(chunk.offset, seq,
+                 "chunk sequence break: expected " +
+                     std::to_string(expected_seq) + ", found " +
+                     std::to_string(chunk.header.seq));
+        expected_seq = chunk.header.seq + 1;
+
+        const bool payload_ok =
+            fmt::crc32(chunk.payload.data(), chunk.payload.size()) ==
+            chunk.header.payloadCrc;
+        if (!payload_ok)
+            note(chunk.offset, seq, "chunk payload CRC mismatch");
+
+        if (payload_ok) {
+            try {
+                switch (chunk.header.type) {
+                  case ChunkType::Data:
+                    decodeDataChunk(
+                        chunk, [&](sim::CoreId core,
+                                   const IntervalRecord &) {
+                            ++intervals_per_core[core];
+                        });
+                    break;
+                  case ChunkType::Summary: {
+                    Cursor c(chunk.payload, chunk.header.payloadBits,
+                             chunk.offset, seq);
+                    summary = decodeSummary(c);
+                    have_summary = true;
+                    break;
+                  }
+                  case ChunkType::End:
+                    clean_end = true;
+                    break;
+                  case ChunkType::Meta:
+                    note(chunk.offset, seq, "duplicate meta chunk");
+                    break;
+                }
+            } catch (const LogStoreError &e) {
+                note(e.fileOffset(), e.chunkSeq(), e.what());
+            }
+        }
+        offset = chunk.offset + fmt::kChunkHeaderBytes +
+                 chunk.header.payloadBytes();
+        if (clean_end)
+            break;
+    }
+
+    if (!clean_end)
+        note(offset, -1,
+             "no end-of-log marker: the recording was truncated");
+    else if (offset != fileBytes_)
+        note(offset, -1, "trailing bytes after the end-of-log marker");
+    if (!have_summary)
+        note(offset, -1, "file has no summary chunk");
+    if (have_summary) {
+        if (summary.cores.size() != coreCount_)
+            note(offset, -1, "summary core count disagrees with header");
+        for (std::size_t c = 0;
+             c < summary.cores.size() && c < coreCount_; ++c) {
+            if (summary.cores[c].intervals != intervals_per_core[c])
+                note(offset, -1,
+                     "core " + std::to_string(c) + ": summary promises " +
+                         std::to_string(summary.cores[c].intervals) +
+                         " intervals, data chunks hold " +
+                         std::to_string(intervals_per_core[c]));
+        }
+    }
+    return issues;
+}
+
+} // namespace rr::rnr

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Persistent log store: streaming writer and integrity-checking reader
+ * for `.rrlog` files — the durable, versioned container that lets a
+ * recording outlive its process ("record once, replay/analyze many
+ * times"). See format.hh for the wire layout and docs/LOG_FORMAT.md
+ * for the specification.
+ *
+ * The LogWriter is *streaming*: the recorder hands it each interval as
+ * the interval closes (Machine::setIntervalSink), and the writer flushes
+ * a core's pending chunk to disk whenever it reaches ~64 KiB — memory
+ * stays bounded and there is no end-of-run serialization spike. The
+ * LogReader validates every CRC as it walks the file, reconstructs
+ * CoreLogs (or iterates intervals lazily), and reports corruption or
+ * truncation as a LogStoreError naming the file offset and chunk,
+ * never by crashing or silently replaying garbage.
+ */
+
+#ifndef RR_RNR_LOGSTORE_HH
+#define RR_RNR_LOGSTORE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rnr/format.hh"
+#include "rnr/log.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace rr::rnr
+{
+
+/**
+ * Any structural, integrity or compatibility failure while reading or
+ * writing a .rrlog file. The what() string already includes the file
+ * offset and chunk id when they are known.
+ */
+class LogStoreError : public std::runtime_error
+{
+  public:
+    /** @param chunk_seq -1 when the failure is not tied to a chunk. */
+    LogStoreError(const std::string &message, std::uint64_t file_offset,
+                  std::int64_t chunk_seq = -1);
+
+    std::uint64_t fileOffset() const { return fileOffset_; }
+    std::int64_t chunkSeq() const { return chunkSeq_; }
+
+  private:
+    std::uint64_t fileOffset_;
+    std::int64_t chunkSeq_;
+};
+
+/**
+ * Recording parameters persisted in the Meta chunk: everything needed
+ * to rebuild the workload and machine deterministically for replay,
+ * and the source of the header's configuration fingerprint.
+ */
+struct RecordingMeta
+{
+    std::string kernel;
+    std::uint32_t cores = 0;
+    std::uint64_t scale = 1;
+    std::uint64_t intensity = 16;
+    std::uint64_t workloadSeed = 12345;
+    std::uint64_t machineSeed = 1;
+    sim::RecorderMode mode = sim::RecorderMode::Opt;
+    std::uint64_t intervalCap = 0; ///< 0 = INF
+    bool deps = false;
+
+    /**
+     * 64-bit FNV-1a hash over every field above (plus the format
+     * version). Stored in the file header; a reader recomputes it from
+     * the decoded Meta chunk and refuses the file on mismatch, and
+     * replay tooling uses it to refuse logs from a different machine
+     * configuration.
+     */
+    std::uint64_t fingerprint() const;
+
+    bool operator==(const RecordingMeta &) const = default;
+};
+
+/** Per-core replay-verification targets (Summary chunk). */
+struct CoreReplaySummary
+{
+    std::uint64_t intervals = 0;
+    std::uint64_t retiredInstructions = 0;
+    std::uint64_t retiredLoads = 0;
+    /** machine::mixLoadValue chain over retired load/atomic values. */
+    std::uint64_t loadValueHash = 0;
+
+    bool operator==(const CoreReplaySummary &) const = default;
+};
+
+/** Whole-recording verification targets (Summary chunk). */
+struct RecordingSummary
+{
+    std::uint64_t totalInstructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t memoryFingerprint = 0;
+    std::vector<CoreReplaySummary> cores;
+
+    bool operator==(const RecordingSummary &) const = default;
+};
+
+/**
+ * Streaming .rrlog writer. Construction writes the file header and the
+ * Meta chunk; append() buffers one interval into the producing core's
+ * pending chunk and flushes it once it reaches fmt::kChunkTargetBytes;
+ * finish() flushes every pending chunk, then writes the Summary and End
+ * chunks. A file without an End chunk is detected as truncated by the
+ * reader, so finish() must be called for a valid file.
+ *
+ * I/O counters (bytes/chunks/flushes/intervals/padding bits) are kept
+ * in a StatSet for the `--stats-json` export path.
+ */
+class LogWriter
+{
+  public:
+    /** Write into a caller-owned stream (e.g. a bench's ostringstream). */
+    LogWriter(std::ostream &out, const RecordingMeta &meta);
+
+    /** Open and own @p path; throws LogStoreError when unwritable. */
+    LogWriter(const std::string &path, const RecordingMeta &meta);
+
+    ~LogWriter();
+
+    /** Append one closed interval of @p core (streaming hot path). */
+    void append(sim::CoreId core, const IntervalRecord &interval);
+
+    /** Flush pending chunks and write the Summary and End chunks. */
+    void finish(const RecordingSummary &summary);
+
+    bool finished() const { return finished_; }
+    std::uint64_t bytesWritten() const { return bytesWritten_; }
+    std::uint64_t intervalsWritten() const { return intervalsWritten_; }
+
+    sim::StatSet &stats() { return stats_; }
+    const sim::StatSet &stats() const { return stats_; }
+
+  private:
+    /** Pending (unflushed) chunk of one core. */
+    struct CoreStream
+    {
+        BitWriter bits;
+        std::uint64_t intervals = 0;
+        /** Delta-codec state; reset at each chunk boundary. */
+        bool first = true;
+        sim::Isn prevCisn = 0;
+        std::uint64_t prevTimestamp = 0;
+    };
+
+    void writeFileHeader();
+    void writeMetaChunk();
+    void encodeInterval(CoreStream &cs, const IntervalRecord &iv);
+    void flushCore(sim::CoreId core);
+    void writeChunk(fmt::ChunkType type, std::uint32_t core,
+                    const std::vector<std::uint8_t> &payload,
+                    std::uint64_t payload_bits);
+
+    std::unique_ptr<std::ofstream> owned_;
+    std::ostream &out_;
+    std::string path_; ///< for error messages; empty for stream mode
+    RecordingMeta meta_;
+    std::vector<CoreStream> streams_;
+    std::uint64_t nextChunkSeq_ = 0;
+    std::uint64_t bytesWritten_ = 0;
+    std::uint64_t intervalsWritten_ = 0;
+    bool finished_ = false;
+    sim::StatSet stats_;
+};
+
+/** Everything `rrlog info` reports about a file. */
+struct LogFileInfo
+{
+    std::uint16_t version = 0;
+    std::uint64_t fingerprint = 0;
+    std::uint32_t coreCount = 0;
+    RecordingMeta meta;
+    bool hasSummary = false;
+    RecordingSummary summary;
+    std::uint64_t fileBytes = 0;
+    std::uint64_t chunks = 0;     ///< all chunks, meta/summary/end included
+    std::uint64_t dataChunks = 0;
+    std::uint64_t intervals = 0;  ///< intervals across all data chunks
+    std::uint64_t payloadBits = 0; ///< data-chunk payload bits
+    bool cleanEnd = false;        ///< End chunk present
+};
+
+/** One problem found by LogReader::verify(). */
+struct VerifyIssue
+{
+    std::uint64_t fileOffset = 0;
+    std::int64_t chunkSeq = -1;
+    std::string message;
+};
+
+/**
+ * Integrity-checking .rrlog reader. The constructor validates the file
+ * header and the Meta chunk (magic, version, header CRC, fingerprint)
+ * and throws LogStoreError on any mismatch; the walking entry points
+ * below validate each chunk's framing and payload CRC as they go.
+ */
+class LogReader
+{
+  public:
+    explicit LogReader(const std::string &path);
+
+    const std::string &path() const { return path_; }
+    std::uint16_t version() const { return version_; }
+    std::uint64_t fingerprint() const { return fingerprint_; }
+    std::uint32_t coreCount() const { return coreCount_; }
+    const RecordingMeta &meta() const { return meta_; }
+
+    /**
+     * Walk every chunk once, collecting file-level facts (including the
+     * Summary when present). Throws on the first integrity failure.
+     */
+    LogFileInfo info();
+
+    /**
+     * Decode every interval in file order, invoking @p fn with the
+     * producing core, the reconstructed interval (cycle is not
+     * persisted and reads back 0), the chunk it came from and that
+     * chunk's file offset. Throws LogStoreError on corruption.
+     */
+    void forEachInterval(
+        const std::function<void(sim::CoreId, const IntervalRecord &,
+                                 std::uint64_t chunk_seq,
+                                 std::uint64_t chunk_offset)> &fn);
+
+    /** Reconstruct all per-core logs; requires a clean End chunk. */
+    std::vector<CoreLog> readAll();
+
+    /**
+     * The recording summary; throws LogStoreError when the file has
+     * none (truncated before finish()).
+     */
+    RecordingSummary summary();
+
+    /**
+     * Full structural walk that *collects* problems instead of throwing:
+     * every CRC failure, framing error, truncation, decode error and
+     * summary/data inconsistency found, each naming its file offset and
+     * chunk. An empty result means the file is sound. Payloads of
+     * chunks whose framing header is intact but whose payload CRC fails
+     * are skipped, so one corrupt chunk does not mask later ones.
+     */
+    std::vector<VerifyIssue> verify();
+
+  private:
+    struct Chunk
+    {
+        fmt::ChunkHeader header;
+        std::uint64_t offset = 0; ///< file offset of the chunk header
+        std::vector<std::uint8_t> payload;
+    };
+
+    /**
+     * Read the chunk at @p offset. @p verify_payload_crc false lets
+     * verify() keep walking past a corrupt payload.
+     * @return false at a clean end-of-file boundary.
+     */
+    bool readChunkAt(std::uint64_t offset, Chunk &out,
+                     bool verify_payload_crc = true);
+
+    void decodeDataChunk(const Chunk &chunk,
+                         const std::function<void(sim::CoreId,
+                                                  const IntervalRecord &)>
+                             &fn);
+
+    std::string path_;
+    std::ifstream in_;
+    std::uint64_t fileBytes_ = 0;
+    std::uint16_t version_ = 0;
+    std::uint64_t fingerprint_ = 0;
+    std::uint32_t coreCount_ = 0;
+    RecordingMeta meta_;
+    std::uint64_t firstDataOffset_ = 0;
+    bool haveSummary_ = false;
+    RecordingSummary summary_;
+};
+
+} // namespace rr::rnr
+
+#endif // RR_RNR_LOGSTORE_HH

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * End-to-end persistence determinism: record each workload kernel
+ * *through the streaming LogWriter* to a real .rrlog file, then replay
+ * from that file alone — a fresh LogReader, a fresh Machine for the
+ * initial memory image, the workload rebuilt from the persisted
+ * metadata — and require the replayed load-value hashes, retired
+ * instruction counts and final memory fingerprint to equal the
+ * recorded ones. This is the "record once, replay from disk many
+ * times" property the persistent log store exists to provide; it must
+ * hold for both the Base and Opt recorders.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "rnr/logstore.hh"
+#include "rnr/patcher.hh"
+#include "rnr/replayer.hh"
+#include "workloads/kernels.hh"
+
+namespace
+{
+
+using namespace rr;
+
+rnr::RecordingMeta
+metaFor(const std::string &kernel, std::uint32_t cores,
+        sim::RecorderMode mode)
+{
+    rnr::RecordingMeta meta;
+    meta.kernel = kernel;
+    meta.cores = cores;
+    meta.scale = 1;
+    meta.intensity = workloads::WorkloadParams{}.intensity;
+    meta.workloadSeed = workloads::WorkloadParams{}.seed;
+    meta.machineSeed = sim::MachineConfig{}.seed;
+    meta.mode = mode;
+    meta.intervalCap = 0;
+    meta.deps = false;
+    return meta;
+}
+
+/**
+ * Replay using nothing but the file: every parameter (kernel, machine
+ * shape, seeds, recorder mode) comes from the persisted metadata, and
+ * the initial memory image from a fresh Machine, exactly as
+ * `rrsim replay file.rrlog` does in a separate process.
+ */
+void
+replayFromDiskAndCheck(const std::string &path)
+{
+    rnr::LogReader reader(path);
+    const rnr::RecordingMeta &meta = reader.meta();
+
+    workloads::WorkloadParams wp;
+    wp.numThreads = meta.cores;
+    wp.scale = meta.scale;
+    wp.intensity = meta.intensity;
+    wp.seed = meta.workloadSeed;
+    auto w = workloads::buildKernel(meta.kernel, wp);
+
+    sim::MachineConfig cfg;
+    cfg.numCores = meta.cores;
+    cfg.seed = meta.machineSeed;
+    std::vector<sim::RecorderConfig> policies(1);
+    policies[0] = {meta.mode, meta.intervalCap};
+    machine::Machine fresh(cfg, w.program, policies);
+
+    std::vector<rnr::CoreLog> logs = reader.readAll();
+    ASSERT_EQ(logs.size(), meta.cores);
+    std::vector<rnr::CoreLog> patched;
+    for (const auto &log : logs)
+        patched.push_back(rnr::patch(log));
+
+    rnr::Replayer rep(w.program, std::move(patched),
+                      fresh.initialMemory().clone());
+    std::vector<std::uint64_t> hashes(meta.cores, 0);
+    std::vector<std::uint64_t> loads(meta.cores, 0);
+    rep.setLoadHook([&](sim::CoreId c, std::uint64_t v) {
+        hashes[c] = machine::mixLoadValue(hashes[c], v);
+        ++loads[c];
+    });
+    const auto res = rep.run();
+
+    const rnr::RecordingSummary summary = reader.summary();
+    EXPECT_EQ(res.memory.fingerprint(), summary.memoryFingerprint);
+    EXPECT_EQ(res.instructions, summary.totalInstructions);
+    ASSERT_EQ(summary.cores.size(), meta.cores);
+    for (sim::CoreId c = 0; c < meta.cores; ++c) {
+        EXPECT_EQ(hashes[c], summary.cores[c].loadValueHash)
+            << "core " << c;
+        EXPECT_EQ(loads[c], summary.cores[c].retiredLoads)
+            << "core " << c;
+        EXPECT_EQ(res.contexts[c].instructions,
+                  summary.cores[c].retiredInstructions)
+            << "core " << c;
+    }
+}
+
+void
+recordToDiskAndReplay(const std::string &kernel)
+{
+    constexpr std::uint32_t kCores = 4;
+    workloads::WorkloadParams wp;
+    wp.numThreads = kCores;
+    auto w = workloads::buildKernel(kernel, wp);
+
+    sim::MachineConfig cfg;
+    cfg.numCores = kCores;
+    // Record Base and Opt simultaneously, each streaming to its own
+    // file as intervals close (the bounded-memory recording path).
+    std::vector<sim::RecorderConfig> policies(2);
+    policies[0] = {sim::RecorderMode::Base, 0};
+    policies[1] = {sim::RecorderMode::Opt, 0};
+
+    std::vector<std::string> paths;
+    std::vector<std::unique_ptr<rnr::LogWriter>> writers;
+    for (std::size_t pol = 0; pol < policies.size(); ++pol) {
+        paths.push_back(::testing::TempDir() + "rr_disk_replay_" +
+                        kernel + "_" + std::to_string(pol) + ".rrlog");
+        writers.push_back(std::make_unique<rnr::LogWriter>(
+            paths[pol], metaFor(kernel, kCores, policies[pol].mode)));
+    }
+
+    machine::Machine m(cfg, w.program, policies);
+    for (std::size_t pol = 0; pol < policies.size(); ++pol) {
+        rnr::LogWriter *writer = writers[pol].get();
+        m.setIntervalSink(pol, [writer](sim::CoreId c,
+                                        const rnr::IntervalRecord &iv) {
+            writer->append(c, iv);
+        });
+    }
+    const auto rec = m.run(500'000'000ULL);
+
+    for (std::size_t pol = 0; pol < policies.size(); ++pol) {
+        SCOPED_TRACE(testing::Message()
+                     << kernel << " policy="
+                     << sim::toString(policies[pol].mode));
+        rnr::RecordingSummary summary;
+        summary.totalInstructions = rec.totalInstructions;
+        summary.cycles = rec.cycles;
+        summary.memoryFingerprint = rec.memoryFingerprint;
+        for (sim::CoreId c = 0; c < kCores; ++c)
+            summary.cores.push_back(rnr::CoreReplaySummary{
+                rec.logs[pol][c].intervals.size(),
+                rec.cores[c].retiredInstructions,
+                rec.cores[c].retiredLoads, rec.cores[c].loadValueHash});
+        writers[pol]->finish(summary);
+        EXPECT_EQ(writers[pol]->intervalsWritten(),
+                  summary.cores[0].intervals +
+                      summary.cores[1].intervals +
+                      summary.cores[2].intervals +
+                      summary.cores[3].intervals);
+
+        // The streamed file holds exactly the in-memory log.
+        rnr::LogReader reader(paths[pol]);
+        const auto disk_logs = reader.readAll();
+        ASSERT_EQ(disk_logs.size(), kCores);
+        for (sim::CoreId c = 0; c < kCores; ++c) {
+            const auto &mem_log = rec.logs[pol][c];
+            ASSERT_EQ(disk_logs[c].intervals.size(),
+                      mem_log.intervals.size())
+                << "core " << c;
+            for (std::size_t i = 0; i < mem_log.intervals.size(); ++i) {
+                EXPECT_EQ(disk_logs[c].intervals[i].entries,
+                          mem_log.intervals[i].entries);
+                EXPECT_EQ(disk_logs[c].intervals[i].cisn,
+                          mem_log.intervals[i].cisn);
+                EXPECT_EQ(disk_logs[c].intervals[i].timestamp,
+                          mem_log.intervals[i].timestamp);
+            }
+        }
+        EXPECT_TRUE(reader.verify().empty());
+
+        replayFromDiskAndCheck(paths[pol]);
+        std::remove(paths[pol].c_str());
+    }
+}
+
+class DiskReplayAllKernels : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(DiskReplayAllKernels, RecordedFileReplaysDeterministically)
+{
+    recordToDiskAndReplay(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, DiskReplayAllKernels,
+    ::testing::ValuesIn(rr::workloads::kernelNames()),
+    [](const auto &info) {
+        std::string name = info.param;
+        for (auto &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace

@@ -147,6 +147,94 @@ TEST(Log, RandomizedPackUnpack)
         EXPECT_EQ(back.intervals[i].entries, log.intervals[i].entries);
 }
 
+/**
+ * Property test: any CoreLog the generator can produce must (a) have a
+ * packed size of exactly sizeBits() + 1 layout bit and (b) survive a
+ * pack/unpack round trip. Stresses the edge cases the fixed tests
+ * don't: empty logs, zero-entry intervals, maximum 16-bit interval
+ * offsets, and dependency frames (dep-uniform: the packed layout is
+ * file-global, so either every interval carries predecessors or none
+ * does).
+ */
+TEST(Log, PropertyPackedSizeAndRoundTrip)
+{
+    rr::sim::Rng rng(0x106f00dULL);
+    for (int trial = 0; trial < 40; ++trial) {
+        const bool with_deps = trial % 4 == 3;
+        CoreLog log;
+        const int num_intervals = static_cast<int>(rng.below(12));
+        for (int i = 0; i < num_intervals; ++i) {
+            IntervalRecord iv;
+            // ~1 in 4 intervals is empty (terminated with no entries).
+            const int n = rng.below(4) == 0
+                              ? 0
+                              : 1 + static_cast<int>(rng.below(8));
+            for (int e = 0; e < n; ++e) {
+                switch (rng.below(7)) {
+                  case 0:
+                    iv.entries.push_back(
+                        LogEntry::inorderBlock(rng.below(1u << 31)));
+                    break;
+                  case 1:
+                    iv.entries.push_back(
+                        LogEntry::reorderedLoad(rng.next()));
+                    break;
+                  case 2:
+                    // Max-offset reordered store: the full 16-bit
+                    // offset field must survive.
+                    iv.entries.push_back(LogEntry::reorderedStore(
+                        rng.next() & 0xffffffffffffULL, rng.next(),
+                        0xffff));
+                    break;
+                  case 3:
+                    iv.entries.push_back(LogEntry::reorderedAtomic(
+                        rng.next() & 0xffffffffffffULL, rng.next(),
+                        rng.next(),
+                        1 + static_cast<std::uint32_t>(
+                                rng.below(0xffff))));
+                    break;
+                  case 4:
+                    iv.entries.push_back(LogEntry::patchedStore(
+                        rng.next() & 0xffffffffffffULL, rng.next()));
+                    break;
+                  case 5:
+                    iv.entries.push_back(LogEntry::dummyStore());
+                    break;
+                  default:
+                    iv.entries.push_back(
+                        LogEntry::dummyAtomic(rng.next()));
+                    break;
+                }
+            }
+            iv.cisn = static_cast<rr::sim::Isn>(i);
+            iv.timestamp = rng.next();
+            if (with_deps) {
+                const int deps = 1 + static_cast<int>(rng.below(3));
+                for (int d = 0; d < deps; ++d)
+                    iv.predecessors.push_back(IntervalDep{
+                        static_cast<rr::sim::CoreId>(rng.below(8)),
+                        static_cast<rr::sim::Isn>(rng.below(1000))});
+            }
+            log.intervals.push_back(std::move(iv));
+        }
+
+        const PackedLog packed = pack(log);
+        EXPECT_EQ(packed.bitCount, log.sizeBits() + 1)
+            << "trial " << trial << " (deps=" << with_deps << ")";
+        const CoreLog back = unpack(packed);
+        ASSERT_EQ(back.intervals.size(), log.intervals.size());
+        for (std::size_t i = 0; i < log.intervals.size(); ++i) {
+            EXPECT_EQ(back.intervals[i].entries,
+                      log.intervals[i].entries);
+            EXPECT_EQ(back.intervals[i].cisn, log.intervals[i].cisn);
+            EXPECT_EQ(back.intervals[i].timestamp,
+                      log.intervals[i].timestamp);
+            EXPECT_EQ(back.intervals[i].predecessors,
+                      log.intervals[i].predecessors);
+        }
+    }
+}
+
 TEST(Log, EntryKindNames)
 {
     EXPECT_STREQ(toString(EntryKind::InorderBlock), "InorderBlock");

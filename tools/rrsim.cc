@@ -5,13 +5,17 @@
  *   rrsim list
  *       List the bundled workloads.
  *   rrsim record <kernel> [--cores N] [--scale S] [--mode base|opt]
- *                [--interval CAP|inf] [--deps] [--out FILE]
- *       Record a kernel; print recording statistics; optionally save
- *       the packed per-core logs to FILE (a simple container).
- *   rrsim replay <kernel> [--cores N] [--scale S] [--mode ...]
- *                [--interval ...] [--parallel]
- *       Record, then replay (sequentially or in dependency-DAG order)
- *       and verify determinism.
+ *                [--interval CAP|inf] [--deps] [--out FILE.rrlog]
+ *       Record a kernel; print recording statistics; with --out,
+ *       stream the log to a persistent .rrlog container as intervals
+ *       close (rnr::LogWriter; inspect it with the rrlog tool).
+ *   rrsim replay <kernel|FILE.rrlog> [--cores N] [--scale S]
+ *                [--mode ...] [--interval ...] [--parallel]
+ *       With a kernel name: record, then replay in-process and verify
+ *       determinism. With a .rrlog file: load the recording from disk
+ *       in this (separate) process, rebuild the workload from the
+ *       file's metadata, replay, and verify the replayed load-value
+ *       hashes and instruction counts against the recorded summary.
  *   rrsim inspect <kernel> [...]
  *       Record and dump the first intervals of core 0's log.
  *   rrsim sweep <kernel|all> [--cores N] [--scale S] [--jobs J]
@@ -28,6 +32,7 @@
 #include <vector>
 
 #include "machine/machine.hh"
+#include "rnr/logstore.hh"
 #include "rnr/parallel_schedule.hh"
 #include "rnr/patcher.hh"
 #include "rnr/replayer.hh"
@@ -71,7 +76,8 @@ usage()
         "  --parallel       replay in dependency-DAG order\n"
         "  --jobs J         concurrent recordings for sweep "
         "(default: all host cores)\n"
-        "  --out FILE       save packed logs (record)\n"
+        "  --out FILE       stream the recording to FILE.rrlog "
+        "(record)\n"
         "  --trace FILE     write a Chrome-trace-format event trace "
         "(also: env RR_TRACE)\n"
         "  --stats-json FILE  export simulator statistics as JSON\n"
@@ -93,24 +99,33 @@ Options
 parse(int argc, char **argv)
 {
     Options o;
-    std::vector<std::string> positional;
+    // Normalize "--flag=value" into "--flag value" so every option
+    // accepts both spellings.
+    std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        const auto eq = arg.find('=');
+        if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+            args.push_back(arg.substr(0, eq));
+            args.push_back(arg.substr(eq + 1));
+        } else {
+            args.push_back(arg);
+        }
+    }
+    std::vector<std::string> positional;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string arg = args[i];
         auto next = [&]() -> std::string {
-            if (++i >= argc)
+            if (++i >= args.size())
                 usage();
-            return argv[i];
+            return args[i];
         };
         if (arg.rfind("--", 0) != 0) {
             positional.push_back(arg);
         } else if (arg == "--trace") {
             o.traceFile = next();
-        } else if (arg.rfind("--trace=", 0) == 0) {
-            o.traceFile = arg.substr(8);
         } else if (arg == "--stats-json") {
             o.statsJson = next();
-        } else if (arg.rfind("--stats-json=", 0) == 0) {
-            o.statsJson = arg.substr(13);
         } else if (arg == "--cores") {
             o.cores = static_cast<std::uint32_t>(parseNum(next()));
         } else if (arg == "--scale") {
@@ -169,12 +184,14 @@ writeStatsFile(const std::string &path,
 }
 
 bool
-maybeExportStats(const Options &o, machine::Machine &m)
+maybeExportStats(const Options &o, machine::Machine &m,
+                 std::vector<const sim::StatSet *> extra = {})
 {
     if (o.statsJson.empty())
         return true;
     std::vector<const sim::StatSet *> sets;
     m.collectStats(sets);
+    sets.insert(sets.end(), extra.begin(), extra.end());
     return writeStatsFile(o.statsJson, sets);
 }
 
@@ -186,8 +203,48 @@ struct Run
     machine::RecordingResult rec;
 };
 
+/** The .rrlog metadata describing a recording with these options. */
+rnr::RecordingMeta
+metaFor(const Options &o)
+{
+    const workloads::WorkloadParams wp; // source of the seed defaults
+    const sim::MachineConfig cfg;
+    rnr::RecordingMeta meta;
+    meta.kernel = o.kernel;
+    meta.cores = o.cores;
+    meta.scale = o.scale;
+    meta.intensity = wp.intensity;
+    meta.workloadSeed = wp.seed;
+    meta.machineSeed = cfg.seed;
+    meta.mode = o.mode;
+    meta.intervalCap = o.interval;
+    meta.deps = o.deps;
+    return meta;
+}
+
+/** The replay-verification targets of a finished recording. */
+rnr::RecordingSummary
+summaryOf(const machine::RecordingResult &rec,
+          std::size_t policy = 0)
+{
+    rnr::RecordingSummary s;
+    s.totalInstructions = rec.totalInstructions;
+    s.cycles = rec.cycles;
+    s.memoryFingerprint = rec.memoryFingerprint;
+    for (std::size_t c = 0; c < rec.cores.size(); ++c) {
+        rnr::CoreReplaySummary core;
+        core.intervals = rec.logs[policy][c].intervals.size();
+        core.retiredInstructions = rec.cores[c].retiredInstructions;
+        core.retiredLoads = rec.cores[c].retiredLoads;
+        core.loadValueHash = rec.cores[c].loadValueHash;
+        s.cores.push_back(core);
+    }
+    return s;
+}
+
+/** @param writer When set, streams policy 0's intervals during the run. */
 Run
-record(const Options &o)
+record(const Options &o, rnr::LogWriter *writer = nullptr)
 {
     workloads::WorkloadParams wp;
     wp.numThreads = o.cores;
@@ -204,6 +261,12 @@ record(const Options &o)
 
     run.machine = std::make_unique<machine::Machine>(
         cfg, run.workload.program, policies);
+    if (writer) {
+        run.machine->setIntervalSink(
+            0, [writer](sim::CoreId core, const rnr::IntervalRecord &iv) {
+                writer->append(core, iv);
+            });
+    }
     run.initial = run.machine->initialMemory();
     run.rec = run.machine->run();
     return run;
@@ -245,32 +308,149 @@ printRecordingStats(const Run &run, const Options &o)
 int
 cmdRecord(const Options &o)
 {
-    Run run = record(o);
+    std::unique_ptr<rnr::LogWriter> writer;
+    if (!o.outFile.empty())
+        writer =
+            std::make_unique<rnr::LogWriter>(o.outFile, metaFor(o));
+    Run run = record(o, writer.get());
     printRecordingStats(run, o);
-    if (!o.outFile.empty()) {
-        std::ofstream out(o.outFile, std::ios::binary);
-        if (!out) {
-            std::fprintf(stderr, "cannot open %s\n", o.outFile.c_str());
-            return 1;
-        }
-        for (const auto &log : run.rec.logs[0]) {
-            const auto packed = rnr::pack(log);
-            const std::uint64_t bits = packed.bitCount;
-            const std::uint64_t bytes = packed.bytes.size();
-            out.write(reinterpret_cast<const char *>(&bits), 8);
-            out.write(reinterpret_cast<const char *>(&bytes), 8);
-            out.write(
-                reinterpret_cast<const char *>(packed.bytes.data()),
-                static_cast<std::streamsize>(bytes));
-        }
-        std::printf("logs saved      %s\n", o.outFile.c_str());
+    std::vector<const sim::StatSet *> extra;
+    if (writer) {
+        writer->finish(summaryOf(run.rec));
+        std::printf("log saved       %s (%llu bytes, %llu chunks)\n",
+                    o.outFile.c_str(),
+                    (unsigned long long)writer->bytesWritten(),
+                    (unsigned long long)writer->stats().counterValue(
+                        "chunks_written"));
+        extra.push_back(&writer->stats());
     }
-    return maybeExportStats(o, *run.machine) ? 0 : 1;
+    return maybeExportStats(o, *run.machine, extra) ? 0 : 1;
+}
+
+/**
+ * Replay a .rrlog file in this (fresh) process: rebuild the workload
+ * from the file's metadata, reconstruct and patch the per-core logs,
+ * replay, and verify every per-core load-value hash and instruction
+ * count plus the final memory image against the recorded summary.
+ */
+int
+cmdReplayFile(const Options &o)
+{
+    rnr::LogReader reader(o.kernel);
+    const rnr::RecordingMeta &meta = reader.meta();
+    const rnr::RecordingSummary summary = reader.summary();
+    std::vector<rnr::CoreLog> logs = reader.readAll();
+
+    std::printf("log file        %s (format v%u, fingerprint %016llx)\n",
+                o.kernel.c_str(), reader.version(),
+                (unsigned long long)reader.fingerprint());
+    std::printf("recording       %s, %u cores, scale %llu, "
+                "RelaxReplay_%s, interval cap %s%s\n",
+                meta.kernel.c_str(), meta.cores,
+                (unsigned long long)meta.scale, sim::toString(meta.mode),
+                meta.intervalCap
+                    ? std::to_string(meta.intervalCap).c_str()
+                    : "INF",
+                meta.deps ? ", dependency edges" : "");
+
+    workloads::WorkloadParams wp;
+    wp.numThreads = meta.cores;
+    wp.scale = meta.scale;
+    wp.intensity = meta.intensity;
+    wp.seed = meta.workloadSeed;
+    const auto w = workloads::buildKernel(meta.kernel, wp);
+
+    // A fresh machine only to materialize the initial memory image the
+    // recording started from (deterministic given program + config).
+    sim::MachineConfig cfg;
+    cfg.numCores = meta.cores;
+    cfg.seed = meta.machineSeed;
+    std::vector<sim::RecorderConfig> policies(1);
+    policies[0].mode = meta.mode;
+    machine::Machine m(cfg, w.program, policies);
+
+    std::vector<rnr::CoreLog> patched;
+    for (auto &log : logs)
+        patched.push_back(rnr::patch(log));
+
+    std::vector<rnr::Replayer::OrderItem> order;
+    if (o.parallel && meta.deps) {
+        const auto sched = rnr::buildParallelSchedule(patched);
+        for (const auto &node : sched.order)
+            order.push_back({node.core, node.index});
+    } else if (o.parallel) {
+        std::fprintf(stderr,
+                     "%s was recorded without dependency edges; "
+                     "replaying sequentially\n",
+                     o.kernel.c_str());
+    }
+
+    rnr::Replayer rep(w.program, std::move(patched),
+                      m.initialMemory().clone());
+    std::vector<std::uint64_t> hashes(meta.cores, 0);
+    std::vector<std::uint64_t> load_counts(meta.cores, 0);
+    rep.setLoadHook([&](sim::CoreId c, std::uint64_t v) {
+        hashes[c] = machine::mixLoadValue(hashes[c], v);
+        ++load_counts[c];
+    });
+
+    rnr::ReplayResult res;
+    try {
+        res = order.empty() ? rep.run() : rep.runInOrder(order);
+    } catch (const rnr::ReplayDivergence &d) {
+        std::fprintf(stderr,
+                     "replay of %s diverged at core %u, interval %u:\n%s\n",
+                     o.kernel.c_str(), d.report().core,
+                     d.report().intervalIndex,
+                     d.report().format().c_str());
+        return 1;
+    }
+
+    bool ok = res.memory.fingerprint() == summary.memoryFingerprint &&
+              res.instructions == summary.totalInstructions;
+    for (sim::CoreId c = 0; c < meta.cores; ++c) {
+        const auto &cs = summary.cores[c];
+        if (hashes[c] != cs.loadValueHash ||
+            load_counts[c] != cs.retiredLoads ||
+            res.contexts[c].instructions != cs.retiredInstructions) {
+            std::fprintf(stderr,
+                         "core %u mismatch: load hash %016llx/%016llx, "
+                         "loads %llu/%llu, instructions %llu/%llu "
+                         "(replayed/recorded)\n",
+                         c, (unsigned long long)hashes[c],
+                         (unsigned long long)cs.loadValueHash,
+                         (unsigned long long)load_counts[c],
+                         (unsigned long long)cs.retiredLoads,
+                         (unsigned long long)
+                             res.contexts[c].instructions,
+                         (unsigned long long)cs.retiredInstructions);
+            ok = false;
+        }
+    }
+    std::printf("determinism     %s (%llu instructions replayed "
+                "from disk)\n",
+                ok ? "OK" : "MISMATCH",
+                (unsigned long long)res.instructions);
+    return ok ? 0 : 1;
+}
+
+bool
+looksLikeLogFile(const std::string &name)
+{
+    const std::string suffix = ".rrlog";
+    if (name.size() >= suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(),
+                     suffix) == 0)
+        return true;
+    std::ifstream probe(name, std::ios::binary);
+    return probe.good();
 }
 
 int
 cmdReplay(const Options &o)
 {
+    if (looksLikeLogFile(o.kernel))
+        return cmdReplayFile(o);
     Run run = record(o);
     printRecordingStats(run, o);
 
@@ -473,6 +653,9 @@ main(int argc, char **argv)
         rc = dispatch(o);
     } catch (const rnr::ReplayDivergence &d) {
         std::fprintf(stderr, "%s\n", d.report().format().c_str());
+        rc = 1;
+    } catch (const rnr::LogStoreError &e) {
+        std::fprintf(stderr, "rrsim: %s\n", e.what());
         rc = 1;
     }
     sim::TraceSink::close();

@@ -52,6 +52,14 @@ cmake --build "$build_dir" -j "$(nproc)"
 echo "== ctest =="
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 
+echo "== rrlog smoke (record -> verify -> stats -> replay) =="
+smoke="$build_dir/smoke.rrlog"
+"$build_dir"/rrsim record fft --cores 4 --out "$smoke"
+"$build_dir"/rrlog verify "$smoke"
+"$build_dir"/rrlog stats "$smoke"
+"$build_dir"/rrsim replay "$smoke"
+rm -f "$smoke"
+
 benches=(
     table1_params
     fig1_ooo_fraction

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/faultinject.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -188,6 +189,7 @@ void
 MemorySystem::tick(sim::Cycle now)
 {
     now_ = now;
+    deliverDelayedSnoops();
     grantPhase();
 
     while (!events_.empty() && events_.top().when <= now_) {
@@ -376,8 +378,52 @@ MemorySystem::emitSnoop(sim::CoreId requester, sim::Addr line,
         if (c == requester)
             continue;
         ev.observerHadLine = had_line.empty() ? false : had_line[c];
+        if (sim::FaultInjector::enabled() && !coreObservers_[c].empty()) {
+            auto *inj = sim::FaultInjector::get();
+            // Drop or delay the *recorder-side* delivery only; the
+            // broadcast observers (tracers, ground-truth listeners)
+            // always see the snoop, so execution is unperturbed and the
+            // recorded log is what degrades.
+            if (inj->dropSnoop(c)) {
+                stats_.counter("fault_snoops_dropped")++;
+                if (sim::TraceSink::enabled())
+                    sim::TraceSink::get()->instant(
+                        sim::TraceSink::kRecordPid, c, "fault",
+                        "snoop-dropped", now_,
+                        {{"line", line}, {"requester", requester}});
+                for (auto *obs : observers_)
+                    obs->onSnoop(c, ev);
+                continue;
+            }
+            if (inj->delaySnoop(c)) {
+                stats_.counter("fault_snoops_delayed")++;
+                if (sim::TraceSink::enabled())
+                    sim::TraceSink::get()->instant(
+                        sim::TraceSink::kRecordPid, c, "fault",
+                        "snoop-delayed", now_,
+                        {{"line", line},
+                         {"cycles", inj->plan().delaySnoopCycles}});
+                delayedSnoops_.push_back(DelayedSnoop{
+                    now_ + inj->plan().delaySnoopCycles, c, ev});
+                for (auto *obs : observers_)
+                    obs->onSnoop(c, ev);
+                continue;
+            }
+        }
         notifyObservers(c,
                         [&ev, c](MemoryObserver *obs) { obs->onSnoop(c, ev); });
+    }
+}
+
+void
+MemorySystem::deliverDelayedSnoops()
+{
+    while (!delayedSnoops_.empty() &&
+           delayedSnoops_.front().deliverAt <= now_) {
+        const DelayedSnoop d = delayedSnoops_.front();
+        delayedSnoops_.pop_front();
+        for (auto *obs : coreObservers_[d.dest])
+            obs->onSnoop(d.dest, d.ev);
     }
 }
 
@@ -461,7 +507,8 @@ MemorySystem::l1State(sim::CoreId core, sim::Addr line_addr) const
 bool
 MemorySystem::quiescent() const
 {
-    if (!busQueue_.empty() || !events_.empty() || !inflight_.empty())
+    if (!busQueue_.empty() || !events_.empty() || !inflight_.empty() ||
+        !delayedSnoops_.empty())
         return false;
     for (const auto &list : mshrs_) {
         if (!list.empty())

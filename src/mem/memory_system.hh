@@ -175,6 +175,23 @@ class MemorySystem
     void emitSnoop(sim::CoreId requester, sim::Addr line, bool is_write,
                    const std::vector<bool> &had_line);
 
+    /**
+     * A snoop whose delivery to one core's *recorder-side* observers
+     * (coreObservers_) was postponed by fault injection. The broadcast
+     * observers saw the event at its original grant cycle, so injected
+     * delays perturb only what the recorder hardware observes, never the
+     * simulated execution itself.
+     */
+    struct DelayedSnoop
+    {
+        sim::Cycle deliverAt;
+        sim::CoreId dest;
+        SnoopEvent ev;
+    };
+
+    /** Fire delayed snoops that are due at now_ (fault injection). */
+    void deliverDelayedSnoops();
+
     const sim::MachineConfig &cfg_;
     BackingStore &backing_;
     StampClock &clock_;
@@ -210,6 +227,8 @@ class MemorySystem
     sim::FlatMap<std::uint32_t> lineMshrCount_;
 
     std::deque<BusRequest> busQueue_;
+    /** FIFO by construction: the injected delay is one fixed constant. */
+    std::deque<DelayedSnoop> delayedSnoops_;
     sim::FlatSet inflight_;
     std::priority_queue<Event, std::vector<Event>, EventLater> events_;
 

@@ -41,8 +41,26 @@ inline constexpr std::array<char, 4> kMagic = {'R', 'R', 'L', 'G'};
 /** Current container format version; readers refuse newer files. */
 inline constexpr std::uint16_t kFormatVersion = 1;
 
+/**
+ * File-header flags (the 16-bit field at byte offset 6, reserved-zero
+ * before flags existed — old readers that ignore it stay compatible).
+ */
+///@{
+/**
+ * The file deliberately holds only a prefix of the recording: the
+ * writer hit its log-size budget, or `rrlog repair` salvaged a torn
+ * file. Data chunks and End marker are intact; a Summary chunk, when
+ * present, describes the *full* recording (for reference), so interval
+ * counts need not match the data chunks. Replay requires an explicit
+ * `--allow-partial` opt-in.
+ */
+inline constexpr std::uint16_t kFlagPartial = 1;
+///@}
+
 inline constexpr std::size_t kFileHeaderBytes = 24;
 inline constexpr std::size_t kChunkHeaderBytes = 32;
+/** Byte offset of the 16-bit flags field within the file header. */
+inline constexpr std::size_t kFlagsOffset = 6;
 
 /** A core's pending chunk is flushed once its payload reaches this. */
 inline constexpr std::size_t kChunkTargetBytes = 64 * 1024;
@@ -155,6 +173,27 @@ writeVarint(BitWriter &w, std::uint64_t v)
     } while (v != 0);
 }
 
+/**
+ * Bounded varint decode for untrusted bitstreams: reads groups from
+ * @p r but never past @p bit_limit, and rejects encodings longer than
+ * kMaxVarintGroups. @return false (leaving @p out unspecified) on
+ * truncation or overlong input instead of reading out of bounds.
+ */
+inline bool
+tryReadVarint(BitReader &r, std::uint64_t bit_limit, std::uint64_t &out)
+{
+    out = 0;
+    for (std::uint32_t g = 0; g < kMaxVarintGroups; ++g) {
+        if (r.position() + 8 > bit_limit)
+            return false;
+        const std::uint64_t group = r.read(8);
+        out |= (group & 0x7f) << (7 * g);
+        if (!(group & 0x80))
+            return true;
+    }
+    return false;
+}
+
 /** Zigzag-fold a signed delta so small magnitudes stay small. */
 inline std::uint64_t
 zigzag(std::int64_t v)
@@ -218,12 +257,18 @@ struct ChunkHeader
         return out;
     }
 
-    /** @return false when the trailing header CRC does not match. */
+    /**
+     * @return false when the trailing header CRC does not match or the
+     *         chunk type is not one of the defined values.
+     */
     static bool
     decode(const std::uint8_t *p, ChunkHeader &out)
     {
         if (crc32(p, kChunkHeaderBytes - 4) !=
             getU32(p + kChunkHeaderBytes - 4))
+            return false;
+        if (p[0] < static_cast<std::uint8_t>(ChunkType::Meta) ||
+            p[0] > static_cast<std::uint8_t>(ChunkType::End))
             return false;
         out.type = static_cast<ChunkType>(p[0]);
         out.core = getU32(p + 4);

@@ -19,6 +19,8 @@ toString(IntervalRecorder::Termination why)
         return "size-cap";
       case IntervalRecorder::Termination::Finish:
         return "finish";
+      case IntervalRecorder::Termination::Injected:
+        return "fault-injected";
     }
     return "?";
 }
@@ -29,13 +31,20 @@ IntervalRecorder::IntervalRecorder(sim::CoreId core,
                                    const sim::RecorderConfig &cfg,
                                    mem::StampClock &clock,
                                    std::string name)
-    : core_(core), cfg_(cfg), clock_(clock),
+    : core_(core), cfg_(cfg), clock_(clock), mode_(cfg.mode),
       readSig_(cfg.signatureBanks, cfg.signatureBitsPerBank,
                0x5ead51f0beefULL),
       writeSig_(cfg.signatureBanks, cfg.signatureBitsPerBank,
                 0x3517e51f0aceULL),
       snoopTable_(cfg.snoopTableEntries), stats_(std::move(name))
 {
+    // Bind the injector at construction: an injector installed mid-run
+    // is deliberately ignored so a run's fault plan is fixed up front.
+    if (sim::FaultInjector::enabled()) {
+        faults_ = sim::FaultInjector::get();
+        if (faults_->plan().stSaturateAt)
+            snoopTable_.setSaturationCap(faults_->plan().stSaturateAt);
+    }
 }
 
 void
@@ -52,13 +61,13 @@ IntervalRecorder::insertSignature(mem::AccessKind kind, sim::Addr line)
 }
 
 bool
-IntervalRecorder::conflicts(const mem::SnoopEvent &ev) const
+IntervalRecorder::conflicts(sim::Addr line, bool is_write) const
 {
-    if (ev.isWrite) {
-        return readSig_.mightContain(ev.lineAddr) ||
-               writeSig_.mightContain(ev.lineAddr);
+    if (is_write) {
+        return readSig_.mightContain(line) ||
+               writeSig_.mightContain(line);
     }
-    return writeSig_.mightContain(ev.lineAddr);
+    return writeSig_.mightContain(line);
 }
 
 bool
@@ -66,8 +75,12 @@ IntervalRecorder::onSnoop(const mem::SnoopEvent &ev)
 {
     if (finished_)
         return false;
+    // Signature inserts and queries use the same (possibly aliased)
+    // line key, so injected aliasing stays conservative: extra
+    // conflicts, never missed ones.
+    const sim::Addr line = faultLine(ev.lineAddr);
     bool conflicted = false;
-    if (conflicts(ev)) {
+    if (conflicts(line, ev.isWrite)) {
         stats_.counter("terminations_conflict")++;
         terminate(Termination::Conflict, ev.cycle);
         conflicted = true;
@@ -81,8 +94,10 @@ IntervalRecorder::onSnoop(const mem::SnoopEvent &ev)
              {"write", ev.isWrite},
              {"policy", stats_.name().c_str()}});
     }
-    if (cfg_.mode == sim::RecorderMode::Opt)
-        snoopTable_.bump(ev.lineAddr);
+    if (mode_ == sim::RecorderMode::Opt) {
+        snoopTable_.bump(line);
+        maybeDowngrade(ev.cycle);
+    }
     return conflicted;
 }
 
@@ -109,20 +124,21 @@ IntervalRecorder::onDirtyEviction(sim::Addr line_addr)
 {
     if (finished_ || !cfg_.directoryEvictionBump)
         return;
-    if (cfg_.mode == sim::RecorderMode::Opt) {
-        snoopTable_.bump(line_addr);
+    if (mode_ == sim::RecorderMode::Opt) {
+        snoopTable_.bump(faultLine(line_addr));
         stats_.counter("dirty_eviction_bumps")++;
+        maybeDowngrade(0);
     }
 }
 
 IntervalRecorder::PerformState
 IntervalRecorder::notePerform(mem::AccessKind kind, sim::Addr word_addr)
 {
-    const sim::Addr line = sim::lineAddr(word_addr);
+    const sim::Addr line = faultLine(sim::lineAddr(word_addr));
     insertSignature(kind, line);
     PerformState ps;
     ps.pisn = cisn_;
-    if (cfg_.mode == sim::RecorderMode::Opt)
+    if (mode_ == sim::RecorderMode::Opt)
         ps.counts = snoopTable_.read(line);
     return ps;
 }
@@ -139,6 +155,9 @@ IntervalRecorder::countNmi(std::uint32_t n, sim::Cycle now)
         intervalInstructions_ >= cfg_.maxIntervalInstructions) {
         stats_.counter("terminations_maxsize")++;
         terminate(Termination::MaxSize, now);
+    } else if (faults_ && faults_->forceTerminate(core_)) {
+        stats_.counter("terminations_injected")++;
+        terminate(Termination::Injected, now);
     }
 }
 
@@ -150,14 +169,14 @@ IntervalRecorder::countMem(mem::AccessKind kind, sim::Addr word_addr,
                            const PerformState &ps, sim::Cycle now)
 {
     RR_ASSERT(!finished_, "counting after finish");
-    const sim::Addr line = sim::lineAddr(word_addr);
+    const sim::Addr line = faultLine(sim::lineAddr(word_addr));
 
     bool reordered;
     if (ps.pisn == cisn_) {
         // Perform and counting fall in the same interval: the perform
         // event trivially moves to the counting point (Observation 2).
         reordered = false;
-    } else if (cfg_.mode == sim::RecorderMode::Base) {
+    } else if (mode_ == sim::RecorderMode::Base) {
         reordered = true;
     } else {
         // The Snoop Table's hit/miss decision: a "hit" (both counters
@@ -225,6 +244,9 @@ IntervalRecorder::countMem(mem::AccessKind kind, sim::Addr word_addr,
         intervalInstructions_ >= cfg_.maxIntervalInstructions) {
         stats_.counter("terminations_maxsize")++;
         terminate(Termination::MaxSize, now);
+    } else if (faults_ && faults_->forceTerminate(core_)) {
+        stats_.counter("terminations_injected")++;
+        terminate(Termination::Injected, now);
     }
 }
 
@@ -265,6 +287,29 @@ IntervalRecorder::terminate(Termination why, sim::Cycle now)
     readSig_.clear();
     writeSig_.clear();
     stats_.counter("intervals")++;
+}
+
+void
+IntervalRecorder::maybeDowngrade(sim::Cycle now)
+{
+    if (mode_ != sim::RecorderMode::Opt || !snoopTable_.saturated())
+        return;
+    // The Snoop Table can no longer tell "counter moved" from "counter
+    // stuck at the cap", so its hit/miss answer is untrustworthy. Base
+    // logging needs no counters: fall back for the rest of the run and
+    // keep producing a correct (if larger) log instead of aborting.
+    mode_ = sim::RecorderMode::Base;
+    stats_.counter("opt_base_downgrades")++;
+    if (faults_)
+        faults_->noteDegradation("opt_base_downgrades");
+    sim::warn("core %u (%s): snoop table saturated, downgrading "
+              "Opt -> Base logging",
+              core_, stats_.name().c_str());
+    if (sim::TraceSink::enabled()) {
+        sim::TraceSink::get()->instant(
+            sim::TraceSink::kRecordPid, core_, "fault", "opt-downgrade",
+            now, {{"policy", stats_.name().c_str()}});
+    }
 }
 
 void

@@ -23,6 +23,7 @@
 #include "rnr/signature.hh"
 #include "rnr/snoop_table.hh"
 #include "sim/config.hh"
+#include "sim/faultinject.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -45,6 +46,7 @@ class IntervalRecorder
         Conflict,
         MaxSize,
         Finish,
+        Injected, ///< fault injection forced the termination
     };
 
     IntervalRecorder(sim::CoreId core, const sim::RecorderConfig &cfg,
@@ -116,15 +118,35 @@ class IntervalRecorder
     sim::Isn cisn() const { return cisn_; }
     sim::StatSet &stats() { return stats_; }
 
+    /**
+     * The mode the recorder is currently logging under. Starts at
+     * cfg.mode; degrades Opt→Base for the rest of the run when the
+     * Snoop Table saturates (graceful degradation: Base needs no
+     * counters, so a correct — if larger — log keeps flowing).
+     */
+    sim::RecorderMode effectiveMode() const { return mode_; }
+
   private:
     void insertSignature(mem::AccessKind kind, sim::Addr line);
-    bool conflicts(const mem::SnoopEvent &ev) const;
+    bool conflicts(sim::Addr line, bool is_write) const;
     void flushBlock();
     void terminate(Termination why, sim::Cycle now);
+
+    /** Fall back to Base logging once the Snoop Table saturates. */
+    void maybeDowngrade(sim::Cycle now);
+
+    /** Line key as the (possibly fault-aliased) signatures see it. */
+    sim::Addr
+    faultLine(sim::Addr line) const
+    {
+        return faults_ ? faults_->aliasLine(line) : line;
+    }
 
     const sim::CoreId core_;
     const sim::RecorderConfig cfg_;
     mem::StampClock &clock_;
+    sim::FaultInjector *faults_ = nullptr; ///< null when not installed
+    sim::RecorderMode mode_;               ///< effective logging mode
 
     Signature readSig_;
     Signature writeSig_;

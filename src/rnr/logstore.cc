@@ -1,7 +1,19 @@
 #include "rnr/logstore.hh"
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
+#include <limits>
+#include <thread>
+
+#include <unistd.h>
+
+#include "sim/faultinject.hh"
+#include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace rr::rnr
 {
@@ -13,7 +25,7 @@ using fmt::ChunkType;
 
 std::string
 formatError(const std::string &message, std::uint64_t offset,
-            std::int64_t chunk_seq)
+            std::int64_t chunk_seq, int os_error)
 {
     char loc[96];
     if (chunk_seq >= 0)
@@ -23,7 +35,20 @@ formatError(const std::string &message, std::uint64_t offset,
     else
         std::snprintf(loc, sizeof loc, " (file offset %" PRIu64 ")",
                       offset);
-    return message + loc;
+    std::string text = message;
+    if (os_error != 0)
+        text += std::string(": ") + std::strerror(os_error);
+    return text + loc;
+}
+
+/** Instant "fault"-category trace event for a log-store I/O incident. */
+void
+traceIo(const char *name, std::uint64_t file_offset)
+{
+    if (sim::TraceSink::enabled())
+        sim::TraceSink::get()->instant(sim::TraceSink::kRecordPid, 0,
+                                       "fault", name, file_offset,
+                                       {{"offset", file_offset}});
 }
 
 /** FNV-1a 64-bit. */
@@ -251,9 +276,12 @@ decodeInterval(Cursor &c, bool first_in_chunk, sim::Isn &prev_cisn,
 
 LogStoreError::LogStoreError(const std::string &message,
                              std::uint64_t file_offset,
-                             std::int64_t chunk_seq)
-    : std::runtime_error(formatError(message, file_offset, chunk_seq)),
-      fileOffset_(file_offset), chunkSeq_(chunk_seq)
+                             std::int64_t chunk_seq, LogErrorKind kind,
+                             int os_error)
+    : std::runtime_error(
+          formatError(message, file_offset, chunk_seq, os_error)),
+      fileOffset_(file_offset), chunkSeq_(chunk_seq), kind_(kind),
+      osError_(os_error)
 {
 }
 
@@ -276,42 +304,242 @@ RecordingMeta::fingerprint() const
 
 // --- LogWriter ---
 
-LogWriter::LogWriter(std::ostream &out, const RecordingMeta &meta)
-    : out_(out), meta_(meta), streams_(meta.cores), stats_("logstore")
+namespace
 {
-    writeFileHeader();
-    writeMetaChunk();
-}
 
-LogWriter::LogWriter(const std::string &path, const RecordingMeta &meta)
-    : owned_(std::make_unique<std::ofstream>(
-          path, std::ios::binary | std::ios::trunc)),
-      out_(*owned_), path_(path), meta_(meta), streams_(meta.cores),
-      stats_("logstore")
-{
-    if (!*owned_)
-        throw LogStoreError("cannot open " + path + " for writing", 0);
-    writeFileHeader();
-    writeMetaChunk();
-}
-
-LogWriter::~LogWriter() = default;
-
-void
-LogWriter::writeFileHeader()
+/** Serialize the 24-byte file header. */
+std::vector<std::uint8_t>
+headerBytes(const RecordingMeta &meta, std::uint16_t flags)
 {
     std::vector<std::uint8_t> h;
     h.reserve(fmt::kFileHeaderBytes);
     for (char c : fmt::kMagic)
         h.push_back(static_cast<std::uint8_t>(c));
     fmt::putU16(h, fmt::kFormatVersion);
-    fmt::putU16(h, 0); // flags, reserved
-    fmt::putU64(h, meta_.fingerprint());
-    fmt::putU32(h, meta_.cores);
+    fmt::putU16(h, flags);
+    fmt::putU64(h, meta.fingerprint());
+    fmt::putU32(h, meta.cores);
     fmt::putU32(h, fmt::crc32(h.data(), h.size()));
-    out_.write(reinterpret_cast<const char *>(h.data()),
-               static_cast<std::streamsize>(h.size()));
-    bytesWritten_ += h.size();
+    return h;
+}
+
+/** Fold an installed fault plan's log budget into the options. */
+WriterOptions
+effectiveOptions(WriterOptions opts)
+{
+    if (sim::FaultInjector::enabled()) {
+        const auto budget =
+            sim::FaultInjector::get()->plan().logBudgetBytes;
+        if (budget != 0 &&
+            (opts.budgetBytes == 0 || budget < opts.budgetBytes))
+            opts.budgetBytes = budget;
+    }
+    return opts;
+}
+
+} // namespace
+
+LogWriter::LogWriter(std::ostream &out, const RecordingMeta &meta,
+                     const WriterOptions &opts)
+    : stream_(&out), meta_(meta), opts_(effectiveOptions(opts)),
+      headerFlags_(opts.headerFlags), streams_(meta.cores),
+      stats_("logstore")
+{
+    writeFileHeader();
+    writeMetaChunk();
+}
+
+LogWriter::LogWriter(const std::string &path, const RecordingMeta &meta,
+                     const WriterOptions &opts)
+    : path_(path), tmpPath_(path + ".tmp"), meta_(meta),
+      opts_(effectiveOptions(opts)), headerFlags_(opts.headerFlags),
+      streams_(meta.cores), stats_("logstore")
+{
+    file_ = std::fopen(tmpPath_.c_str(), "wb");
+    if (!file_)
+        throw LogStoreError("cannot open " + tmpPath_ + " for writing",
+                            0, -1, LogErrorKind::Io, errno);
+    writeFileHeader();
+    writeMetaChunk();
+}
+
+LogWriter::~LogWriter()
+{
+    // An unfinished path-mode writer leaves its .tmp staging file on
+    // disk: that is the crash picture `rrlog repair` salvages from.
+    // Only finish()/finishPartial() rename onto the final path.
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+LogWriter::writeRaw(const void *data, std::size_t n)
+{
+    if (dead_)
+        throw LogStoreError("log file already torn by an injected crash",
+                            bytesWritten_, -1, LogErrorKind::Crash);
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    if (stream_) {
+        // Stream mode: the simple in-memory path, no fault machinery.
+        stream_->write(reinterpret_cast<const char *>(p),
+                       static_cast<std::streamsize>(n));
+        if (!*stream_)
+            throw LogStoreError("write failed", bytesWritten_, -1,
+                                LogErrorKind::Io, errno);
+        bytesWritten_ += n;
+        return;
+    }
+    std::size_t done = 0;
+    std::uint32_t attempts = 0;
+    std::uint32_t backoff_us = opts_.retryBackoffUs;
+    while (done < n) {
+        std::size_t want = n - done;
+        int err = 0;
+        bool crash = false;
+        if (sim::FaultInjector::enabled()) {
+            const auto outcome =
+                sim::FaultInjector::get()->onWrite(bytesWritten_, want);
+            using Kind = sim::FaultInjector::IoOutcome::Kind;
+            switch (outcome.kind) {
+              case Kind::None:
+                break;
+              case Kind::ShortWrite:
+                want = outcome.maxBytes;
+                stats_.counter("io_short_writes")++;
+                traceIo("io-short-write", bytesWritten_);
+                break;
+              case Kind::Error:
+                err = outcome.err;
+                break;
+              case Kind::Crash:
+                crash = true;
+                want = outcome.maxBytes;
+                break;
+            }
+        }
+        std::size_t wrote = 0;
+        if (err == 0 && want != 0) {
+            wrote = std::fwrite(p + done, 1, want, file_);
+            if (wrote < want)
+                err = errno != 0 ? errno : EIO;
+        }
+        done += wrote;
+        bytesWritten_ += wrote;
+        if (crash) {
+            // Simulated power-cut: whatever fwrite committed may reach
+            // the disk, nothing else ever will. The file object stays
+            // open (the destructor keeps the torn .tmp) but every
+            // further write on this writer is refused.
+            dead_ = true;
+            std::fflush(file_);
+            stats_.counter("injected_crashes")++;
+            traceIo("io-crash", bytesWritten_);
+            throw LogStoreError(
+                "injected crash tore the log after " +
+                    std::to_string(bytesWritten_) +
+                    " bytes; torn file left at " + tmpPath_,
+                bytesWritten_, -1, LogErrorKind::Crash);
+        }
+        if (err != 0) {
+            stats_.counter("io_retries")++;
+            traceIo("io-retry", bytesWritten_);
+            if (++attempts >= opts_.maxIoAttempts)
+                throw LogStoreError("write failed on " + tmpPath_ +
+                                        " after " +
+                                        std::to_string(attempts) +
+                                        " attempts",
+                                    bytesWritten_, -1, LogErrorKind::Io,
+                                    err);
+            std::clearerr(file_);
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(backoff_us));
+            backoff_us *= 2;
+        }
+        // An injected short write commits a prefix without error; the
+        // loop simply resumes at the first unwritten byte.
+    }
+}
+
+void
+LogWriter::syncFile(const char *what)
+{
+    if (stream_) {
+        stream_->flush();
+        if (!*stream_)
+            throw LogStoreError(std::string(what) + ": flush failed",
+                                bytesWritten_, -1, LogErrorKind::Io,
+                                errno);
+        return;
+    }
+    std::uint32_t attempts = 0;
+    std::uint32_t backoff_us = opts_.retryBackoffUs;
+    for (;;) {
+        int err = 0;
+        if (sim::FaultInjector::enabled())
+            err = sim::FaultInjector::get()->onSync();
+        if (err == 0) {
+            if (std::fflush(file_) != 0)
+                err = errno != 0 ? errno : EIO;
+            else if (fsync(fileno(file_)) != 0)
+                err = errno != 0 ? errno : EIO;
+        }
+        if (err == 0)
+            return;
+        stats_.counter("sync_retries")++;
+        traceIo("sync-retry", bytesWritten_);
+        if (++attempts >= opts_.maxIoAttempts)
+            throw LogStoreError(std::string(what) + " failed on " +
+                                    tmpPath_ + " after " +
+                                    std::to_string(attempts) +
+                                    " attempts",
+                                bytesWritten_, -1, LogErrorKind::Io,
+                                err);
+        std::clearerr(file_);
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(backoff_us));
+        backoff_us *= 2;
+    }
+}
+
+void
+LogWriter::writeFileHeader()
+{
+    const auto h = headerBytes(meta_, headerFlags_);
+    writeRaw(h.data(), h.size());
+}
+
+void
+LogWriter::rewriteHeader()
+{
+    const auto h = headerBytes(meta_, headerFlags_);
+    if (stream_) {
+        stream_->flush();
+        stream_->seekp(0);
+        if (!*stream_) {
+            // Non-seekable sink (e.g. a pipe): the body is still
+            // complete, only the partial flag is lost.
+            stream_->clear();
+            sim::warn("log stream is not seekable; "
+                      "partial flag not recorded in the header");
+            return;
+        }
+        stream_->write(reinterpret_cast<const char *>(h.data()),
+                       static_cast<std::streamsize>(h.size()));
+        stream_->seekp(0, std::ios::end);
+        return;
+    }
+    if (std::fflush(file_) != 0 ||
+        std::fseek(file_, 0, SEEK_SET) != 0)
+        throw LogStoreError("cannot seek to rewrite the header on " +
+                                tmpPath_,
+                            0, -1, LogErrorKind::Io, errno);
+    if (std::fwrite(h.data(), 1, h.size(), file_) != h.size())
+        throw LogStoreError("header rewrite failed on " + tmpPath_, 0,
+                            -1, LogErrorKind::Io, errno);
+    if (std::fseek(file_, 0, SEEK_END) != 0)
+        throw LogStoreError("cannot seek back after header rewrite on " +
+                                tmpPath_,
+                            0, -1, LogErrorKind::Io, errno);
 }
 
 void
@@ -334,15 +562,8 @@ LogWriter::writeChunk(ChunkType type, std::uint32_t core,
     h.payloadBits = payload_bits;
     h.payloadCrc = fmt::crc32(payload.data(), payload.size());
     const auto encoded = h.encode();
-    out_.write(reinterpret_cast<const char *>(encoded.data()),
-               static_cast<std::streamsize>(encoded.size()));
-    out_.write(reinterpret_cast<const char *>(payload.data()),
-               static_cast<std::streamsize>(payload.size()));
-    if (!out_)
-        throw LogStoreError("write failed" +
-                                (path_.empty() ? "" : " on " + path_),
-                            bytesWritten_, static_cast<std::int64_t>(h.seq));
-    bytesWritten_ += encoded.size() + payload.size();
+    writeRaw(encoded.data(), encoded.size());
+    writeRaw(payload.data(), payload.size());
     stats_.counter("chunks_written")++;
     stats_.counter("bytes_written") += encoded.size() + payload.size();
     // Bits lost to byte-aligning the payload: recoverable by a
@@ -413,12 +634,49 @@ LogWriter::append(sim::CoreId core, const IntervalRecord &interval)
 {
     RR_ASSERT(!finished_, "append after finish");
     RR_ASSERT(core < streams_.size(), "core %u out of range", core);
+    if (budgetExceeded_) {
+        stats_.counter("intervals_dropped_budget")++;
+        return;
+    }
     CoreStream &cs = streams_[core];
     encodeInterval(cs, interval);
     ++cs.intervals;
     ++intervalsWritten_;
     stats_.counter("intervals_written")++;
-    if (cs.bits.bytes().size() >= fmt::kChunkTargetBytes)
+    if (opts_.budgetBytes != 0) {
+        // Projected final size if we stopped now: what is on disk, every
+        // pending chunk with its framing, and Summary + End headroom.
+        std::uint64_t projected =
+            bytesWritten_ + 2 * fmt::kChunkHeaderBytes + 256;
+        for (const auto &s : streams_)
+            if (s.intervals != 0)
+                projected +=
+                    fmt::kChunkHeaderBytes + s.bits.bytes().size();
+        if (projected > opts_.budgetBytes) {
+            // Over budget: land every pending chunk once and drop all
+            // further intervals. Flushing rather than discarding keeps
+            // the on-disk set exactly "every interval closed so far" —
+            // a cross-core-consistent close-order prefix that replays
+            // without a consistent-cut trim — at the cost of a bounded
+            // overshoot (the pending chunks the projection counted).
+            for (sim::CoreId c = 0; c < streams_.size(); ++c)
+                flushCore(c);
+            budgetExceeded_ = true;
+            markPartial();
+            stats_.counter("budget_exceeded")++;
+            traceIo("log-budget-exceeded", bytesWritten_);
+            if (sim::FaultInjector::enabled())
+                sim::FaultInjector::get()->noteDegradation(
+                    "log_budget_exceeded");
+            sim::warn("log budget of %llu bytes reached at %llu bytes "
+                      "written: dropping further intervals, file will "
+                      "be flagged partial",
+                      static_cast<unsigned long long>(opts_.budgetBytes),
+                      static_cast<unsigned long long>(bytesWritten_));
+            return;
+        }
+    }
+    if (cs.bits.bytes().size() >= opts_.chunkTargetBytes)
         flushCore(core);
 }
 
@@ -449,19 +707,54 @@ LogWriter::flushCore(sim::CoreId core)
 void
 LogWriter::finish(const RecordingSummary &summary)
 {
+    finishCommon(&summary);
+}
+
+void
+LogWriter::finishPartial(const RecordingSummary *summary)
+{
+    markPartial();
+    finishCommon(summary);
+}
+
+void
+LogWriter::finishCommon(const RecordingSummary *summary)
+{
     RR_ASSERT(!finished_, "finish twice");
     for (sim::CoreId c = 0; c < streams_.size(); ++c)
         flushCore(c);
-    BitWriter w;
-    encodeSummary(w, summary);
-    writeChunk(ChunkType::Summary, 0, w.bytes(), w.bitCount());
+    if (summary) {
+        BitWriter w;
+        encodeSummary(w, *summary);
+        writeChunk(ChunkType::Summary, 0, w.bytes(), w.bitCount());
+    }
     writeChunk(ChunkType::End, 0, {}, 0);
-    out_.flush();
-    if (!out_)
-        throw LogStoreError("flush failed" +
-                                (path_.empty() ? "" : " on " + path_),
-                            bytesWritten_);
+    // The flags written at construction came from opts_.headerFlags; a
+    // later markPartial() (budget, finishPartial) means the on-disk
+    // header is stale and must be patched before the file is sealed.
+    if (headerFlags_ != opts_.headerFlags)
+        rewriteHeader();
+    syncFile("finish flush");
+    finalizeFile();
     finished_ = true;
+}
+
+void
+LogWriter::finalizeFile()
+{
+    if (!file_)
+        return;
+    // Close, then atomically rename the fsync'd staging file onto the
+    // final path: a reader can never observe a half-written file under
+    // the final name, no matter when the process dies.
+    std::FILE *f = file_;
+    file_ = nullptr;
+    if (std::fclose(f) != 0)
+        throw LogStoreError("fclose failed on " + tmpPath_,
+                            bytesWritten_, -1, LogErrorKind::Io, errno);
+    if (std::rename(tmpPath_.c_str(), path_.c_str()) != 0)
+        throw LogStoreError("cannot rename " + tmpPath_ + " to " + path_,
+                            bytesWritten_, -1, LogErrorKind::Io, errno);
 }
 
 // --- LogReader ---
@@ -470,7 +763,8 @@ LogReader::LogReader(const std::string &path)
     : path_(path), in_(path, std::ios::binary)
 {
     if (!in_)
-        throw LogStoreError("cannot open " + path + " for reading", 0);
+        throw LogStoreError("cannot open " + path + " for reading", 0,
+                            -1, LogErrorKind::Io, errno);
     in_.seekg(0, std::ios::end);
     fileBytes_ = static_cast<std::uint64_t>(in_.tellg());
     in_.seekg(0);
@@ -485,6 +779,7 @@ LogReader::LogReader(const std::string &path)
         fmt::getU32(h + fmt::kFileHeaderBytes - 4))
         throw LogStoreError("file header CRC mismatch", 0);
     version_ = fmt::getU16(h + 4);
+    flags_ = fmt::getU16(h + fmt::kFlagsOffset);
     if (version_ > fmt::kFormatVersion)
         throw LogStoreError(
             "format version " + std::to_string(version_) +
@@ -530,7 +825,8 @@ LogReader::readChunkAt(std::uint64_t offset, Chunk &out,
     in_.seekg(static_cast<std::streamoff>(offset));
     in_.read(reinterpret_cast<char *>(h), sizeof h);
     if (!in_)
-        throw LogStoreError("read failed on chunk header", offset);
+        throw LogStoreError("read failed on chunk header", offset, -1,
+                            LogErrorKind::Io, errno);
     if (!fmt::ChunkHeader::decode(h, out.header))
         throw LogStoreError("chunk header CRC mismatch "
                             "(corrupt or misaligned framing)",
@@ -548,7 +844,8 @@ LogReader::readChunkAt(std::uint64_t offset, Chunk &out,
              static_cast<std::streamsize>(payload_bytes));
     if (!in_)
         throw LogStoreError("read failed on chunk payload", offset,
-                            static_cast<std::int64_t>(out.header.seq));
+                            static_cast<std::int64_t>(out.header.seq),
+                            LogErrorKind::Io, errno);
     if (verify_payload_crc &&
         fmt::crc32(out.payload.data(), out.payload.size()) !=
             out.header.payloadCrc)
@@ -794,13 +1091,16 @@ LogReader::verify()
              "no end-of-log marker: the recording was truncated");
     else if (offset != fileBytes_)
         note(offset, -1, "trailing bytes after the end-of-log marker");
-    if (!have_summary)
+    if (!have_summary && !partial())
         note(offset, -1, "file has no summary chunk");
     if (have_summary) {
         if (summary.cores.size() != coreCount_)
             note(offset, -1, "summary core count disagrees with header");
+        // A partial file's Summary describes the full recording, so its
+        // interval counts legitimately exceed the data chunks'.
         for (std::size_t c = 0;
-             c < summary.cores.size() && c < coreCount_; ++c) {
+             !partial() && c < summary.cores.size() && c < coreCount_;
+             ++c) {
             if (summary.cores[c].intervals != intervals_per_core[c])
                 note(offset, -1,
                      "core " + std::to_string(c) + ": summary promises " +
@@ -810,6 +1110,166 @@ LogReader::verify()
         }
     }
     return issues;
+}
+
+RecoveryResult
+LogReader::recoverPrefix()
+{
+    RecoveryResult rec;
+    rec.logs.resize(coreCount_);
+    auto note = [&](std::uint64_t offset, std::int64_t seq,
+                    std::string message) {
+        rec.issues.push_back({offset, seq, std::move(message)});
+    };
+
+    // Once a core loses a chunk (bad payload, decode error), all of its
+    // later chunks are discarded too: keeping them would leave a hole in
+    // the core's interval stream, and a salvage must be a prefix.
+    std::vector<bool> core_live(coreCount_, true);
+    std::uint64_t offset = firstDataOffset_;
+    rec.usableBytes = firstDataOffset_;
+
+    while (!rec.cleanEnd) {
+        Chunk chunk;
+        try {
+            if (!readChunkAt(offset, chunk,
+                             /*verify_payload_crc=*/false))
+                break;
+        } catch (const LogStoreError &e) {
+            // Broken framing: without a trusted chunk header there is
+            // no next boundary, so the salvage stops here. Typical torn
+            // tail of a crashed writer.
+            note(e.fileOffset(), e.chunkSeq(),
+                 std::string("salvage stopped: ") + e.what());
+            break;
+        }
+        const auto seq = static_cast<std::int64_t>(chunk.header.seq);
+        const bool payload_ok =
+            fmt::crc32(chunk.payload.data(), chunk.payload.size()) ==
+            chunk.header.payloadCrc;
+        switch (chunk.header.type) {
+          case ChunkType::Data: {
+            const std::uint32_t core = chunk.header.core;
+            if (core >= coreCount_) {
+                ++rec.droppedChunks;
+                note(chunk.offset, seq,
+                     "data chunk names core " + std::to_string(core) +
+                         " but the file has " +
+                         std::to_string(coreCount_) + " cores");
+                break;
+            }
+            if (!core_live[core]) {
+                ++rec.droppedChunks;
+                break;
+            }
+            if (!payload_ok) {
+                core_live[core] = false;
+                ++rec.droppedChunks;
+                note(chunk.offset, seq,
+                     "core " + std::to_string(core) +
+                         ": payload CRC mismatch; dropping this and "
+                         "all later chunks of the core");
+                break;
+            }
+            // Decode into a staging vector and commit all-or-nothing:
+            // a chunk that fails mid-decode contributes no intervals.
+            std::vector<IntervalRecord> staged;
+            try {
+                decodeDataChunk(chunk,
+                                [&](sim::CoreId, const IntervalRecord &iv) {
+                                    staged.push_back(iv);
+                                });
+            } catch (const LogStoreError &e) {
+                core_live[core] = false;
+                ++rec.droppedChunks;
+                note(e.fileOffset(), e.chunkSeq(),
+                     std::string("core ") + std::to_string(core) +
+                         ": " + e.what() +
+                         "; dropping this and all later chunks of "
+                         "the core");
+                break;
+            }
+            auto &intervals = rec.logs[core].intervals;
+            intervals.insert(intervals.end(),
+                             std::make_move_iterator(staged.begin()),
+                             std::make_move_iterator(staged.end()));
+            rec.salvagedIntervals += staged.size();
+            ++rec.salvagedChunks;
+            break;
+          }
+          case ChunkType::Summary:
+            if (!payload_ok) {
+                note(chunk.offset, seq,
+                     "summary chunk payload CRC mismatch; ignored");
+                break;
+            }
+            try {
+                Cursor c(chunk.payload, chunk.header.payloadBits,
+                         chunk.offset, seq);
+                rec.summary = decodeSummary(c);
+                rec.hasSummary = true;
+            } catch (const LogStoreError &e) {
+                note(e.fileOffset(), e.chunkSeq(),
+                     std::string("summary chunk undecodable: ") +
+                         e.what());
+            }
+            break;
+          case ChunkType::End:
+            rec.cleanEnd = true;
+            break;
+          case ChunkType::Meta:
+            note(chunk.offset, seq, "duplicate meta chunk; ignored");
+            break;
+        }
+        offset = chunk.offset + fmt::kChunkHeaderBytes +
+                 chunk.header.payloadBytes();
+        rec.usableBytes = offset;
+    }
+    rec.coreTruncated.resize(coreCount_);
+    for (std::uint32_t c = 0; c < coreCount_; ++c)
+        rec.coreTruncated[c] = !rec.cleanEnd || !core_live[c];
+    return rec;
+}
+
+std::uint64_t
+consistentCut(std::vector<CoreLog> &logs,
+              const std::vector<bool> &truncated)
+{
+    // No truncation info = assume the worst about every core.
+    auto is_truncated = [&](std::size_t c) {
+        return truncated.empty() || (c < truncated.size() && truncated[c]);
+    };
+    bool constrained = false;
+    std::uint64_t cut = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t c = 0; c < logs.size(); ++c) {
+        if (!is_truncated(c))
+            continue;
+        constrained = true;
+        if (logs[c].intervals.empty()) {
+            // A truncated core with nothing salvaged: no interval of
+            // any other core is known to be safe to replay against it.
+            cut = 0;
+            break;
+        }
+        cut = std::min(cut, logs[c].intervals.back().timestamp);
+    }
+    if (!constrained) {
+        // Every core's stream is complete: the logs already form a
+        // consistent set; report the last timestamp for information.
+        std::uint64_t last = 0;
+        for (const auto &log : logs)
+            if (!log.intervals.empty())
+                last = std::max(last, log.intervals.back().timestamp);
+        return last;
+    }
+    if (cut == std::numeric_limits<std::uint64_t>::max())
+        cut = 0;
+    for (auto &log : logs) {
+        auto &iv = log.intervals;
+        while (!iv.empty() && iv.back().timestamp > cut)
+            iv.pop_back();
+    }
+    return cut;
 }
 
 } // namespace rr::rnr

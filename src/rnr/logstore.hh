@@ -20,6 +20,7 @@
 #define RR_RNR_LOGSTORE_HH
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <functional>
 #include <memory>
@@ -38,23 +39,45 @@ namespace rr::rnr
 {
 
 /**
+ * Classification of a LogStoreError; tools map it to distinct exit
+ * codes so scripts can branch on "the file is corrupt" vs "the
+ * operating system failed us" (rrlog: 1 vs 3).
+ */
+enum class LogErrorKind
+{
+    Format, ///< structural/integrity/compatibility failure in the file
+    Io,     ///< OS-level I/O failure; osError() carries the errno
+    Crash,  ///< injected crash-at-byte fault tore the file mid-write
+};
+
+/**
  * Any structural, integrity or compatibility failure while reading or
  * writing a .rrlog file. The what() string already includes the file
- * offset and chunk id when they are known.
+ * offset, chunk id and errno text when they are known.
  */
 class LogStoreError : public std::runtime_error
 {
   public:
-    /** @param chunk_seq -1 when the failure is not tied to a chunk. */
+    /**
+     * @param chunk_seq -1 when the failure is not tied to a chunk.
+     * @param os_error errno of the failing call; 0 when none.
+     */
     LogStoreError(const std::string &message, std::uint64_t file_offset,
-                  std::int64_t chunk_seq = -1);
+                  std::int64_t chunk_seq = -1,
+                  LogErrorKind kind = LogErrorKind::Format,
+                  int os_error = 0);
 
     std::uint64_t fileOffset() const { return fileOffset_; }
     std::int64_t chunkSeq() const { return chunkSeq_; }
+    LogErrorKind kind() const { return kind_; }
+    /** errno context of an Io failure (0 when not OS-level). */
+    int osError() const { return osError_; }
 
   private:
     std::uint64_t fileOffset_;
     std::int64_t chunkSeq_;
+    LogErrorKind kind_;
+    int osError_;
 };
 
 /**
@@ -109,25 +132,65 @@ struct RecordingSummary
     bool operator==(const RecordingSummary &) const = default;
 };
 
+/** Tunables of a LogWriter (defaults match the PR-3 behaviour). */
+struct WriterOptions
+{
+    /** A core's pending chunk is flushed once its payload reaches this. */
+    std::size_t chunkTargetBytes = fmt::kChunkTargetBytes;
+    /** Initial header flags (fmt::kFlagPartial for `rrlog repair`). */
+    std::uint16_t headerFlags = 0;
+    /** Write/sync attempts before a transient I/O failure is fatal. */
+    std::uint32_t maxIoAttempts = 5;
+    /** First retry backoff in microseconds; doubles per attempt. */
+    std::uint32_t retryBackoffUs = 50;
+    /**
+     * Stop writing interval data once the file would exceed this many
+     * bytes (0 = unlimited). The trip flushes every pending chunk once
+     * (a bounded overshoot that keeps the on-disk set a cross-core
+     * consistent close-order prefix), then further intervals are
+     * *dropped* (counted in `intervals_dropped_budget`), the file is
+     * flagged partial, and finish() still lands a Summary + End — a
+     * bounded, replayable prefix instead of an unbounded file or an
+     * abort. An installed FaultInjector plan's `budget=` clause
+     * tightens this further.
+     */
+    std::uint64_t budgetBytes = 0;
+};
+
 /**
  * Streaming .rrlog writer. Construction writes the file header and the
  * Meta chunk; append() buffers one interval into the producing core's
- * pending chunk and flushes it once it reaches fmt::kChunkTargetBytes;
+ * pending chunk and flushes it once it reaches chunkTargetBytes;
  * finish() flushes every pending chunk, then writes the Summary and End
  * chunks. A file without an End chunk is detected as truncated by the
  * reader, so finish() must be called for a valid file.
  *
- * I/O counters (bytes/chunks/flushes/intervals/padding bits) are kept
- * in a StatSet for the `--stats-json` export path.
+ * Crash consistency (path mode): the writer writes to `path + ".tmp"`
+ * and atomically renames onto the final path only after finish() has
+ * fsync'd everything, so a crash mid-recording can never leave a
+ * half-written file under the final name — at worst a torn `.tmp` that
+ * `rrlog repair` can salvage a prefix from. Transient write/sync
+ * failures (real or injected by sim::FaultInjector) are retried with
+ * exponential backoff up to maxIoAttempts; persistent ones surface as
+ * LogStoreError with kind Io and the errno attached.
+ *
+ * I/O counters (bytes/chunks/flushes/intervals/retries/padding bits)
+ * are kept in a StatSet for the `--stats-json` export path.
  */
 class LogWriter
 {
   public:
-    /** Write into a caller-owned stream (e.g. a bench's ostringstream). */
-    LogWriter(std::ostream &out, const RecordingMeta &meta);
+    /**
+     * Write into a caller-owned stream (e.g. a bench's ostringstream).
+     * Stream mode has no retry/rename/fault machinery — it is the
+     * simple in-memory path for tests and benches.
+     */
+    LogWriter(std::ostream &out, const RecordingMeta &meta,
+              const WriterOptions &opts = {});
 
     /** Open and own @p path; throws LogStoreError when unwritable. */
-    LogWriter(const std::string &path, const RecordingMeta &meta);
+    LogWriter(const std::string &path, const RecordingMeta &meta,
+              const WriterOptions &opts = {});
 
     ~LogWriter();
 
@@ -137,9 +200,27 @@ class LogWriter
     /** Flush pending chunks and write the Summary and End chunks. */
     void finish(const RecordingSummary &summary);
 
+    /**
+     * Finish a deliberately incomplete file (`rrlog repair`): flush
+     * pending chunks, optionally write a Summary (e.g. one salvaged
+     * from the torn original), write the End chunk and set the partial
+     * header flag. The result is structurally valid and replayable
+     * with `--allow-partial`.
+     */
+    void finishPartial(const RecordingSummary *summary = nullptr);
+
+    /** Mark the file partial (set fmt::kFlagPartial at finish time). */
+    void markPartial() { headerFlags_ |= fmt::kFlagPartial; }
+
     bool finished() const { return finished_; }
     std::uint64_t bytesWritten() const { return bytesWritten_; }
     std::uint64_t intervalsWritten() const { return intervalsWritten_; }
+    std::uint16_t headerFlags() const { return headerFlags_; }
+    /** The path the data is at *right now* (.tmp until finished). */
+    const std::string &currentPath() const
+    {
+        return finished_ || path_.empty() ? path_ : tmpPath_;
+    }
 
     sim::StatSet &stats() { return stats_; }
     const sim::StatSet &stats() const { return stats_; }
@@ -164,15 +245,40 @@ class LogWriter
                     const std::vector<std::uint8_t> &payload,
                     std::uint64_t payload_bits);
 
-    std::unique_ptr<std::ofstream> owned_;
-    std::ostream &out_;
-    std::string path_; ///< for error messages; empty for stream mode
+    /**
+     * The single raw output path: writes @p n bytes with injected-fault
+     * consultation, partial-write resumption and bounded
+     * retry-with-backoff (path mode). Throws LogStoreError (kind Io
+     * with errno, or Crash) when the write cannot complete.
+     */
+    void writeRaw(const void *data, std::size_t n);
+
+    /** fflush + fsync with the same retry/injection policy. */
+    void syncFile(const char *what);
+
+    /** Re-write the 24-byte header in place (late flag changes). */
+    void rewriteHeader();
+
+    /** Flush pending data, write optional summary, End, finalize. */
+    void finishCommon(const RecordingSummary *summary);
+
+    /** Close and atomically rename tmp -> final (path mode). */
+    void finalizeFile();
+
+    std::ostream *stream_ = nullptr; ///< stream mode; null in path mode
+    std::FILE *file_ = nullptr;      ///< path mode; null in stream mode
+    std::string path_;    ///< final path; empty for stream mode
+    std::string tmpPath_; ///< path_ + ".tmp" staging file (path mode)
     RecordingMeta meta_;
+    WriterOptions opts_;
+    std::uint16_t headerFlags_ = 0;
     std::vector<CoreStream> streams_;
     std::uint64_t nextChunkSeq_ = 0;
     std::uint64_t bytesWritten_ = 0;
     std::uint64_t intervalsWritten_ = 0;
     bool finished_ = false;
+    bool dead_ = false;           ///< an injected crash tore the file
+    bool budgetExceeded_ = false; ///< dropping intervals (see budget)
     sim::StatSet stats_;
 };
 
@@ -180,6 +286,7 @@ class LogWriter
 struct LogFileInfo
 {
     std::uint16_t version = 0;
+    std::uint16_t flags = 0;      ///< header flags (fmt::kFlagPartial…)
     std::uint64_t fingerprint = 0;
     std::uint32_t coreCount = 0;
     RecordingMeta meta;
@@ -202,6 +309,56 @@ struct VerifyIssue
 };
 
 /**
+ * What LogReader::recoverPrefix() salvaged from a (possibly torn)
+ * file. Per-core chunk-prefix semantics: a core's intervals are taken
+ * from its data chunks in order up to — but not including — the first
+ * chunk that is corrupt, truncated or lost to a framing break, so
+ * every salvaged interval is known-good and every core's salvage is a
+ * prefix of its recorded stream. A file written by finish() salvages
+ * completely (cleanEnd, hasSummary, no issues).
+ */
+struct RecoveryResult
+{
+    std::vector<CoreLog> logs; ///< salvaged per-core interval prefixes
+    std::uint64_t salvagedIntervals = 0;
+    std::uint64_t salvagedChunks = 0; ///< data chunks decoded
+    std::uint64_t droppedChunks = 0;  ///< data chunks lost/discarded
+    std::uint64_t usableBytes = 0;    ///< file prefix covered by salvage
+    bool cleanEnd = false;            ///< End marker reached
+    bool hasSummary = false;
+    RecordingSummary summary;
+    /**
+     * Per core: whether the salvage may be missing recorded intervals
+     * of that core — it lost a chunk, or the walk never reached the End
+     * marker (the torn tail could have held anyone's chunks). Only
+     * truncated cores constrain consistentCut(); a file that salvages
+     * cleanly has no truncated cores and loses nothing to the cut.
+     */
+    std::vector<bool> coreTruncated;
+    /** Why salvage stopped / what was skipped (empty = file sound). */
+    std::vector<VerifyIssue> issues;
+};
+
+/**
+ * Trim salvaged per-core logs to a *consistent cut*: keep only
+ * intervals whose timestamp is <= the smallest last-interval timestamp
+ * across the *truncated* cores (see RecoveryResult::coreTruncated; an
+ * empty @p truncated conservatively treats every core as truncated).
+ * Interval timestamps are the global replay total order and increase
+ * monotonically per core, so the kept set is exactly the set of
+ * intervals the original execution had closed by that point — a prefix
+ * that replays without depending on any lost interval. A truncated
+ * core with nothing salvaged forces an empty cut (nothing is known to
+ * be safe to replay against it); a complete core never constrains the
+ * cut, which makes the operation idempotent across repair/replay.
+ *
+ * @return the cut timestamp actually applied (0 when everything was
+ *         trimmed; the last timestamp present when nothing was).
+ */
+std::uint64_t consistentCut(std::vector<CoreLog> &logs,
+                            const std::vector<bool> &truncated = {});
+
+/**
  * Integrity-checking .rrlog reader. The constructor validates the file
  * header and the Meta chunk (magic, version, header CRC, fingerprint)
  * and throws LogStoreError on any mismatch; the walking entry points
@@ -214,6 +371,9 @@ class LogReader
 
     const std::string &path() const { return path_; }
     std::uint16_t version() const { return version_; }
+    std::uint16_t flags() const { return flags_; }
+    /** Whether the file is flagged as a deliberate partial recording. */
+    bool partial() const { return (flags_ & fmt::kFlagPartial) != 0; }
     std::uint64_t fingerprint() const { return fingerprint_; }
     std::uint32_t coreCount() const { return coreCount_; }
     const RecordingMeta &meta() const { return meta_; }
@@ -251,8 +411,20 @@ class LogReader
      * chunk. An empty result means the file is sound. Payloads of
      * chunks whose framing header is intact but whose payload CRC fails
      * are skipped, so one corrupt chunk does not mask later ones.
+     * Files flagged partial are exempt from the "has a summary" and
+     * "summary interval counts match the data" requirements.
      */
     std::vector<VerifyIssue> verify();
+
+    /**
+     * Salvage the longest valid per-core chunk prefix from a torn or
+     * damaged file (see RecoveryResult). Never throws on damage past
+     * the meta chunk — damage bounds the salvage and is reported in
+     * RecoveryResult::issues instead. `rrlog repair` writes the result
+     * back out as a partial-flagged file; `rrsim replay
+     * --allow-partial` replays it directly after a consistentCut().
+     */
+    RecoveryResult recoverPrefix();
 
   private:
     struct Chunk
@@ -279,6 +451,7 @@ class LogReader
     std::ifstream in_;
     std::uint64_t fileBytes_ = 0;
     std::uint16_t version_ = 0;
+    std::uint16_t flags_ = 0;
     std::uint64_t fingerprint_ = 0;
     std::uint32_t coreCount_ = 0;
     RecordingMeta meta_;

@@ -44,12 +44,24 @@ class SnoopTable
                   "snoop table size must be a power of two");
     }
 
+    /**
+     * Stress/fault-injection hook: counters stop incrementing once they
+     * reach @p cap (0 disables). A real Snoop Table's counters wrap; a
+     * saturating one loses the "did it move?" signal, which is the
+     * hardware-degradation scenario the recorder must survive by
+     * falling back from Opt to Base logging (see saturated()).
+     */
+    void setSaturationCap(std::uint16_t cap) { cap_ = cap; }
+
+    /** Sticky: any counter ever hit the saturation cap. */
+    bool saturated() const { return saturated_; }
+
     /** Record an observed coherence transaction (or dirty eviction). */
     void
     bump(sim::Addr line_addr)
     {
-        ++array0_[index0(line_addr)];
-        ++array1_[index1(line_addr)];
+        bumpCounter(array0_[index0(line_addr)]);
+        bumpCounter(array1_[index1(line_addr)]);
     }
 
     /** Read the two counters for a line (at perform and at counting). */
@@ -78,6 +90,16 @@ class SnoopTable
     }
 
   private:
+    void
+    bumpCounter(std::uint16_t &c)
+    {
+        if (cap_ != 0 && c >= cap_) {
+            saturated_ = true;
+            return;
+        }
+        ++c;
+    }
+
     std::size_t
     index0(sim::Addr line) const
     {
@@ -93,6 +115,8 @@ class SnoopTable
     }
 
     std::uint64_t mask_;
+    std::uint16_t cap_ = 0;
+    bool saturated_ = false;
     std::vector<std::uint16_t> array0_;
     std::vector<std::uint16_t> array1_;
 };

@@ -1,0 +1,323 @@
+#include "faultinject.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "logging.hh"
+
+namespace rr::sim
+{
+
+namespace
+{
+
+/** Parse a decimal probability in [0, 1] into parts per million. */
+std::uint32_t
+parseRatePpm(const std::string &clause, const std::string &value)
+{
+    std::size_t pos = 0;
+    double p = 0.0;
+    try {
+        p = std::stod(value, &pos);
+    } catch (const std::exception &) {
+        pos = 0;
+    }
+    if (pos != value.size() || p < 0.0 || p > 1.0)
+        throw std::invalid_argument(
+            "fault spec: " + clause + ": expected probability in [0,1], got '"
+            + value + "'");
+    return static_cast<std::uint32_t>(p * 1e6 + 0.5);
+}
+
+/** Parse a non-negative integer, with optional k/m byte suffixes. */
+std::uint64_t
+parseCount(const std::string &clause, const std::string &value,
+           bool allow_suffix)
+{
+    std::size_t pos = 0;
+    unsigned long long n = 0;
+    try {
+        n = std::stoull(value, &pos);
+    } catch (const std::exception &) {
+        pos = 0;
+    }
+    std::uint64_t scale = 1;
+    if (allow_suffix && pos == value.size() - 1) {
+        char suffix = static_cast<char>(std::tolower(value[pos]));
+        if (suffix == 'k')
+            scale = 1024, ++pos;
+        else if (suffix == 'm')
+            scale = 1024 * 1024, ++pos;
+    }
+    if (value.empty() || pos != value.size())
+        throw std::invalid_argument("fault spec: " + clause
+                                    + ": expected a count, got '" + value
+                                    + "'");
+    return static_cast<std::uint64_t>(n) * scale;
+}
+
+void
+appendClause(std::ostringstream &os, const char *name, double ppm)
+{
+    if (ppm == 0)
+        return;
+    if (os.tellp() > 0)
+        os << ",";
+    os << name << "=" << ppm / 1e6;
+}
+
+void
+appendCount(std::ostringstream &os, const char *name, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    if (os.tellp() > 0)
+        os << ",";
+    os << name << "=" << n;
+}
+
+} // namespace
+
+bool
+FaultPlan::any() const
+{
+    return dropSnoopPpm || delaySnoopPpm || forceTermPpm || stSaturateAt
+           || sigAliasBits || shortWritePpm || ioErrorPpm || enospcPpm
+           || fsyncFailures || crashAtByte || logBudgetBytes;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    if (!any())
+        return "none";
+    std::ostringstream os;
+    appendClause(os, "drop-snoop", dropSnoopPpm);
+    appendClause(os, "delay-snoop", delaySnoopPpm);
+    if (delaySnoopPpm)
+        appendCount(os, "delay-cycles", delaySnoopCycles);
+    appendClause(os, "force-term", forceTermPpm);
+    appendCount(os, "st-saturate", stSaturateAt);
+    appendCount(os, "alias-sig", sigAliasBits);
+    appendClause(os, "short-write", shortWritePpm);
+    appendClause(os, "io-error", ioErrorPpm);
+    appendClause(os, "enospc", enospcPpm);
+    appendCount(os, "fsync-fail", fsyncFailures);
+    appendCount(os, "crash-at", crashAtByte);
+    appendCount(os, "budget", logBudgetBytes);
+    if (os.tellp() > 0)
+        os << ",";
+    os << "seed=" << seed;
+    return os.str();
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t end = spec.find(',', start);
+        if (end == std::string::npos)
+            end = spec.size();
+        std::string clause = spec.substr(start, end - start);
+        start = end + 1;
+        if (clause.empty())
+            continue;
+        std::size_t eq = clause.find('=');
+        if (eq == std::string::npos)
+            throw std::invalid_argument("fault spec: clause '" + clause
+                                        + "' is not name=value");
+        std::string name = clause.substr(0, eq);
+        std::string value = clause.substr(eq + 1);
+        if (name == "seed") {
+            plan.seed = parseCount(clause, value, false);
+        } else if (name == "drop-snoop") {
+            plan.dropSnoopPpm = parseRatePpm(clause, value);
+        } else if (name == "delay-snoop") {
+            plan.delaySnoopPpm = parseRatePpm(clause, value);
+        } else if (name == "delay-cycles") {
+            plan.delaySnoopCycles = static_cast<std::uint32_t>(
+                parseCount(clause, value, false));
+        } else if (name == "force-term") {
+            plan.forceTermPpm = parseRatePpm(clause, value);
+        } else if (name == "st-saturate") {
+            plan.stSaturateAt = static_cast<std::uint16_t>(
+                parseCount(clause, value, false));
+        } else if (name == "alias-sig") {
+            std::uint64_t bits = parseCount(clause, value, false);
+            if (bits > 32)
+                throw std::invalid_argument(
+                    "fault spec: alias-sig: at most 32 bits");
+            plan.sigAliasBits = static_cast<std::uint32_t>(bits);
+        } else if (name == "short-write") {
+            plan.shortWritePpm = parseRatePpm(clause, value);
+        } else if (name == "io-error") {
+            plan.ioErrorPpm = parseRatePpm(clause, value);
+        } else if (name == "enospc") {
+            plan.enospcPpm = parseRatePpm(clause, value);
+        } else if (name == "fsync-fail") {
+            plan.fsyncFailures = static_cast<std::uint32_t>(
+                parseCount(clause, value, false));
+        } else if (name == "crash-at") {
+            plan.crashAtByte = parseCount(clause, value, true);
+        } else if (name == "budget") {
+            plan.logBudgetBytes = parseCount(clause, value, true);
+        } else {
+            throw std::invalid_argument("fault spec: unknown clause '" + name
+                                        + "'");
+        }
+    }
+    return plan;
+}
+
+std::atomic<FaultInjector *> FaultInjector::injector_{nullptr};
+
+FaultInjector::FaultInjector(const FaultPlan &plan)
+    : plan_(plan), rng_(plan.seed), stats_("faults"),
+      syncFailuresLeft_(plan.fsyncFailures)
+{
+}
+
+void
+FaultInjector::install(const FaultPlan &plan)
+{
+    auto *injector = new FaultInjector(plan);
+    FaultInjector *expected = nullptr;
+    if (!injector_.compare_exchange_strong(expected, injector,
+                                           std::memory_order_acq_rel)) {
+        delete injector;
+        fatal("fault injector already installed");
+    }
+}
+
+void
+FaultInjector::installFromEnv()
+{
+    const char *spec = std::getenv("RR_FAULTS");
+    if (!spec || !*spec || enabled())
+        return;
+    try {
+        install(FaultPlan::parse(spec));
+    } catch (const std::invalid_argument &e) {
+        fatal("RR_FAULTS: %s", e.what());
+    }
+}
+
+void
+FaultInjector::uninstall()
+{
+    FaultInjector *injector =
+        injector_.exchange(nullptr, std::memory_order_acq_rel);
+    delete injector;
+}
+
+bool
+FaultInjector::roll(std::uint32_t ppm)
+{
+    // Zero-rate clauses must not advance the RNG: a plan that never
+    // fires has to leave the fault sequence of the clauses that do fire
+    // unchanged, and an all-zero plan must be indistinguishable from no
+    // injector at all.
+    if (ppm == 0)
+        return false;
+    return rng_.below(1000000) < ppm;
+}
+
+bool
+FaultInjector::dropSnoop(CoreId dest)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!roll(plan_.dropSnoopPpm))
+        return false;
+    stats_.counter("snoops_dropped")++;
+    stats_.counter(strfmt("snoops_dropped_core%u", dest))++;
+    return true;
+}
+
+bool
+FaultInjector::delaySnoop(CoreId dest)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!roll(plan_.delaySnoopPpm))
+        return false;
+    stats_.counter("snoops_delayed")++;
+    stats_.counter(strfmt("snoops_delayed_core%u", dest))++;
+    return true;
+}
+
+bool
+FaultInjector::forceTerminate(CoreId core)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!roll(plan_.forceTermPpm))
+        return false;
+    stats_.counter("forced_terminations")++;
+    stats_.counter(strfmt("forced_terminations_core%u", core))++;
+    return true;
+}
+
+Addr
+FaultInjector::aliasLine(Addr line_addr)
+{
+    if (plan_.sigAliasBits == 0)
+        return line_addr;
+    Addr mask = (static_cast<Addr>(1) << plan_.sigAliasBits) - 1;
+    return line_addr & ~(mask * kLineBytes);
+}
+
+FaultInjector::IoOutcome
+FaultInjector::onWrite(std::uint64_t file_offset, std::size_t len)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    IoOutcome out;
+    if (plan_.crashAtByte && file_offset + len > plan_.crashAtByte) {
+        out.kind = IoOutcome::Kind::Crash;
+        out.maxBytes = plan_.crashAtByte > file_offset
+                           ? plan_.crashAtByte - file_offset
+                           : 0;
+        stats_.counter("crash_triggered")++;
+        return out;
+    }
+    if (roll(plan_.ioErrorPpm)) {
+        out.kind = IoOutcome::Kind::Error;
+        out.err = EIO;
+        stats_.counter("io_errors")++;
+        return out;
+    }
+    if (roll(plan_.enospcPpm)) {
+        out.kind = IoOutcome::Kind::Error;
+        out.err = ENOSPC;
+        stats_.counter("enospc_errors")++;
+        return out;
+    }
+    if (len > 1 && roll(plan_.shortWritePpm)) {
+        out.kind = IoOutcome::Kind::ShortWrite;
+        out.maxBytes = 1 + rng_.below(len - 1);
+        stats_.counter("short_writes")++;
+        return out;
+    }
+    return out;
+}
+
+int
+FaultInjector::onSync()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (syncFailuresLeft_ == 0)
+        return 0;
+    --syncFailuresLeft_;
+    stats_.counter("sync_failures")++;
+    return EIO;
+}
+
+void
+FaultInjector::noteDegradation(const char *what)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.counter(what)++;
+}
+
+} // namespace rr::sim

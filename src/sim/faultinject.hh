@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection. A FaultPlan (parsed from
+ * `--faults=SPEC` or the RR_FAULTS environment variable) describes which
+ * faults to inject and at what rate; a single process-global
+ * FaultInjector (same install pattern as TraceSink) is consulted from
+ * the instrumented layers:
+ *
+ *  - mem::MemorySystem    drop or delay coherence snoops on their way to
+ *                         the per-core recorder hubs (the broadcast
+ *                         observers — tracers, ground-truth listeners —
+ *                         always see every snoop, so injected faults
+ *                         perturb only the *recording*, never the
+ *                         simulated execution),
+ *  - rnr::IntervalRecorder forced interval terminations, Snoop Table
+ *                         counter saturation (with Opt→Base degradation)
+ *                         and signature-aliasing stress,
+ *  - rnr::LogWriter       transient I/O faults: short writes, EIO,
+ *                         ENOSPC, fsync failures, and a hard
+ *                         crash-at-byte-N that tears the file mid-chunk.
+ *
+ * Decisions are driven by a private xoshiro RNG seeded from the plan, so
+ * a (plan, workload) pair reproduces the exact same fault sequence. A
+ * rate of zero never draws from the RNG, so an installed zero-fault plan
+ * leaves recordings bit-identical to an uninstrumented run.
+ *
+ * The disabled path is one relaxed load plus a predicted branch:
+ *
+ *     if (sim::FaultInjector::enabled())
+ *         ... = sim::FaultInjector::get()->dropSnoop(core);
+ */
+
+#ifndef RR_SIM_FAULTINJECT_HH
+#define RR_SIM_FAULTINJECT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "rng.hh"
+#include "stats.hh"
+#include "types.hh"
+
+namespace rr::sim
+{
+
+/**
+ * The parsed fault specification. Rates are in parts per million;
+ * count/byte knobs are absolute. A default-constructed plan injects
+ * nothing (any() == false).
+ *
+ * Spec grammar (see docs/ROBUSTNESS.md): comma-separated `name=value`
+ * clauses. Rate-valued clauses take a decimal probability in [0, 1]
+ * (e.g. `drop-snoop=0.02`); byte-valued clauses accept `k`/`m` suffixes
+ * (e.g. `budget=64k`).
+ *
+ *   seed=N            RNG seed for all fault decisions (default 1)
+ *   drop-snoop=P      drop a snoop before it reaches a recorder hub
+ *   delay-snoop=P     delay a snoop's recorder delivery
+ *   delay-cycles=N    how long delayed snoops are held (default 8)
+ *   force-term=P      force interval termination per counted entry
+ *   st-saturate=N     saturate Snoop Table counters at N (0 = off)
+ *   alias-sig=N       clear N line-index bits before signature insert
+ *   short-write=P     truncate a log write (the writer must resume)
+ *   io-error=P        fail a log write attempt with EIO (transient)
+ *   enospc=P          fail a log write attempt with ENOSPC (transient)
+ *   fsync-fail=N      first N fsync/fflush attempts fail (transient)
+ *   crash-at=N        hard-stop the log file at byte N (torn file)
+ *   budget=N          log-size budget in bytes (writer degrades, 0=off)
+ */
+struct FaultPlan
+{
+    std::uint64_t seed = 1;
+
+    // Recorder-observation faults (mem + rnr layers).
+    std::uint32_t dropSnoopPpm = 0;
+    std::uint32_t delaySnoopPpm = 0;
+    std::uint32_t delaySnoopCycles = 8;
+    std::uint32_t forceTermPpm = 0;
+    std::uint16_t stSaturateAt = 0;
+    std::uint32_t sigAliasBits = 0;
+
+    // Log-store I/O faults (rnr::LogWriter file sink).
+    std::uint32_t shortWritePpm = 0;
+    std::uint32_t ioErrorPpm = 0;
+    std::uint32_t enospcPpm = 0;
+    std::uint32_t fsyncFailures = 0;
+    std::uint64_t crashAtByte = 0;
+    std::uint64_t logBudgetBytes = 0;
+
+    /** Whether any clause would ever inject a fault. */
+    bool any() const;
+
+    /** Human-readable one-line rendering of the active clauses. */
+    std::string describe() const;
+
+    /**
+     * Parse a spec string (see grammar above). Throws
+     * std::invalid_argument naming the offending clause on bad input.
+     * An empty spec yields the default (inject-nothing) plan.
+     */
+    static FaultPlan parse(const std::string &spec);
+};
+
+/**
+ * Process-global fault decision point. Install once before constructing
+ * the Machine / LogWriter under test; every decision method is
+ * mutex-serialized (sweep jobs may share one injector) and counts what
+ * it injected in stats().
+ */
+class FaultInjector
+{
+  public:
+    /** Outcome of consulting the injector for one file write attempt. */
+    struct IoOutcome
+    {
+        enum class Kind
+        {
+            None,       ///< Perform the write normally.
+            ShortWrite, ///< Write only maxBytes, then report short.
+            Error,      ///< Fail the attempt with errno err.
+            Crash       ///< Write maxBytes then die (torn file).
+        };
+        Kind kind = Kind::None;
+        int err = 0;
+        std::size_t maxBytes = 0;
+    };
+
+    /** Whether a global injector is installed (the hot-path check). */
+    static bool
+    enabled()
+    {
+        return injector_.load(std::memory_order_relaxed) != nullptr;
+    }
+
+    /** The installed injector; only valid when enabled(). */
+    static FaultInjector *
+    get()
+    {
+        return injector_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Install a global injector driven by @p plan; fatal() if one is
+     * already installed.
+     */
+    static void install(const FaultPlan &plan);
+
+    /** install(parse(RR_FAULTS)) when set and no injector exists. */
+    static void installFromEnv();
+
+    /** Uninstall and destroy the global injector; no-op if disabled. */
+    static void uninstall();
+
+    const FaultPlan &plan() const { return plan_; }
+
+    /** Counters of every fault injected so far. */
+    const StatSet &stats() const { return stats_; }
+
+    /** Should this snoop be dropped before reaching core observers? */
+    bool dropSnoop(CoreId dest);
+
+    /** Should this snoop's recorder delivery be delayed? */
+    bool delaySnoop(CoreId dest);
+
+    /** Should the recorder terminate the current interval right now? */
+    bool forceTerminate(CoreId core);
+
+    /**
+     * Coarsen a line address for signature insertion/query: clears
+     * `alias-sig` line-index bits so neighbouring lines alias. Purely
+     * conservative — extra conflicts, never missed ones.
+     */
+    Addr aliasLine(Addr line_addr);
+
+    /**
+     * Consult the plan for one write of @p len bytes at absolute file
+     * offset @p file_offset.
+     */
+    IoOutcome onWrite(std::uint64_t file_offset, std::size_t len);
+
+    /** 0 to let an fsync/fflush succeed, else the errno to fail with. */
+    int onSync();
+
+    /** Note a recorder downgrade / writer degradation (counted). */
+    void noteDegradation(const char *what);
+
+  private:
+    explicit FaultInjector(const FaultPlan &plan);
+
+    /** One seeded Bernoulli draw; never draws when ppm == 0. */
+    bool roll(std::uint32_t ppm);
+
+    static std::atomic<FaultInjector *> injector_;
+
+    FaultPlan plan_;
+    std::mutex mutex_;
+    Rng rng_;
+    StatSet stats_;
+    std::uint32_t syncFailuresLeft_;
+};
+
+} // namespace rr::sim
+
+#endif // RR_SIM_FAULTINJECT_HH

@@ -1,0 +1,500 @@
+/**
+ * @file
+ * Fault-matrix sweep: record a kernel through the streaming LogWriter
+ * while a seeded FaultInjector perturbs each layer in turn, then hold
+ * the recording to the robustness contract:
+ *
+ *  - a zero-fault plan leaves the .rrlog byte-identical to a run with
+ *    no injector installed at all;
+ *  - transient I/O faults (short writes, EIO, ENOSPC, bounded fsync
+ *    failures) are absorbed by retry/resume and are invisible in the
+ *    final bytes;
+ *  - recorder-observation faults (dropped/delayed snoops, forced
+ *    terminations, Snoop Table saturation, signature aliasing) yield a
+ *    structurally sound file that either replays bit-exact or fails
+ *    replay with a typed ReplayDivergence — never silent corruption of
+ *    the container;
+ *  - a persistent I/O fault surfaces as LogStoreError kind Io with the
+ *    errno attached, and never publishes a file under the final name;
+ *  - an injected crash leaves a torn .tmp from which recoverPrefix()
+ *    salvages a per-core interval prefix of the clean recording that
+ *    replays divergence-free after a consistentCut();
+ *  - a log-size budget produces a partial-flagged, bounded, replayable
+ *    prefix instead of an unbounded file or an abort.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "rnr/divergence.hh"
+#include "rnr/logstore.hh"
+#include "rnr/patcher.hh"
+#include "rnr/replayer.hh"
+#include "sim/faultinject.hh"
+#include "workloads/kernels.hh"
+
+namespace
+{
+
+using namespace rr;
+
+constexpr std::uint32_t kCores = 2;
+constexpr const char *kKernel = "fft";
+constexpr std::size_t kChunkBytes = 256; // many small chunks
+
+/** Uninstalls any injector this test installed, even on failure. */
+struct InjectorGuard
+{
+    explicit InjectorGuard(const std::string &spec)
+    {
+        if (!spec.empty())
+            sim::FaultInjector::install(sim::FaultPlan::parse(spec));
+    }
+    ~InjectorGuard() { sim::FaultInjector::uninstall(); }
+};
+
+rnr::RecordingMeta
+metaFor(sim::RecorderMode mode, std::uint64_t scale)
+{
+    rnr::RecordingMeta meta;
+    meta.kernel = kKernel;
+    meta.cores = kCores;
+    meta.scale = scale;
+    meta.intensity = workloads::WorkloadParams{}.intensity;
+    meta.workloadSeed = workloads::WorkloadParams{}.seed;
+    meta.machineSeed = sim::MachineConfig{}.seed;
+    meta.mode = mode;
+    meta.intervalCap = 0;
+    meta.deps = false;
+    return meta;
+}
+
+struct Recorded
+{
+    machine::RecordingResult rec;
+    rnr::RecordingSummary summary;
+    std::unique_ptr<rnr::LogWriter> writer; ///< kept for crash cases
+    bool finished = false;
+};
+
+/**
+ * Record kKernel under whatever injector is currently installed,
+ * streaming to @p path. @p finish false leaves the writer open (crash
+ * cases finish — or fail to — in the caller).
+ */
+Recorded
+recordKernel(const std::string &path, sim::RecorderMode mode,
+             bool finish = true, std::uint64_t scale = 1)
+{
+    workloads::WorkloadParams wp;
+    wp.numThreads = kCores;
+    wp.scale = scale;
+    auto w = workloads::buildKernel(kKernel, wp);
+
+    sim::MachineConfig cfg;
+    cfg.numCores = kCores;
+    std::vector<sim::RecorderConfig> policies(1);
+    policies[0] = {mode, 0};
+
+    Recorded out;
+    rnr::WriterOptions opts;
+    opts.chunkTargetBytes = kChunkBytes;
+    out.writer = std::make_unique<rnr::LogWriter>(
+        path, metaFor(mode, scale), opts);
+
+    machine::Machine m(cfg, w.program, policies);
+    rnr::LogWriter *writer = out.writer.get();
+    m.setIntervalSink(0, [writer](sim::CoreId c,
+                                  const rnr::IntervalRecord &iv) {
+        writer->append(c, iv);
+    });
+    out.rec = m.run(500'000'000ULL);
+
+    out.summary.totalInstructions = out.rec.totalInstructions;
+    out.summary.cycles = out.rec.cycles;
+    out.summary.memoryFingerprint = out.rec.memoryFingerprint;
+    for (sim::CoreId c = 0; c < kCores; ++c)
+        out.summary.cores.push_back(rnr::CoreReplaySummary{
+            out.rec.logs[0][c].intervals.size(),
+            out.rec.cores[c].retiredInstructions,
+            out.rec.cores[c].retiredLoads,
+            out.rec.cores[c].loadValueHash});
+    if (finish) {
+        out.writer->finish(out.summary);
+        out.finished = true;
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << path;
+    return std::vector<std::uint8_t>(
+        std::istreambuf_iterator<char>(in),
+        std::istreambuf_iterator<char>());
+}
+
+bool
+fileExists(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return in.is_open();
+}
+
+/**
+ * Replay @p logs from the persisted metadata against a fresh machine's
+ * initial memory. @return the per-core load-value hashes and counts.
+ */
+struct ReplayOutcome
+{
+    bool diverged = false;
+    std::string divergence;
+    std::uint64_t instructions = 0;
+    std::uint64_t memoryFingerprint = 0;
+    std::vector<std::uint64_t> hashes;
+    std::vector<std::uint64_t> loads;
+};
+
+ReplayOutcome
+replayLogs(const rnr::RecordingMeta &meta, std::vector<rnr::CoreLog> logs)
+{
+    workloads::WorkloadParams wp;
+    wp.numThreads = meta.cores;
+    wp.scale = meta.scale;
+    wp.intensity = meta.intensity;
+    wp.seed = meta.workloadSeed;
+    auto w = workloads::buildKernel(meta.kernel, wp);
+
+    sim::MachineConfig cfg;
+    cfg.numCores = meta.cores;
+    cfg.seed = meta.machineSeed;
+    std::vector<sim::RecorderConfig> policies(1);
+    policies[0] = {meta.mode, meta.intervalCap};
+    machine::Machine fresh(cfg, w.program, policies);
+
+    std::vector<rnr::CoreLog> patched;
+    for (const auto &log : logs)
+        patched.push_back(rnr::patch(log));
+
+    ReplayOutcome out;
+    out.hashes.assign(meta.cores, 0);
+    out.loads.assign(meta.cores, 0);
+    rnr::Replayer rep(w.program, std::move(patched),
+                      fresh.initialMemory().clone());
+    rep.setLoadHook([&](sim::CoreId c, std::uint64_t v) {
+        out.hashes[c] = machine::mixLoadValue(out.hashes[c], v);
+        ++out.loads[c];
+    });
+    try {
+        const auto res = rep.run();
+        out.instructions = res.instructions;
+        out.memoryFingerprint = res.memory.fingerprint();
+    } catch (const rnr::ReplayDivergence &d) {
+        out.diverged = true;
+        out.divergence = d.report().format();
+    }
+    return out;
+}
+
+std::string
+tmpPathFor(const std::string &name)
+{
+    return ::testing::TempDir() + "rr_fault_matrix_" + name + ".rrlog";
+}
+
+TEST(FaultMatrix, ZeroFaultPlanIsByteIdenticalToNoInjector)
+{
+    const std::string clean_path = tmpPathFor("zero_clean");
+    const std::string fault_path = tmpPathFor("zero_fault");
+    {
+        InjectorGuard guard("");
+        recordKernel(clean_path, sim::RecorderMode::Opt);
+    }
+    {
+        // Installed but inert: a seed alone arms no clause, and
+        // zero-rate clauses never draw, so the recording cannot shift.
+        InjectorGuard guard("seed=9");
+        recordKernel(fault_path, sim::RecorderMode::Opt);
+    }
+    const auto clean = fileBytes(clean_path);
+    const auto faulty = fileBytes(fault_path);
+    ASSERT_FALSE(clean.empty());
+    EXPECT_EQ(clean, faulty);
+    std::remove(clean_path.c_str());
+    std::remove(fault_path.c_str());
+}
+
+class TransientIoFaults : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(TransientIoFaults, AreAbsorbedAndInvisibleInTheFinalBytes)
+{
+    const std::string clean_path = tmpPathFor("io_clean");
+    const std::string fault_path = tmpPathFor("io_fault");
+    {
+        InjectorGuard guard("");
+        recordKernel(clean_path, sim::RecorderMode::Opt);
+    }
+    std::uint64_t injected = 0;
+    {
+        InjectorGuard guard(GetParam());
+        Recorded r = recordKernel(fault_path, sim::RecorderMode::Opt);
+        const sim::StatSet &fs = sim::FaultInjector::get()->stats();
+        injected = fs.counterValue("short_writes") +
+                   fs.counterValue("io_errors") +
+                   fs.counterValue("enospc_errors") +
+                   fs.counterValue("sync_failures");
+        // The writer retried/resumed (visible in its own counters).
+        EXPECT_EQ(r.writer->stats().counterValue("io_short_writes") +
+                      r.writer->stats().counterValue("io_retries") +
+                      r.writer->stats().counterValue("sync_retries"),
+                  injected);
+    }
+    // The plan must have actually fired for this sweep to mean much.
+    EXPECT_GT(injected, 0u) << GetParam();
+    EXPECT_EQ(fileBytes(clean_path), fileBytes(fault_path))
+        << GetParam();
+    std::remove(clean_path.c_str());
+    std::remove(fault_path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plans, TransientIoFaults,
+    ::testing::Values("short-write=0.5", "io-error=0.3", "enospc=0.25",
+                      "fsync-fail=3",
+                      "short-write=0.3,io-error=0.1,enospc=0.05,"
+                      "fsync-fail=1"),
+    [](const auto &info) {
+        return "plan" + std::to_string(info.index);
+    });
+
+struct RecorderFaultCase
+{
+    const char *name;
+    const char *spec;
+    sim::RecorderMode mode;
+};
+
+class RecorderFaults
+    : public ::testing::TestWithParam<RecorderFaultCase>
+{
+};
+
+TEST_P(RecorderFaults, YieldSoundFilesThatReplayExactOrDivergeTyped)
+{
+    const RecorderFaultCase &fc = GetParam();
+    const std::string path = tmpPathFor(fc.name);
+    Recorded r = [&] {
+        InjectorGuard guard(fc.spec);
+        return recordKernel(path, fc.mode);
+    }();
+
+    // Whatever the fault did to the recorded *content*, the container
+    // must be structurally sound.
+    rnr::LogReader reader(path);
+    EXPECT_TRUE(reader.verify().empty()) << fc.spec;
+    std::vector<rnr::CoreLog> logs = reader.readAll();
+    ASSERT_EQ(logs.size(), kCores);
+
+    // The robustness dichotomy: bit-exact replay, or a typed
+    // divergence report — never a silently wrong result.
+    ReplayOutcome out = replayLogs(reader.meta(), std::move(logs));
+    if (out.diverged) {
+        EXPECT_NE(out.divergence.find("replay divergence at core"),
+                  std::string::npos);
+    } else {
+        const rnr::RecordingSummary summary = reader.summary();
+        EXPECT_EQ(out.instructions, summary.totalInstructions)
+            << fc.spec;
+        EXPECT_EQ(out.memoryFingerprint, summary.memoryFingerprint)
+            << fc.spec;
+        for (sim::CoreId c = 0; c < kCores; ++c) {
+            EXPECT_EQ(out.hashes[c], summary.cores[c].loadValueHash)
+                << fc.spec << " core " << c;
+            EXPECT_EQ(out.loads[c], summary.cores[c].retiredLoads)
+                << fc.spec << " core " << c;
+        }
+    }
+    std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plans, RecorderFaults,
+    ::testing::Values(
+        RecorderFaultCase{"drop", "drop-snoop=0.02",
+                          sim::RecorderMode::Opt},
+        RecorderFaultCase{"delay", "delay-snoop=0.05",
+                          sim::RecorderMode::Opt},
+        RecorderFaultCase{"term", "force-term=0.005",
+                          sim::RecorderMode::Base},
+        RecorderFaultCase{"saturate", "st-saturate=2",
+                          sim::RecorderMode::Opt},
+        RecorderFaultCase{"alias", "alias-sig=4",
+                          sim::RecorderMode::Opt},
+        RecorderFaultCase{"combo",
+                          "drop-snoop=0.02,delay-snoop=0.05,"
+                          "force-term=0.005",
+                          sim::RecorderMode::Opt}),
+    [](const auto &info) { return std::string(info.param.name); });
+
+TEST(FaultMatrix, SnoopTableSaturationDowngradesOptToBase)
+{
+    const std::string path = tmpPathFor("downgrade");
+    {
+        InjectorGuard guard("st-saturate=1");
+        recordKernel(path, sim::RecorderMode::Opt);
+        // Every core's recorder saturates immediately and must fall
+        // back to Base logging (counted per recorder).
+        EXPECT_GE(sim::FaultInjector::get()->stats().counterValue(
+                      "opt_base_downgrades"),
+                  1u);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(FaultMatrix, PersistentSyncFailureIsATypedIoError)
+{
+    const std::string path = tmpPathFor("eio");
+    InjectorGuard guard("fsync-fail=1000000");
+    try {
+        recordKernel(path, sim::RecorderMode::Opt);
+        FAIL() << "expected LogStoreError";
+    } catch (const rnr::LogStoreError &e) {
+        EXPECT_EQ(e.kind(), rnr::LogErrorKind::Io);
+        EXPECT_EQ(e.osError(), EIO);
+        // The message names the failing site and the retry budget.
+        EXPECT_NE(std::string(e.what()).find("after"),
+                  std::string::npos);
+    }
+    // The fault can never publish a file under the final name.
+    EXPECT_FALSE(fileExists(path));
+    std::remove((path + ".tmp").c_str());
+}
+
+TEST(FaultMatrix, CrashTornFileSalvagesToAReplayableCleanPrefix)
+{
+    const std::string clean_path = tmpPathFor("crash_clean");
+    const std::string crash_path = tmpPathFor("crash");
+
+    constexpr std::uint64_t kScale = 16; // enough data to tear mid-file
+    Recorded clean = [&] {
+        InjectorGuard guard("");
+        return recordKernel(clean_path, sim::RecorderMode::Opt, true,
+                            kScale);
+    }();
+    const std::uint64_t clean_bytes = fileBytes(clean_path).size();
+    ASSERT_GT(clean_bytes, 4 * kChunkBytes)
+        << "kernel too small to tear meaningfully";
+
+    // Tear the identical recording halfway through.
+    const std::string spec =
+        "crash-at=" + std::to_string(clean_bytes / 2);
+    bool crashed = false;
+    {
+        InjectorGuard guard(spec);
+        try {
+            Recorded r = recordKernel(crash_path,
+                                      sim::RecorderMode::Opt, true,
+                                      kScale);
+            (void)r;
+        } catch (const rnr::LogStoreError &e) {
+            crashed = true;
+            EXPECT_EQ(e.kind(), rnr::LogErrorKind::Crash);
+            EXPECT_NE(std::string(e.what()).find("injected crash"),
+                      std::string::npos);
+        }
+    }
+    ASSERT_TRUE(crashed);
+    // Only the torn .tmp exists; the final name was never published.
+    EXPECT_FALSE(fileExists(crash_path));
+    const std::string torn = crash_path + ".tmp";
+    ASSERT_TRUE(fileExists(torn));
+
+    rnr::LogReader reader(torn);
+    rnr::RecoveryResult rec = reader.recoverPrefix();
+    EXPECT_FALSE(rec.cleanEnd);
+    EXPECT_GE(rec.salvagedChunks, 1u);
+    EXPECT_GT(rec.salvagedIntervals, 0u);
+    ASSERT_EQ(rec.logs.size(), kCores);
+
+    // Each salvaged core log is a *prefix* of the clean recording —
+    // every salvaged interval is known-good, none is invented.
+    for (sim::CoreId c = 0; c < kCores; ++c) {
+        const auto &salvaged = rec.logs[c].intervals;
+        const auto &full = clean.rec.logs[0][c].intervals;
+        ASSERT_LE(salvaged.size(), full.size()) << "core " << c;
+        for (std::size_t i = 0; i < salvaged.size(); ++i) {
+            // The termination cycle is reporting-only and not
+            // serialized, so a salvaged interval carries cycle 0.
+            rnr::IntervalRecord expect = full[i];
+            expect.cycle = 0;
+            EXPECT_EQ(salvaged[i], expect)
+                << "core " << c << " interval " << i;
+        }
+    }
+
+    // After the consistent cut the prefix replays divergence-free.
+    const std::uint64_t cut =
+        rnr::consistentCut(rec.logs, rec.coreTruncated);
+    EXPECT_GT(cut, 0u);
+    ReplayOutcome out = replayLogs(reader.meta(), std::move(rec.logs));
+    EXPECT_FALSE(out.diverged) << out.divergence;
+    EXPECT_GT(out.instructions, 0u);
+    EXPECT_LT(out.instructions, clean.summary.totalInstructions);
+
+    std::remove(clean_path.c_str());
+    std::remove(torn.c_str());
+}
+
+TEST(FaultMatrix, BudgetYieldsABoundedPartialReplayablePrefix)
+{
+    const std::string clean_path = tmpPathFor("budget_clean");
+    const std::string budget_path = tmpPathFor("budget");
+
+    Recorded clean = [&] {
+        InjectorGuard guard("");
+        return recordKernel(clean_path, sim::RecorderMode::Opt);
+    }();
+    const std::uint64_t clean_bytes = fileBytes(clean_path).size();
+    const std::uint64_t budget = clean_bytes / 2;
+
+    Recorded r = [&] {
+        InjectorGuard guard("budget=" + std::to_string(budget));
+        return recordKernel(budget_path, sim::RecorderMode::Opt);
+    }();
+    ASSERT_TRUE(r.finished);
+    EXPECT_GT(r.writer->stats().counterValue("intervals_dropped_budget"),
+              0u);
+    EXPECT_EQ(r.writer->stats().counterValue("budget_exceeded"), 1u);
+
+    rnr::LogReader reader(budget_path);
+    EXPECT_TRUE(reader.partial());
+    EXPECT_TRUE(reader.verify().empty());
+
+    // Bounded: the file keeps to the budget (plus the Summary + End
+    // trailer slack the projection reserves).
+    EXPECT_LE(fileBytes(budget_path).size(), budget + 1024);
+
+    // And the kept prefix replays divergence-free after the cut.
+    rnr::RecoveryResult rec = reader.recoverPrefix();
+    EXPECT_TRUE(rec.cleanEnd);
+    rnr::consistentCut(rec.logs, rec.coreTruncated);
+    ReplayOutcome out = replayLogs(reader.meta(), std::move(rec.logs));
+    EXPECT_FALSE(out.diverged) << out.divergence;
+    EXPECT_GT(out.instructions, 0u);
+
+    std::remove(clean_path.c_str());
+    std::remove(budget_path.c_str());
+}
+
+} // namespace

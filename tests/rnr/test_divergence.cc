@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "machine/machine.hh"
+#include "rnr/divergence.hh"
 #include "rnr/patcher.hh"
 #include "rnr/replayer.hh"
 #include "workloads/kernels.hh"
@@ -91,6 +92,75 @@ TEST(Divergence, IntactLogReplaysWithoutThrowing)
     RecordedForReplay r = recordKernel("fft", 2);
     rnr::Replayer rep(r.workload.program, r.patched, r.initial.clone());
     EXPECT_NO_THROW(rep.run());
+}
+
+// Golden-text rendering: the report format is part of the tool-facing
+// robustness surface (operators diff and grep these), so lock it down
+// byte for byte rather than substring-matching.
+TEST(Divergence, ReportRendersGoldenText)
+{
+    rnr::DivergenceReport r;
+    r.core = 1;
+    r.intervalIndex = 3;
+    r.entryIndex = 2;
+    r.pc = 77;
+    r.entry = rnr::LogEntry::reorderedStore(0x40, 123, 1);
+    r.expected = "store to word 0x40";
+    r.actual = "load instruction at pc 77";
+    r.timestamp = 99;
+    r.orderPosition = 12;
+    r.predecessors = {{0, 5}, {2, 9}};
+
+    rnr::ReplayStep s0;
+    s0.core = 0;
+    s0.interval = 1;
+    s0.entry = 0;
+    s0.kind = rnr::EntryKind::InorderBlock;
+    s0.pc = 10;
+    s0.value = 4;
+    s0.addr = 0;
+    rnr::ReplayStep s1;
+    s1.core = 1;
+    s1.interval = 3;
+    s1.entry = 2;
+    s1.kind = rnr::EntryKind::ReorderedStore;
+    s1.pc = 77;
+    s1.value = 123;
+    s1.addr = 0x40;
+    r.recentSteps = {s0, s1};
+
+    const char *golden =
+        "replay divergence at core 1, interval 3 (timestamp 99, "
+        "replay position 12), entry 2, pc 77\n"
+        "  log entry: ReorderedStore addr=0x40 value=123\n"
+        "  expected: store to word 0x40\n"
+        "  actual:   load instruction at pc 77\n"
+        "  interval ordering: after core0#5 core2#9\n"
+        "  last replay steps (oldest first):\n"
+        "    core 0 iv 1 entry 0 InorderBlock    pc=10 value=4 "
+        "addr=0x0\n"
+        "    core 1 iv 3 entry 2 ReorderedStore  pc=77 value=123 "
+        "addr=0x40\n";
+    EXPECT_EQ(r.format(), golden);
+}
+
+TEST(Divergence, MinimalReportRendersGoldenText)
+{
+    rnr::DivergenceReport r;
+    r.core = 0;
+    r.pc = 5;
+    r.entry = rnr::LogEntry::reorderedAtomic(0x80, 7, 9, 0);
+    r.expected = "atomic";
+    r.actual = "store";
+    r.timestamp = 1;
+
+    const char *golden =
+        "replay divergence at core 0, interval 0 (timestamp 1, "
+        "replay position 0), entry 0, pc 5\n"
+        "  log entry: ReorderedAtomic addr=0x80 old=7 new=9\n"
+        "  expected: atomic\n"
+        "  actual:   store\n";
+    EXPECT_EQ(r.format(), golden);
 }
 
 } // namespace

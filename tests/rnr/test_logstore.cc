@@ -12,7 +12,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -490,20 +492,25 @@ TEST(LogStoreCorruption, MissingEndMarker)
 TEST(LogStoreCorruption, UnfinishedWriterFileHasNoSummary)
 {
     const std::string path = tempPath("unfinished");
+    const std::string tmp = path + ".tmp";
     {
         LogWriter writer(path, makeMeta(2));
         writer.append(0, makeLogs(2)[0].intervals[0]);
+        EXPECT_EQ(writer.currentPath(), tmp);
         // no finish(): simulates a crash during recording
     }
-    LogReader reader(path);
+    // Crash consistency: the final path never exists half-written; the
+    // torn data is only ever visible at the .tmp staging path.
+    EXPECT_THROW(LogReader{path}, LogStoreError);
+    LogReader reader(tmp);
     EXPECT_THROW(reader.summary(), LogStoreError);
-    const auto issues = LogReader(path).verify();
+    const auto issues = LogReader(tmp).verify();
     ASSERT_FALSE(issues.empty());
     bool saw_truncation = false;
     for (const auto &i : issues)
         saw_truncation |= i.message.find("truncated") != std::string::npos;
     EXPECT_TRUE(saw_truncation);
-    std::remove(path.c_str());
+    std::remove(tmp.c_str());
 }
 
 TEST(LogStoreCorruption, SummaryIntervalCountMismatch)
@@ -602,6 +609,346 @@ TEST(LogStoreReject, EmptyAndShortFiles)
     EXPECT_THROW(LogReader reader(path), LogStoreError);
     spew(path, {'R', 'R', 'L', 'G', 1});
     EXPECT_THROW(LogReader reader(path), LogStoreError);
+    std::remove(path.c_str());
+}
+
+// --- recovery, consistent cuts, partial files ---
+
+/** Logs where every core has data and timestamps are globally unique. */
+std::vector<CoreLog>
+makeFullLogs(std::uint32_t cores, int per_core = 6)
+{
+    std::vector<CoreLog> logs(cores);
+    rr::sim::Rng rng(11);
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        for (int i = 0; i < per_core; ++i) {
+            IntervalRecord iv;
+            iv.entries.push_back(
+                LogEntry::inorderBlock(1 + rng.below(64)));
+            iv.entries.push_back(LogEntry::reorderedLoad(rng.next()));
+            iv.cisn = static_cast<rr::sim::Isn>(2 * (i + 1));
+            iv.timestamp = 1 + static_cast<std::uint64_t>(i) * cores + c;
+            logs[c].intervals.push_back(std::move(iv));
+        }
+    }
+    return logs;
+}
+
+/** Write @p logs with small chunks so every core spans many chunks. */
+void
+writeWithChunkTarget(const std::string &path,
+                     const std::vector<CoreLog> &logs,
+                     std::size_t chunk_bytes)
+{
+    WriterOptions opts;
+    opts.chunkTargetBytes = chunk_bytes;
+    LogWriter writer(path, makeMeta(static_cast<std::uint32_t>(
+                               logs.size())),
+                     opts);
+    for (std::size_t i = 0;; ++i) {
+        bool any = false;
+        for (std::uint32_t c = 0; c < logs.size(); ++c) {
+            if (i < logs[c].intervals.size()) {
+                writer.append(c, logs[c].intervals[i]);
+                any = true;
+            }
+        }
+        if (!any)
+            break;
+    }
+    writer.finish(makeSummary(logs));
+}
+
+TEST(LogStoreRecovery, CleanFileSalvagesCompletely)
+{
+    const std::string path = tempPath("recover_clean");
+    const auto logs = writeSample(path);
+
+    RecoveryResult rec = LogReader(path).recoverPrefix();
+    EXPECT_TRUE(rec.cleanEnd);
+    EXPECT_TRUE(rec.hasSummary);
+    EXPECT_TRUE(rec.issues.empty());
+    EXPECT_EQ(rec.droppedChunks, 0u);
+    expectLogsEq(rec.logs, logs);
+    ASSERT_EQ(rec.coreTruncated.size(), logs.size());
+    for (bool t : rec.coreTruncated)
+        EXPECT_FALSE(t);
+
+    // A clean salvage loses nothing to the consistent cut.
+    const std::uint64_t before = rec.salvagedIntervals;
+    consistentCut(rec.logs, rec.coreTruncated);
+    std::uint64_t after = 0;
+    for (const auto &log : rec.logs)
+        after += log.intervals.size();
+    EXPECT_EQ(after, before);
+    std::remove(path.c_str());
+}
+
+TEST(LogStoreRecovery, TruncatedTailSalvagesPerCoreChunkPrefixes)
+{
+    const std::string path = tempPath("recover_trunc");
+    const auto logs = makeFullLogs(2);
+    writeWithChunkTarget(path, logs, 16); // ~1 interval per chunk
+    auto bytes = slurp(path);
+    bytes.resize(bytes.size() * 2 / 3); // tear well into the data
+    spew(path, bytes);
+
+    RecoveryResult rec = LogReader(path).recoverPrefix();
+    EXPECT_FALSE(rec.cleanEnd);
+    EXPECT_FALSE(rec.issues.empty());
+    EXPECT_GE(rec.salvagedChunks, 1u);
+    EXPECT_GT(rec.salvagedIntervals, 0u);
+    EXPECT_LT(rec.salvagedIntervals,
+              2u * logs[0].intervals.size());
+    // Without an End marker every core is suspect.
+    for (bool t : rec.coreTruncated)
+        EXPECT_TRUE(t);
+    // Each salvaged log is an exact prefix of what was recorded.
+    for (std::size_t c = 0; c < rec.logs.size(); ++c) {
+        const auto &got = rec.logs[c].intervals;
+        ASSERT_LE(got.size(), logs[c].intervals.size());
+        for (std::size_t i = 0; i < got.size(); ++i)
+            EXPECT_EQ(got[i], logs[c].intervals[i])
+                << "core " << c << " iv " << i;
+    }
+
+    // The cut keeps exactly the globally-closed prefix: every kept
+    // timestamp is <= the smallest per-core last timestamp.
+    const std::uint64_t cut = consistentCut(rec.logs);
+    for (const auto &log : rec.logs)
+        for (const auto &iv : log.intervals)
+            EXPECT_LE(iv.timestamp, cut);
+    std::remove(path.c_str());
+}
+
+TEST(LogStoreRecovery, CorruptChunkKillsOnlyThatCoreFromThereOn)
+{
+    const std::string path = tempPath("recover_corrupt");
+    const auto logs = makeFullLogs(2);
+    writeWithChunkTarget(path, logs, 16);
+    auto bytes = slurp(path);
+
+    // Corrupt the payload of core 0's *second* data chunk.
+    std::uint64_t off = fmt::kFileHeaderBytes;
+    int seen_core0 = 0;
+    std::uint64_t target = 0;
+    while (off + fmt::kChunkHeaderBytes <= bytes.size()) {
+        fmt::ChunkHeader h;
+        ASSERT_TRUE(fmt::ChunkHeader::decode(bytes.data() + off, h));
+        if (h.type == fmt::ChunkType::Data && h.core == 0 &&
+            ++seen_core0 == 2) {
+            target = off;
+            break;
+        }
+        off += fmt::kChunkHeaderBytes + h.payloadBytes();
+    }
+    ASSERT_NE(target, 0u);
+    bytes[target + fmt::kChunkHeaderBytes] ^= 0x40;
+    spew(path, bytes);
+
+    RecoveryResult rec = LogReader(path).recoverPrefix();
+    // Framing stays intact, so the walk reaches the End marker...
+    EXPECT_TRUE(rec.cleanEnd);
+    EXPECT_GE(rec.droppedChunks, 1u);
+    EXPECT_FALSE(rec.issues.empty());
+    ASSERT_EQ(rec.logs.size(), 2u);
+    // ...core 0 keeps only the intervals before the corrupt chunk,
+    // core 1 is complete and not marked truncated.
+    EXPECT_LT(rec.logs[0].intervals.size(), logs[0].intervals.size());
+    EXPECT_GE(rec.logs[0].intervals.size(), 1u);
+    EXPECT_EQ(rec.logs[1].intervals.size(), logs[1].intervals.size());
+    EXPECT_TRUE(rec.coreTruncated[0]);
+    EXPECT_FALSE(rec.coreTruncated[1]);
+
+    // Only the damaged core constrains the cut; core 1 gets trimmed
+    // back to the point core 0's data still covers.
+    const std::uint64_t cut =
+        consistentCut(rec.logs, rec.coreTruncated);
+    EXPECT_EQ(cut, rec.logs[0].intervals.back().timestamp);
+    std::remove(path.c_str());
+}
+
+TEST(LogStoreRecovery, ConsistentCutSemantics)
+{
+    const auto make = [] {
+        std::vector<CoreLog> logs(2);
+        for (std::uint64_t ts : {1, 5, 9})
+            logs[0].intervals.push_back(IntervalRecord{{}, 1, ts, 0, {}});
+        for (std::uint64_t ts : {2, 6, 10})
+            logs[1].intervals.push_back(IntervalRecord{{}, 1, ts, 0, {}});
+        return logs;
+    };
+
+    // Empty vector = conservatively treat every core as truncated.
+    auto logs = make();
+    EXPECT_EQ(consistentCut(logs), 9u);
+    EXPECT_EQ(logs[0].intervals.size(), 3u);
+    EXPECT_EQ(logs[1].intervals.size(), 2u); // ts 10 dropped
+
+    // Only a truncated core constrains the cut: core 1 truncated at
+    // ts 10 allows everything through.
+    logs = make();
+    EXPECT_EQ(consistentCut(logs, {false, true}), 10u);
+    EXPECT_EQ(logs[0].intervals.size(), 3u);
+    EXPECT_EQ(logs[1].intervals.size(), 3u);
+
+    // Core 0 truncated at ts 9 trims the complete core too: its ts-10
+    // interval may depend on what core 0 lost.
+    logs = make();
+    EXPECT_EQ(consistentCut(logs, {true, false}), 9u);
+    EXPECT_EQ(logs[1].intervals.size(), 2u);
+
+    // No truncated cores: nothing is trimmed.
+    logs = make();
+    EXPECT_EQ(consistentCut(logs, {false, false}), 10u);
+    EXPECT_EQ(logs[0].intervals.size() + logs[1].intervals.size(), 6u);
+
+    // A truncated core with nothing salvaged forces an empty cut.
+    logs = make();
+    logs[0].intervals.clear();
+    EXPECT_EQ(consistentCut(logs, {true, false}), 0u);
+    EXPECT_TRUE(logs[1].intervals.empty());
+
+    // Repair flow idempotence: once a cut is applied and the result is
+    // re-read from a cleanly-salvaged (partial) file, no core is
+    // truncated any more, so a second cut trims nothing.
+    logs = make();
+    consistentCut(logs, {true, false});
+    auto again = logs;
+    consistentCut(again, {false, false});
+    for (std::size_t c = 0; c < logs.size(); ++c)
+        EXPECT_EQ(again[c].intervals.size(), logs[c].intervals.size());
+}
+
+TEST(LogStorePartial, FinishPartialPreservesSummaryAndFlags)
+{
+    const std::string path = tempPath("partial");
+    const auto logs = makeFullLogs(2, 4);
+    const RecordingSummary full = makeSummary(logs);
+    {
+        WriterOptions opts;
+        opts.headerFlags = fmt::kFlagPartial;
+        LogWriter writer(path, makeMeta(2), opts);
+        // Persist only a prefix (what `rrlog repair` salvaged)...
+        for (std::uint32_t c = 0; c < 2; ++c)
+            for (int i = 0; i < 2; ++i)
+                writer.append(c, logs[c].intervals[i]);
+        // ...but preserve the original full-recording summary.
+        writer.finishPartial(&full);
+        EXPECT_TRUE(writer.headerFlags() & fmt::kFlagPartial);
+    }
+
+    LogReader reader(path);
+    EXPECT_TRUE(reader.partial());
+    // Partial files are exempt from summary/data count matching...
+    EXPECT_TRUE(reader.verify().empty());
+    // ...and still replayable/readable end to end.
+    const auto got = reader.readAll();
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].intervals.size(), 2u);
+    EXPECT_EQ(reader.summary(), full);
+
+    RecoveryResult rec = LogReader(path).recoverPrefix();
+    EXPECT_TRUE(rec.cleanEnd);
+    for (bool t : rec.coreTruncated)
+        EXPECT_FALSE(t);
+    std::remove(path.c_str());
+}
+
+TEST(LogStorePartial, FinishPartialWithoutSummary)
+{
+    const std::string path = tempPath("partial_nosum");
+    const auto logs = makeFullLogs(2, 2);
+    {
+        LogWriter writer(path, makeMeta(2));
+        writer.append(0, logs[0].intervals[0]);
+        writer.finishPartial();
+    }
+    LogReader reader(path);
+    EXPECT_TRUE(reader.partial());
+    EXPECT_TRUE(reader.verify().empty());
+    EXPECT_THROW(reader.summary(), LogStoreError);
+    EXPECT_EQ(reader.readAll()[0].intervals.size(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(LogStorePartial, BudgetFlushesAConsistentPrefixAndFlagsPartial)
+{
+    const std::string path = tempPath("budget");
+    const auto logs = makeFullLogs(2, 8);
+    WriterOptions opts;
+    opts.chunkTargetBytes = 32;
+    opts.budgetBytes = 400;
+    LogWriter writer(path, makeMeta(2), opts);
+    std::size_t appended = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+        for (std::uint32_t c = 0; c < 2; ++c) {
+            writer.append(c, logs[c].intervals[i]);
+            ++appended;
+        }
+    }
+    writer.finish(makeSummary(logs));
+    EXPECT_TRUE(writer.headerFlags() & fmt::kFlagPartial);
+    EXPECT_EQ(writer.stats().counterValue("budget_exceeded"), 1u);
+    EXPECT_GT(writer.stats().counterValue("intervals_dropped_budget"),
+              0u);
+    EXPECT_EQ(writer.intervalsWritten() +
+                  writer.stats().counterValue("intervals_dropped_budget"),
+              appended);
+
+    LogReader reader(path);
+    EXPECT_TRUE(reader.partial());
+    EXPECT_TRUE(reader.verify().empty());
+    const auto got = reader.readAll();
+    // The budget trip lands every interval appended before it — the
+    // on-disk set is an append-order (close-order) prefix per core.
+    std::uint64_t kept = 0;
+    for (std::size_t c = 0; c < got.size(); ++c) {
+        ASSERT_LE(got[c].intervals.size(), logs[c].intervals.size());
+        for (std::size_t i = 0; i < got[c].intervals.size(); ++i)
+            EXPECT_EQ(got[c].intervals[i], logs[c].intervals[i]);
+        kept += got[c].intervals.size();
+    }
+    EXPECT_GT(kept, 0u);
+    EXPECT_LT(kept, appended);
+    // Both cores were cut at the same append round (+/- the interval
+    // that tripped the budget).
+    EXPECT_LE(static_cast<std::uint64_t>(
+                  std::abs(static_cast<long>(got[0].intervals.size()) -
+                           static_cast<long>(got[1].intervals.size()))),
+              1u);
+    std::remove(path.c_str());
+}
+
+TEST(LogStoreIo, WriterAndReaderSurfaceOsErrorsWithErrno)
+{
+    try {
+        LogWriter writer("/nonexistent-rr-dir/out.rrlog", makeMeta(1));
+        FAIL() << "expected LogStoreError";
+    } catch (const LogStoreError &e) {
+        EXPECT_EQ(e.kind(), LogErrorKind::Io);
+        EXPECT_EQ(e.osError(), ENOENT);
+        EXPECT_NE(std::string(e.what()).find("No such file"),
+                  std::string::npos)
+            << e.what();
+    }
+    try {
+        LogReader reader(tempPath("does_not_exist"));
+        FAIL() << "expected LogStoreError";
+    } catch (const LogStoreError &e) {
+        EXPECT_EQ(e.kind(), LogErrorKind::Io);
+        EXPECT_EQ(e.osError(), ENOENT);
+    }
+    // Structural failures keep the default Format kind.
+    const std::string path = tempPath("kind_format");
+    spew(path, {'R', 'R', 'L', 'G', 1});
+    try {
+        LogReader reader(path);
+        FAIL() << "expected LogStoreError";
+    } catch (const LogStoreError &e) {
+        EXPECT_EQ(e.kind(), LogErrorKind::Format);
+        EXPECT_EQ(e.osError(), 0);
+    }
     std::remove(path.c_str());
 }
 

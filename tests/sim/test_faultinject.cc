@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Unit tests for the deterministic fault-injection subsystem: FaultPlan
+ * spec parsing (round-trips and typed rejection of bad clauses), the
+ * install/uninstall lifecycle, seed-determinism of fault decisions, the
+ * zero-rate-never-draws guarantee that underpins bit-identical
+ * zero-fault recordings, and the per-clause I/O outcome semantics
+ * (crash-at, io-error, enospc, short-write, fsync-fail).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/faultinject.hh"
+#include "sim/types.hh"
+
+namespace
+{
+
+using namespace rr;
+using sim::FaultInjector;
+using sim::FaultPlan;
+
+/** Installs a plan for one test and guarantees uninstall on exit. */
+class InjectorGuard
+{
+  public:
+    explicit InjectorGuard(const FaultPlan &plan)
+    {
+        FaultInjector::install(plan);
+    }
+    ~InjectorGuard() { FaultInjector::uninstall(); }
+};
+
+TEST(FaultPlan, DefaultPlanInjectsNothing)
+{
+    FaultPlan plan;
+    EXPECT_FALSE(plan.any());
+    EXPECT_EQ(plan.describe(), "none");
+    EXPECT_EQ(plan.seed, 1u);
+}
+
+TEST(FaultPlan, ParseEmptySpecYieldsDefault)
+{
+    FaultPlan plan = FaultPlan::parse("");
+    EXPECT_FALSE(plan.any());
+    EXPECT_EQ(plan.seed, 1u);
+}
+
+TEST(FaultPlan, ParseAllClauses)
+{
+    FaultPlan plan = FaultPlan::parse(
+        "seed=42,drop-snoop=0.02,delay-snoop=0.05,delay-cycles=16,"
+        "force-term=0.005,st-saturate=4,alias-sig=6,short-write=0.3,"
+        "io-error=0.2,enospc=0.1,fsync-fail=2,crash-at=700,budget=64k");
+    EXPECT_EQ(plan.seed, 42u);
+    EXPECT_EQ(plan.dropSnoopPpm, 20000u);
+    EXPECT_EQ(plan.delaySnoopPpm, 50000u);
+    EXPECT_EQ(plan.delaySnoopCycles, 16u);
+    EXPECT_EQ(plan.forceTermPpm, 5000u);
+    EXPECT_EQ(plan.stSaturateAt, 4u);
+    EXPECT_EQ(plan.sigAliasBits, 6u);
+    EXPECT_EQ(plan.shortWritePpm, 300000u);
+    EXPECT_EQ(plan.ioErrorPpm, 200000u);
+    EXPECT_EQ(plan.enospcPpm, 100000u);
+    EXPECT_EQ(plan.fsyncFailures, 2u);
+    EXPECT_EQ(plan.crashAtByte, 700u);
+    EXPECT_EQ(plan.logBudgetBytes, 64u * 1024u);
+    EXPECT_TRUE(plan.any());
+}
+
+TEST(FaultPlan, ByteSuffixes)
+{
+    EXPECT_EQ(FaultPlan::parse("budget=4k").logBudgetBytes, 4096u);
+    EXPECT_EQ(FaultPlan::parse("budget=2m").logBudgetBytes,
+              2u * 1024u * 1024u);
+    EXPECT_EQ(FaultPlan::parse("crash-at=1K").crashAtByte, 1024u);
+}
+
+TEST(FaultPlan, DescribeParsesBack)
+{
+    const char *spec =
+        "drop-snoop=0.02,force-term=0.005,st-saturate=4,fsync-fail=2,"
+        "budget=1024,seed=9";
+    FaultPlan plan = FaultPlan::parse(spec);
+    FaultPlan again = FaultPlan::parse(plan.describe());
+    EXPECT_EQ(again.seed, plan.seed);
+    EXPECT_EQ(again.dropSnoopPpm, plan.dropSnoopPpm);
+    EXPECT_EQ(again.forceTermPpm, plan.forceTermPpm);
+    EXPECT_EQ(again.stSaturateAt, plan.stSaturateAt);
+    EXPECT_EQ(again.fsyncFailures, plan.fsyncFailures);
+    EXPECT_EQ(again.logBudgetBytes, plan.logBudgetBytes);
+}
+
+TEST(FaultPlan, RejectsBadInput)
+{
+    EXPECT_THROW(FaultPlan::parse("bogus-clause=1"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("drop-snoop"), std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("drop-snoop=1.5"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("drop-snoop=-0.1"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("drop-snoop=abc"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("seed=12x"), std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("budget=9z"), std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("alias-sig=33"),
+                 std::invalid_argument);
+    // One bad clause poisons the whole spec even when others are fine.
+    EXPECT_THROW(FaultPlan::parse("drop-snoop=0.1,nope=3"),
+                 std::invalid_argument);
+}
+
+TEST(FaultInjector, InstallUninstallLifecycle)
+{
+    ASSERT_FALSE(FaultInjector::enabled());
+    {
+        InjectorGuard guard(FaultPlan::parse("drop-snoop=0.5"));
+        ASSERT_TRUE(FaultInjector::enabled());
+        ASSERT_NE(FaultInjector::get(), nullptr);
+        EXPECT_EQ(FaultInjector::get()->plan().dropSnoopPpm, 500000u);
+    }
+    EXPECT_FALSE(FaultInjector::enabled());
+    // uninstall with nothing installed is a no-op.
+    FaultInjector::uninstall();
+    EXPECT_FALSE(FaultInjector::enabled());
+}
+
+TEST(FaultInjector, SameSeedSameDecisionSequence)
+{
+    const FaultPlan plan = FaultPlan::parse("seed=7,drop-snoop=0.5");
+    std::vector<bool> first, second;
+    {
+        InjectorGuard guard(plan);
+        for (int i = 0; i < 256; ++i)
+            first.push_back(FaultInjector::get()->dropSnoop(0));
+    }
+    {
+        InjectorGuard guard(plan);
+        for (int i = 0; i < 256; ++i)
+            second.push_back(FaultInjector::get()->dropSnoop(0));
+    }
+    EXPECT_EQ(first, second);
+
+    std::vector<bool> other;
+    {
+        InjectorGuard guard(FaultPlan::parse("seed=8,drop-snoop=0.5"));
+        for (int i = 0; i < 256; ++i)
+            other.push_back(FaultInjector::get()->dropSnoop(0));
+    }
+    EXPECT_NE(first, other);
+}
+
+TEST(FaultInjector, ZeroRateClausesNeverDrawFromTheRng)
+{
+    // The force-term decision stream must be identical whether or not
+    // zero-rate drop/delay consultations are interleaved: a rate of 0
+    // returns false without consuming RNG state. This is the property
+    // that makes a zero-fault plan bit-identical to no injector.
+    const FaultPlan plan = FaultPlan::parse("seed=3,force-term=0.5");
+    std::vector<bool> plain, interleaved;
+    {
+        InjectorGuard guard(plan);
+        for (int i = 0; i < 256; ++i)
+            plain.push_back(FaultInjector::get()->forceTerminate(0));
+    }
+    {
+        InjectorGuard guard(plan);
+        for (int i = 0; i < 256; ++i) {
+            EXPECT_FALSE(FaultInjector::get()->dropSnoop(0));
+            EXPECT_FALSE(FaultInjector::get()->delaySnoop(1));
+            interleaved.push_back(
+                FaultInjector::get()->forceTerminate(0));
+        }
+    }
+    EXPECT_EQ(plain, interleaved);
+}
+
+TEST(FaultInjector, DecisionsAreCounted)
+{
+    InjectorGuard guard(FaultPlan::parse("seed=5,drop-snoop=1.0"));
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(FaultInjector::get()->dropSnoop(2));
+    const sim::StatSet &stats = FaultInjector::get()->stats();
+    EXPECT_EQ(stats.counterValue("snoops_dropped"), 10u);
+    EXPECT_EQ(stats.counterValue("snoops_dropped_core2"), 10u);
+}
+
+TEST(FaultInjector, AliasLineClearsLowLineIndexBits)
+{
+    InjectorGuard guard(FaultPlan::parse("alias-sig=2"));
+    FaultInjector *inj = FaultInjector::get();
+    const sim::Addr base = 16 * sim::kLineBytes;
+    // All four lines of an alias group coarsen to the group base...
+    for (sim::Addr line = 0; line < 4; ++line)
+        EXPECT_EQ(inj->aliasLine(base + line * sim::kLineBytes), base);
+    // ...and the next group does not alias into this one.
+    EXPECT_EQ(inj->aliasLine(base + 4 * sim::kLineBytes),
+              base + 4 * sim::kLineBytes);
+}
+
+TEST(FaultInjector, AliasLineIsIdentityWhenDisabled)
+{
+    InjectorGuard guard(FaultPlan::parse("drop-snoop=0.5"));
+    EXPECT_EQ(FaultInjector::get()->aliasLine(0x12345 * sim::kLineBytes),
+              sim::Addr{0x12345} * sim::kLineBytes);
+}
+
+TEST(FaultInjector, CrashAtTearsTheWriteStraddlingTheBoundary)
+{
+    using Outcome = FaultInjector::IoOutcome;
+    InjectorGuard guard(FaultPlan::parse("crash-at=100"));
+    FaultInjector *inj = FaultInjector::get();
+
+    // Writes entirely below the boundary proceed normally.
+    EXPECT_EQ(inj->onWrite(0, 50).kind, Outcome::Kind::None);
+    EXPECT_EQ(inj->onWrite(50, 50).kind, Outcome::Kind::None);
+
+    // The write that would cross byte 100 is torn mid-buffer.
+    Outcome out = inj->onWrite(90, 20);
+    EXPECT_EQ(out.kind, Outcome::Kind::Crash);
+    EXPECT_EQ(out.maxBytes, 10u);
+
+    // At or past the boundary nothing more may reach the file.
+    out = inj->onWrite(100, 5);
+    EXPECT_EQ(out.kind, Outcome::Kind::Crash);
+    EXPECT_EQ(out.maxBytes, 0u);
+}
+
+TEST(FaultInjector, IoErrorOutcomesCarryTheRightErrno)
+{
+    using Outcome = FaultInjector::IoOutcome;
+    {
+        InjectorGuard guard(FaultPlan::parse("io-error=1.0"));
+        Outcome out = FaultInjector::get()->onWrite(0, 64);
+        EXPECT_EQ(out.kind, Outcome::Kind::Error);
+        EXPECT_EQ(out.err, EIO);
+    }
+    {
+        InjectorGuard guard(FaultPlan::parse("enospc=1.0"));
+        Outcome out = FaultInjector::get()->onWrite(0, 64);
+        EXPECT_EQ(out.kind, Outcome::Kind::Error);
+        EXPECT_EQ(out.err, ENOSPC);
+    }
+}
+
+TEST(FaultInjector, ShortWriteTruncatesButNeverToZero)
+{
+    using Outcome = FaultInjector::IoOutcome;
+    InjectorGuard guard(FaultPlan::parse("seed=11,short-write=1.0"));
+    FaultInjector *inj = FaultInjector::get();
+    for (int i = 0; i < 64; ++i) {
+        Outcome out = inj->onWrite(0, 64);
+        ASSERT_EQ(out.kind, Outcome::Kind::ShortWrite);
+        EXPECT_GE(out.maxBytes, 1u);
+        EXPECT_LT(out.maxBytes, 64u);
+    }
+    // A 1-byte write cannot be made shorter; it must pass.
+    EXPECT_EQ(inj->onWrite(0, 1).kind, Outcome::Kind::None);
+}
+
+TEST(FaultInjector, FsyncFailuresAreTransientAndBounded)
+{
+    InjectorGuard guard(FaultPlan::parse("fsync-fail=2"));
+    FaultInjector *inj = FaultInjector::get();
+    EXPECT_EQ(inj->onSync(), EIO);
+    EXPECT_EQ(inj->onSync(), EIO);
+    // After the budget is consumed every sync succeeds.
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(inj->onSync(), 0);
+}
+
+TEST(FaultInjector, DegradationsAreCounted)
+{
+    InjectorGuard guard(FaultPlan::parse("st-saturate=1"));
+    FaultInjector::get()->noteDegradation("opt_base_downgrades");
+    FaultInjector::get()->noteDegradation("opt_base_downgrades");
+    EXPECT_EQ(FaultInjector::get()->stats().counterValue(
+                  "opt_base_downgrades"),
+              2u);
+}
+
+} // namespace

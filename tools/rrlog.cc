@@ -17,6 +17,14 @@
  *   rrlog diff FILE1 FILE2
  *       First divergent interval between two recordings (metadata,
  *       per-core interval streams, summaries).
+ *   rrlog repair IN OUT
+ *       Salvage the longest consistent prefix of a torn or corrupt
+ *       file (e.g. the .tmp left by a crashed recorder) and write it
+ *       to OUT as a structurally valid, partial-flagged .rrlog that
+ *       `rrsim replay --allow-partial` accepts.
+ *
+ * Exit codes: 0 success, 1 corrupt/differing file, 2 usage error,
+ * 3 operating-system I/O failure.
  */
 
 #include <algorithm>
@@ -41,11 +49,13 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: rrlog <info|stats|dump|verify|diff> FILE [FILE2] "
+        "usage: rrlog <info|stats|dump|verify|diff|repair> FILE [FILE2] "
         "[options]\n"
         "  --core N         dump: restrict to one core\n"
         "  --max N          dump: intervals per core (default 8)\n"
-        "  --stats-json F   stats: export the StatSets as JSON\n");
+        "  --stats-json F   stats: export the StatSets as JSON\n"
+        "repair salvages FILE's consistent prefix into FILE2.\n"
+        "exit codes: 0 ok, 1 corrupt/differs, 2 usage, 3 I/O error.\n");
     std::exit(2);
 }
 
@@ -94,7 +104,8 @@ parse(int argc, char **argv)
         else
             o.files.push_back(arg);
     }
-    const std::size_t want = o.command == "diff" ? 2 : 1;
+    const std::size_t want =
+        o.command == "diff" || o.command == "repair" ? 2 : 1;
     if (o.command.empty() || o.files.size() != want)
         usage();
     return o;
@@ -342,6 +353,13 @@ cmdVerify(const Options &o)
     return 1;
 }
 
+/** 1 for a corrupt/invalid file, 3 for an OS-level I/O failure. */
+int
+exitCodeFor(const rnr::LogStoreError &e)
+{
+    return e.kind() == rnr::LogErrorKind::Io ? 3 : 1;
+}
+
 rnr::LogReader
 open(const std::string &path)
 {
@@ -349,8 +367,49 @@ open(const std::string &path)
         return rnr::LogReader(path);
     } catch (const rnr::LogStoreError &e) {
         std::fprintf(stderr, "rrlog: %s: %s\n", path.c_str(), e.what());
-        std::exit(1);
+        std::exit(exitCodeFor(e));
     }
+}
+
+int
+cmdRepair(const Options &o)
+{
+    const std::string &src = o.files[0];
+    const std::string &dst = o.files[1];
+    rnr::LogReader reader(src);
+    rnr::RecoveryResult rec = reader.recoverPrefix();
+    for (const auto &issue : rec.issues)
+        std::fprintf(stderr, "%s: offset %llu: %s\n", src.c_str(),
+                     (unsigned long long)issue.fileOffset,
+                     issue.message.c_str());
+
+    const std::uint64_t cut =
+        rnr::consistentCut(rec.logs, rec.coreTruncated);
+    std::uint64_t kept = 0;
+    for (const auto &log : rec.logs)
+        kept += log.intervals.size();
+    std::printf("salvaged        %llu intervals from %llu data chunks "
+                "(%llu chunks dropped)\n",
+                (unsigned long long)rec.salvagedIntervals,
+                (unsigned long long)rec.salvagedChunks,
+                (unsigned long long)rec.droppedChunks);
+    std::printf("consistent cut  ts %llu; %llu intervals replayable\n",
+                (unsigned long long)cut, (unsigned long long)kept);
+
+    rnr::WriterOptions wopts;
+    wopts.headerFlags = rnr::fmt::kFlagPartial;
+    rnr::LogWriter writer(dst, reader.meta(), wopts);
+    for (sim::CoreId c = 0; c < rec.logs.size(); ++c)
+        for (const auto &iv : rec.logs[c].intervals)
+            writer.append(c, iv);
+    // Preserve the original full-run summary when it survived: it is
+    // reference information (the partial flag exempts it from interval
+    // count cross-checks) and lets `rrlog info` show the recorded run.
+    writer.finishPartial(rec.hasSummary ? &rec.summary : nullptr);
+    std::printf("repaired file   %s (%llu bytes, partial-flagged%s)\n",
+                dst.c_str(), (unsigned long long)writer.bytesWritten(),
+                rec.hasSummary ? ", original summary preserved" : "");
+    return 0;
 }
 
 int
@@ -425,11 +484,13 @@ main(int argc, char **argv)
             return cmdVerify(o);
         if (o.command == "diff")
             return cmdDiff(o);
+        if (o.command == "repair")
+            return cmdRepair(o);
     } catch (const rnr::LogStoreError &e) {
         std::fprintf(stderr, "rrlog: %s: %s\n",
                      o.files.empty() ? "?" : o.files[0].c_str(),
                      e.what());
-        return 1;
+        return exitCodeFor(e);
     }
     usage();
 }

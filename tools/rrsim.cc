@@ -28,6 +28,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,7 @@
 #include "rnr/parallel_schedule.hh"
 #include "rnr/patcher.hh"
 #include "rnr/replayer.hh"
+#include "sim/faultinject.hh"
 #include "sim/sweep.hh"
 #include "sim/trace.hh"
 #include "workloads/kernels.hh"
@@ -59,6 +61,9 @@ struct Options
     std::string outFile;
     std::string traceFile;
     std::string statsJson;
+    std::string faults;          // --faults fault-plan spec
+    std::uint64_t chunkBytes = 0; // --chunk-bytes; 0 = format default
+    bool allowPartial = false;   // replay: accept partial/torn files
 };
 
 [[noreturn]] void
@@ -81,6 +86,15 @@ usage()
         "  --trace FILE     write a Chrome-trace-format event trace "
         "(also: env RR_TRACE)\n"
         "  --stats-json FILE  export simulator statistics as JSON\n"
+        "  --faults SPEC    inject faults per the comma-separated plan "
+        "(also: env RR_FAULTS;\n"
+        "                   see docs/ROBUSTNESS.md for the grammar)\n"
+        "  --chunk-bytes N  .rrlog chunk flush threshold (record; "
+        "default 64 KiB)\n"
+        "  --allow-partial  replay: salvage and replay the consistent "
+        "prefix of a\n"
+        "                   partial or torn .rrlog instead of refusing "
+        "it\n"
         "sweep takes a kernel name or 'all' for the whole suite.\n"
         "flags may appear before or after the command.\n");
     std::exit(2);
@@ -150,6 +164,12 @@ parse(int argc, char **argv)
             o.jobs = static_cast<std::uint32_t>(parseNum(next()));
         } else if (arg == "--out") {
             o.outFile = next();
+        } else if (arg == "--faults") {
+            o.faults = next();
+        } else if (arg == "--chunk-bytes") {
+            o.chunkBytes = parseNum(next());
+        } else if (arg == "--allow-partial") {
+            o.allowPartial = true;
         } else {
             usage();
         }
@@ -309,22 +329,43 @@ int
 cmdRecord(const Options &o)
 {
     std::unique_ptr<rnr::LogWriter> writer;
-    if (!o.outFile.empty())
-        writer =
-            std::make_unique<rnr::LogWriter>(o.outFile, metaFor(o));
-    Run run = record(o, writer.get());
-    printRecordingStats(run, o);
-    std::vector<const sim::StatSet *> extra;
-    if (writer) {
-        writer->finish(summaryOf(run.rec));
-        std::printf("log saved       %s (%llu bytes, %llu chunks)\n",
-                    o.outFile.c_str(),
-                    (unsigned long long)writer->bytesWritten(),
-                    (unsigned long long)writer->stats().counterValue(
-                        "chunks_written"));
-        extra.push_back(&writer->stats());
+    if (!o.outFile.empty()) {
+        rnr::WriterOptions wopts;
+        if (o.chunkBytes != 0)
+            wopts.chunkTargetBytes = o.chunkBytes;
+        writer = std::make_unique<rnr::LogWriter>(o.outFile, metaFor(o),
+                                                  wopts);
     }
-    return maybeExportStats(o, *run.machine, extra) ? 0 : 1;
+    try {
+        Run run = record(o, writer.get());
+        printRecordingStats(run, o);
+        std::vector<const sim::StatSet *> extra;
+        if (writer) {
+            writer->finish(summaryOf(run.rec));
+            std::printf("log saved       %s (%llu bytes, %llu chunks%s)\n",
+                        o.outFile.c_str(),
+                        (unsigned long long)writer->bytesWritten(),
+                        (unsigned long long)writer->stats().counterValue(
+                            "chunks_written"),
+                        (writer->headerFlags() & rnr::fmt::kFlagPartial)
+                            ? ", PARTIAL: log budget reached"
+                            : "");
+            extra.push_back(&writer->stats());
+        }
+        if (sim::FaultInjector::enabled())
+            extra.push_back(&sim::FaultInjector::get()->stats());
+        return maybeExportStats(o, *run.machine, extra) ? 0 : 1;
+    } catch (const rnr::LogStoreError &e) {
+        // A planned crash-at fault firing is this run's expected
+        // product: a torn staging file for `rrlog repair` to salvage.
+        if (e.kind() == rnr::LogErrorKind::Crash && writer) {
+            std::printf("injected crash  %s\n", e.what());
+            std::printf("torn file       %s\n",
+                        writer->currentPath().c_str());
+            return 0;
+        }
+        throw;
+    }
 }
 
 /**
@@ -338,12 +379,53 @@ cmdReplayFile(const Options &o)
 {
     rnr::LogReader reader(o.kernel);
     const rnr::RecordingMeta &meta = reader.meta();
-    const rnr::RecordingSummary summary = reader.summary();
-    std::vector<rnr::CoreLog> logs = reader.readAll();
 
-    std::printf("log file        %s (format v%u, fingerprint %016llx)\n",
+    // Full verification (against the recorded summary) only makes sense
+    // when the file holds the complete recording. With --allow-partial
+    // we salvage the longest consistent prefix instead and verify that
+    // it replays divergence-free.
+    bool verify_full = true;
+    rnr::RecordingSummary summary;
+    std::vector<rnr::CoreLog> logs;
+    if (o.allowPartial) {
+        rnr::RecoveryResult rec = reader.recoverPrefix();
+        const bool sound = rec.cleanEnd && rec.hasSummary &&
+                           rec.issues.empty() && !reader.partial();
+        logs = std::move(rec.logs);
+        if (sound) {
+            summary = rec.summary;
+        } else {
+            verify_full = false;
+            const std::uint64_t cut =
+                rnr::consistentCut(logs, rec.coreTruncated);
+            std::uint64_t kept = 0;
+            for (const auto &log : logs)
+                kept += log.intervals.size();
+            std::printf("salvage         %llu intervals from %llu "
+                        "chunks (%llu chunks dropped); %llu replayable "
+                        "after the consistent cut at ts %llu\n",
+                        (unsigned long long)rec.salvagedIntervals,
+                        (unsigned long long)rec.salvagedChunks,
+                        (unsigned long long)rec.droppedChunks,
+                        (unsigned long long)kept,
+                        (unsigned long long)cut);
+        }
+    } else {
+        if (reader.partial()) {
+            std::fprintf(stderr,
+                         "rrsim: %s is flagged as a partial recording; "
+                         "replay it with --allow-partial\n",
+                         o.kernel.c_str());
+            return 1;
+        }
+        summary = reader.summary();
+        logs = reader.readAll();
+    }
+
+    std::printf("log file        %s (format v%u, fingerprint %016llx%s)\n",
                 o.kernel.c_str(), reader.version(),
-                (unsigned long long)reader.fingerprint());
+                (unsigned long long)reader.fingerprint(),
+                reader.partial() ? ", partial" : "");
     std::printf("recording       %s, %u cores, scale %llu, "
                 "RelaxReplay_%s, interval cap %s%s\n",
                 meta.kernel.c_str(), meta.cores,
@@ -404,6 +486,15 @@ cmdReplayFile(const Options &o)
                      d.report().intervalIndex,
                      d.report().format().c_str());
         return 1;
+    }
+
+    if (!verify_full) {
+        // A consistent prefix carries no end-state targets to check
+        // against; success is the replay completing divergence-free.
+        std::printf("partial replay  OK (%llu instructions replayed "
+                    "divergence-free)\n",
+                    (unsigned long long)res.instructions);
+        return 0;
     }
 
     bool ok = res.memory.fingerprint() == summary.memoryFingerprint &&
@@ -648,6 +739,22 @@ main(int argc, char **argv)
     else
         sim::TraceSink::openFromEnv();
 
+    if (!o.faults.empty()) {
+        try {
+            sim::FaultInjector::install(sim::FaultPlan::parse(o.faults));
+        } catch (const std::invalid_argument &e) {
+            std::fprintf(stderr, "rrsim: bad --faults spec: %s\n",
+                         e.what());
+            return 2;
+        }
+    } else {
+        sim::FaultInjector::installFromEnv();
+    }
+    if (sim::FaultInjector::enabled() &&
+        sim::FaultInjector::get()->plan().any())
+        std::printf("fault plan      %s\n",
+                    sim::FaultInjector::get()->plan().describe().c_str());
+
     int rc;
     try {
         rc = dispatch(o);
@@ -656,7 +763,7 @@ main(int argc, char **argv)
         rc = 1;
     } catch (const rnr::LogStoreError &e) {
         std::fprintf(stderr, "rrsim: %s\n", e.what());
-        rc = 1;
+        rc = e.kind() == rnr::LogErrorKind::Io ? 3 : 1;
     }
     sim::TraceSink::close();
     return rc;

@@ -27,6 +27,8 @@ class BackingStore : public isa::MemoryIf
 {
   public:
     static constexpr std::uint32_t kPageBytes = 4096;
+    static constexpr std::size_t kWordsPerPage =
+        kPageBytes / sim::kWordBytes;
 
     std::uint64_t
     read64(sim::Addr a) override
@@ -65,6 +67,27 @@ class BackingStore : public isa::MemoryIf
 
     /** Copy the full image (cheap: pages are sparse). */
     BackingStore clone() const { return *this; }
+
+    /**
+     * Visit every materialized page as (page_index, words), where
+     * words is kWordsPerPage uint64s. Iteration order is unspecified
+     * (hash-map order) — callers needing determinism must sort.
+     */
+    template <typename Fn>
+    void
+    forEachPage(Fn &&fn) const
+    {
+        for (const auto &[index, page] : pages_)
+            fn(index, page.words);
+    }
+
+    /** Install a whole page image (used when merging sharded views). */
+    void
+    setPage(std::uint64_t page_index, const std::uint64_t *words)
+    {
+        std::memcpy(pages_[page_index].words, words,
+                    sizeof(Page::words));
+    }
 
   private:
     struct Page

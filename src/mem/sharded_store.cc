@@ -1,0 +1,71 @@
+#include "mem/sharded_store.hh"
+
+#include <algorithm>
+#include <mutex>
+
+namespace rr::mem
+{
+
+ShardedStore::ShardedStore(const BackingStore &initial,
+                           std::uint32_t shards)
+{
+    if (shards == 0)
+        shards = 1;
+    shards_.reserve(shards);
+    for (std::uint32_t s = 0; s < shards; ++s)
+        shards_.push_back(std::make_unique<Shard>());
+    initial.forEachPage([&](std::uint64_t page_index,
+                            const std::uint64_t *words) {
+        std::uint64_t *page = ensurePage(page_index);
+        std::copy(words, words + BackingStore::kWordsPerPage, page);
+    });
+}
+
+std::uint64_t *
+ShardedStore::findPage(std::uint64_t page_index)
+{
+    Shard &s = shardOf(page_index);
+    std::shared_lock lock(s.mu);
+    auto it = s.pages.find(page_index);
+    return it == s.pages.end() ? nullptr : it->second.words;
+}
+
+std::uint64_t *
+ShardedStore::ensurePage(std::uint64_t page_index)
+{
+    Shard &s = shardOf(page_index);
+    std::unique_lock lock(s.mu);
+    return s.pages[page_index].words;
+}
+
+void
+ShardedStore::commit(
+    std::vector<std::pair<sim::Addr, std::uint64_t>> &writes)
+{
+    std::sort(writes.begin(), writes.end());
+    std::uint64_t *page = nullptr;
+    std::uint64_t page_index = ~0ULL;
+    for (const auto &[addr, value] : writes) {
+        const std::uint64_t pi = addr / BackingStore::kPageBytes;
+        if (pi != page_index || !page) {
+            page = ensurePage(pi);
+            page_index = pi;
+        }
+        page[(addr % BackingStore::kPageBytes) / sim::kWordBytes] =
+            value;
+    }
+}
+
+BackingStore
+ShardedStore::collapse() const
+{
+    BackingStore out;
+    for (const auto &shard : shards_) {
+        std::shared_lock lock(shard->mu);
+        for (const auto &[index, page] : shard->pages)
+            out.setPage(index, page.words);
+    }
+    return out;
+}
+
+} // namespace rr::mem

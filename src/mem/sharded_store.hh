@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A sparse memory image partitioned into independently locked shards —
+ * the shared store of the parallel replayer.
+ *
+ * Pages are statically assigned to shards by page index, so any word
+ * address maps to exactly one shard. The shard locks protect only the
+ * page-table *structure* (concurrent find vs. insert); the words
+ * themselves are read and written without locks, through page
+ * pointers that stay valid for the store's lifetime (std::unordered_map
+ * nodes are pointer-stable and pages are never erased).
+ *
+ * That contract is exactly what DAG-scheduled replay needs: the
+ * interval dependency graph orders every pair of intervals that touch
+ * the same word (one of them writing), and the engine's atomic
+ * in-degree release chain turns that order into happens-before — so
+ * word-level accesses are data-race-free by construction, and taking a
+ * lock per access (instead of per page-table miss) would only buy
+ * back what the DAG already guarantees, at ~100× the cost on the
+ * replay hot path.
+ */
+
+#ifndef RR_MEM_SHARDED_STORE_HH
+#define RR_MEM_SHARDED_STORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "mem/backing_store.hh"
+#include "sim/types.hh"
+
+namespace rr::mem
+{
+
+class ShardedStore
+{
+  public:
+    /**
+     * Partition a copy of @p initial into @p shards shards (clamped to
+     * at least 1).
+     */
+    explicit ShardedStore(const BackingStore &initial,
+                          std::uint32_t shards = 64);
+
+    /**
+     * The page holding @p page_index, or nullptr if it was never
+     * materialized. Takes the owning shard's lock shared for the
+     * lookup only; the returned pointer stays valid forever and may be
+     * read/written directly by callers whose word-level accesses are
+     * externally ordered.
+     */
+    std::uint64_t *findPage(std::uint64_t page_index);
+
+    /** Like findPage, but materializes the (zero) page when absent. */
+    std::uint64_t *ensurePage(std::uint64_t page_index);
+
+    /** Read one word (convenience wrapper over findPage). */
+    std::uint64_t
+    read(sim::Addr a)
+    {
+        a = sim::wordAddr(a);
+        const std::uint64_t *page =
+            findPage(a / BackingStore::kPageBytes);
+        if (!page)
+            return 0;
+        return page[(a % BackingStore::kPageBytes) / sim::kWordBytes];
+    }
+
+    /**
+     * Apply a write set: (word address, final value) pairs, addresses
+     * unique. Sorts @p writes by address as a side effect so each
+     * touched page is looked up once.
+     */
+    void commit(std::vector<std::pair<sim::Addr, std::uint64_t>> &writes);
+
+    /**
+     * Merge all shards back into one flat BackingStore. Page sets are
+     * disjoint across shards by construction, so this is a plain
+     * union. Call after replay has quiesced.
+     */
+    BackingStore collapse() const;
+
+    std::uint32_t numShards() const
+    {
+        return static_cast<std::uint32_t>(shards_.size());
+    }
+
+  private:
+    struct Page
+    {
+        std::uint64_t words[BackingStore::kWordsPerPage] = {};
+    };
+
+    struct Shard
+    {
+        mutable std::shared_mutex mu;
+        std::unordered_map<std::uint64_t, Page> pages;
+    };
+
+    Shard &
+    shardOf(std::uint64_t page_index)
+    {
+        return *shards_[page_index % shards_.size()];
+    }
+
+    /** unique_ptr: shared_mutex is neither movable nor copyable. */
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace rr::mem
+
+#endif // RR_MEM_SHARDED_STORE_HH

@@ -70,6 +70,8 @@ class ReplayDivergence : public std::runtime_error
     explicit ReplayDivergence(DivergenceReport report);
 
     const DivergenceReport &report() const { return report_; }
+    /** Engines fill recentSteps from their rings before re-throwing. */
+    DivergenceReport &mutableReport() { return report_; }
 
   private:
     DivergenceReport report_;

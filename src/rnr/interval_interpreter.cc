@@ -1,0 +1,199 @@
+#include "rnr/interval_interpreter.hh"
+
+#include "sim/logging.hh"
+
+namespace rr::rnr
+{
+
+namespace
+{
+
+/** MemoryIf wrapper that remembers the last value read (load hook). */
+class TracingMemory : public isa::MemoryIf
+{
+  public:
+    explicit TracingMemory(isa::MemoryIf &mem) : mem_(mem) {}
+
+    std::uint64_t
+    read64(sim::Addr a) override
+    {
+        lastRead = mem_.read64(a);
+        didRead = true;
+        return lastRead;
+    }
+
+    void write64(sim::Addr a, std::uint64_t v) override
+    {
+        mem_.write64(a, v);
+    }
+
+    std::uint64_t lastRead = 0;
+    bool didRead = false;
+
+  private:
+    isa::MemoryIf &mem_;
+};
+
+/** Render the instruction at @p pc (or the halted state) for a report. */
+std::string
+describeProgramPoint(const isa::Program &prog, const isa::ExecContext &ctx)
+{
+    if (ctx.halted)
+        return "core already halted";
+    return sim::strfmt("pc %llu: %s",
+                       static_cast<unsigned long long>(ctx.pc),
+                       isa::disassemble(prog.at(ctx.pc)).c_str());
+}
+
+/** Remember one replay step in a core's ring buffer. */
+void
+noteStep(std::deque<ReplayStep> &ring, const ReplayStep &step)
+{
+    if (ring.size() >= IntervalInterpreter::kRingDepth)
+        ring.pop_front();
+    ring.push_back(step);
+}
+
+} // namespace
+
+void
+IntervalInterpreter::diverge(sim::CoreId core, std::uint32_t interval_index,
+                             std::uint32_t entry_index,
+                             std::uint64_t order_position, std::uint64_t pc,
+                             const LogEntry &entry, std::string expected,
+                             std::string actual) const
+{
+    const IntervalRecord &iv = logs_[core].intervals[interval_index];
+    DivergenceReport report;
+    report.core = core;
+    report.intervalIndex = interval_index;
+    report.entryIndex = entry_index;
+    report.pc = pc;
+    report.entry = entry;
+    report.expected = std::move(expected);
+    report.actual = std::move(actual);
+    report.timestamp = iv.timestamp;
+    report.orderPosition = order_position;
+    report.predecessors = iv.predecessors;
+    // recentSteps stays empty here: the engine owns the rings and fills
+    // them in before re-throwing (see Replayer / ParallelReplayer).
+    throw ReplayDivergence(std::move(report));
+}
+
+void
+IntervalInterpreter::replayInterval(sim::CoreId core,
+                                    std::uint32_t interval_index,
+                                    std::uint64_t order_position,
+                                    isa::ExecContext &ctx,
+                                    isa::MemoryIf &mem,
+                                    const LoadHook &hook,
+                                    std::deque<ReplayStep> &ring,
+                                    Accum &acc) const
+{
+    const IntervalRecord &iv = logs_[core].intervals[interval_index];
+    TracingMemory tmem(mem);
+
+    for (std::uint32_t ei = 0; ei < iv.entries.size(); ++ei) {
+        const LogEntry &e = iv.entries[ei];
+        std::uint64_t step_value = e.loadValue;
+        if (e.kind == EntryKind::InorderBlock)
+            step_value = e.blockSize;
+        else if (e.kind == EntryKind::ReorderedStore ||
+                 e.kind == EntryKind::PatchedStore)
+            step_value = e.storeValue;
+        noteStep(ring, ReplayStep{core, interval_index, ei, e.kind,
+                                  ctx.pc, step_value, e.addr});
+        acc.cost.osCycles += model_.perEntryCost;
+        switch (e.kind) {
+          case EntryKind::InorderBlock: {
+            for (std::uint64_t n = 0; n < e.blockSize; ++n) {
+                if (ctx.halted) {
+                    diverge(core, interval_index, ei, order_position,
+                            ctx.pc, e,
+                            sim::strfmt("%llu more executable "
+                                        "instructions (%llu of %llu "
+                                        "replayed)",
+                                        static_cast<unsigned long long>(
+                                            e.blockSize - n),
+                                        static_cast<unsigned long long>(n),
+                                        static_cast<unsigned long long>(
+                                            e.blockSize)),
+                            "core already halted");
+                }
+                tmem.didRead = false;
+                const isa::Instruction &inst =
+                    isa::step(prog_, ctx, tmem);
+                if (tmem.didRead && hook &&
+                    (inst.isLoad() || inst.isAtomic()))
+                    hook(core, tmem.lastRead);
+            }
+            acc.instructions += e.blockSize;
+            acc.cost.userCycles += static_cast<std::uint64_t>(
+                static_cast<double>(e.blockSize) / model_.replayIpc);
+            acc.cost.osCycles += model_.interruptCost;
+            break;
+          }
+          case EntryKind::ReorderedLoad: {
+            if (ctx.halted || !prog_.at(ctx.pc).isLoad()) {
+                diverge(core, interval_index, ei, order_position, ctx.pc,
+                        e, "a load instruction",
+                        describeProgramPoint(prog_, ctx));
+            }
+            const isa::Instruction &inst = prog_.at(ctx.pc);
+            ctx.writeReg(inst.rd, e.loadValue);
+            ++ctx.pc;
+            ++ctx.instructions;
+            ++acc.instructions;
+            if (hook)
+                hook(core, e.loadValue);
+            acc.cost.osCycles += model_.perReorderedCost;
+            break;
+          }
+          case EntryKind::DummyStore: {
+            if (ctx.halted || !prog_.at(ctx.pc).isStore()) {
+                diverge(core, interval_index, ei, order_position, ctx.pc,
+                        e, "a store instruction",
+                        describeProgramPoint(prog_, ctx));
+            }
+            ++ctx.pc;
+            ++ctx.instructions;
+            ++acc.instructions;
+            acc.cost.osCycles += model_.perReorderedCost;
+            break;
+          }
+          case EntryKind::DummyAtomic: {
+            if (ctx.halted || !prog_.at(ctx.pc).isAtomic()) {
+                diverge(core, interval_index, ei, order_position, ctx.pc,
+                        e, "an atomic instruction",
+                        describeProgramPoint(prog_, ctx));
+            }
+            const isa::Instruction &inst = prog_.at(ctx.pc);
+            ctx.writeReg(inst.rd, e.loadValue);
+            ++ctx.pc;
+            ++ctx.instructions;
+            ++acc.instructions;
+            if (hook)
+                hook(core, e.loadValue);
+            acc.cost.osCycles += model_.perReorderedCost;
+            break;
+          }
+          case EntryKind::PatchedStore:
+            // The store instruction itself replays (as a dummy) in the
+            // interval where it was counted; only its memory effect
+            // belongs here, at the end of its perform interval.
+            mem.write64(e.addr, e.storeValue);
+            acc.cost.osCycles += model_.perReorderedCost;
+            break;
+          case EntryKind::ReorderedStore:
+          case EntryKind::ReorderedAtomic:
+            diverge(core, interval_index, ei, order_position, ctx.pc, e,
+                    "a patched log (ReorderedStore/Atomic rewritten by "
+                    "rnr::patch)",
+                    "an unpatched recording-side entry");
+        }
+    }
+    // Interval ordering hand-off (emulated condition variable).
+    acc.cost.osCycles += model_.perIntervalCost;
+}
+
+} // namespace rr::rnr

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The single-interval replay engine shared by the sequential Replayer
+ * and the multi-threaded ParallelReplayer.
+ *
+ * An interval replays the same way regardless of the engine driving it:
+ * execute InorderBlocks natively through the functional interpreter,
+ * inject values for ReorderedLoads/DummyAtomics, skip Dummy entries,
+ * and apply PatchedStores through the memory interface at their
+ * position in the entry stream. What differs between engines is only
+ * *which* memory view the interval executes against (the global
+ * BackingStore sequentially; a per-interval write-set view backed by a
+ * sharded store in parallel) and how results are accumulated — so both
+ * concerns stay with the caller.
+ */
+
+#ifndef RR_RNR_INTERVAL_INTERPRETER_HH
+#define RR_RNR_INTERVAL_INTERPRETER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "isa/program.hh"
+#include "rnr/divergence.hh"
+#include "rnr/log.hh"
+#include "rnr/replay_cost.hh"
+#include "sim/types.hh"
+
+namespace rr::rnr
+{
+
+class IntervalInterpreter
+{
+  public:
+    /** Replay steps kept per core for divergence reports. */
+    static constexpr std::size_t kRingDepth = 8;
+
+    using LoadHook = std::function<void(sim::CoreId, std::uint64_t)>;
+
+    /**
+     * Both references must outlive the interpreter; @p logs must be
+     * patched (see patcher.hh) — engines assert this on construction.
+     */
+    IntervalInterpreter(const isa::Program &prog,
+                        const std::vector<CoreLog> &logs,
+                        const ReplayCostModel &model)
+        : prog_(prog), logs_(logs), model_(model)
+    {
+    }
+
+    /** Cycles and instructions accrued by replayInterval() calls. */
+    struct Accum
+    {
+        ReplayCost cost;
+        std::uint64_t instructions = 0;
+    };
+
+    /**
+     * Replay one interval of @p core against @p ctx and @p mem. All
+     * value state flows through @p mem: in-order execution reads and
+     * writes it, and PatchedStore entries write through it too (the
+     * parallel engine redirects those writes into its per-interval
+     * write set the same way it redirects in-order stores). Every
+     * replayed load/atomic value is reported to @p hook (when set),
+     * each step is appended to @p ring (bounded to kRingDepth), and
+     * cycle/instruction costs accumulate into @p acc, including the
+     * per-interval ordering hand-off cost.
+     *
+     * Throws ReplayDivergence when an entry does not line up with the
+     * program. The report carries everything except recentSteps, which
+     * the engine fills from its rings (the sequential and parallel
+     * engines own different ring lifetimes).
+     */
+    void replayInterval(sim::CoreId core, std::uint32_t interval_index,
+                        std::uint64_t order_position,
+                        isa::ExecContext &ctx, isa::MemoryIf &mem,
+                        const LoadHook &hook,
+                        std::deque<ReplayStep> &ring, Accum &acc) const;
+
+    const ReplayCostModel &costModel() const { return model_; }
+
+  private:
+    [[noreturn]] void diverge(sim::CoreId core,
+                              std::uint32_t interval_index,
+                              std::uint32_t entry_index,
+                              std::uint64_t order_position,
+                              std::uint64_t pc, const LogEntry &entry,
+                              std::string expected,
+                              std::string actual) const;
+
+    const isa::Program &prog_;
+    const std::vector<CoreLog> &logs_;
+    const ReplayCostModel model_;
+};
+
+} // namespace rr::rnr
+
+#endif // RR_RNR_INTERVAL_INTERPRETER_HH

@@ -1,0 +1,409 @@
+#include "rnr/parallel_replayer.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <utility>
+
+#include "mem/sharded_store.hh"
+#include "rnr/interval_interpreter.hh"
+#include "rnr/patcher.hh"
+#include "sim/flat_map.hh"
+#include "sim/logging.hh"
+#include "sim/task_pool.hh"
+
+namespace rr::rnr
+{
+
+namespace
+{
+
+/**
+ * The memory view one core replays through: reads hit the core's
+ * current (uncommitted) write set first, then fall through — via a
+ * persistent page-pointer cache — to the committed sharded image;
+ * writes stay private until the engine commits them when the interval
+ * completes. Addresses are unique in the write set (later writes
+ * overwrite in place), so commit applies final values only — sound
+ * because the dependency DAG orders any two intervals that touch the
+ * same word, making intermediate values invisible to other intervals
+ * by construction.
+ *
+ * The page cache is what keeps the fall-through path off the shard
+ * locks: ShardedStore page pointers are stable forever, and word reads
+ * through them are synchronized by the DAG itself (see
+ * sharded_store.hh), so only a cache-miss page *lookup* ever takes a
+ * lock. Absent pages are deliberately not cached — a later interval of
+ * this core may depend on an interval that materializes the page. One
+ * CoreMemory exists per core; the per-core DAG chain serializes its
+ * use.
+ */
+class CoreMemory : public isa::MemoryIf
+{
+  public:
+    explicit CoreMemory(mem::ShardedStore &shards) : shards_(shards) {}
+
+    std::uint64_t
+    read64(sim::Addr a) override
+    {
+        a = sim::wordAddr(a);
+        if (const std::uint32_t *slot = index_.find(a))
+            return writes_[*slot].second;
+        const std::uint64_t *page =
+            cachedPage(a / mem::BackingStore::kPageBytes);
+        if (!page)
+            return 0;
+        return page[(a % mem::BackingStore::kPageBytes) /
+                    sim::kWordBytes];
+    }
+
+    void
+    write64(sim::Addr a, std::uint64_t v) override
+    {
+        a = sim::wordAddr(a);
+        if (std::uint32_t *slot = index_.find(a)) {
+            writes_[*slot].second = v;
+            return;
+        }
+        index_[a] = static_cast<std::uint32_t>(writes_.size());
+        writes_.push_back({a, v});
+    }
+
+    /** Publish the current interval's writes and reset for the next. */
+    void
+    commit()
+    {
+        wordsWritten_ += writes_.size();
+        shards_.commit(writes_);
+        writes_.clear();
+        index_.clear();
+    }
+
+    std::uint64_t wordsWritten() const { return wordsWritten_; }
+
+  private:
+    std::uint64_t *
+    cachedPage(std::uint64_t page_index)
+    {
+        if (const std::uint64_t *slot = cache_.find(page_index))
+            return reinterpret_cast<std::uint64_t *>(
+                static_cast<std::uintptr_t>(*slot));
+        std::uint64_t *page = shards_.findPage(page_index);
+        if (page)
+            cache_[page_index] = static_cast<std::uint64_t>(
+                reinterpret_cast<std::uintptr_t>(page));
+        return page;
+    }
+
+    mem::ShardedStore &shards_;
+    sim::FlatMap<std::uint32_t> index_;
+    std::vector<std::pair<sim::Addr, std::uint64_t>> writes_;
+    sim::FlatMap<std::uint64_t> cache_; ///< page index → words pointer
+    std::uint64_t wordsWritten_ = 0;
+};
+
+} // namespace
+
+ParallelReplayer::ParallelReplayer(isa::Program prog,
+                                   std::vector<CoreLog> patched_logs,
+                                   mem::BackingStore initial_memory,
+                                   ParallelReplayOptions opts)
+    : prog_(std::move(prog)), logs_(std::move(patched_logs)),
+      initialMemory_(std::move(initial_memory)), opts_(opts)
+{
+    for (const auto &log : logs_)
+        RR_ASSERT(isPatched(log),
+                  "parallel replayer requires a patched log");
+}
+
+ReplayResult
+ParallelReplayer::run()
+{
+    RR_ASSERT(!ran_, "ParallelReplayer::run() is single-use");
+    ran_ = true;
+
+    // ---- Flatten the DAG: one node per interval. --------------------
+    const std::size_t cores = logs_.size();
+    std::vector<std::uint32_t> offset(cores, 0);
+    std::uint32_t total = 0;
+    for (std::size_t c = 0; c < cores; ++c) {
+        offset[c] = total;
+        total += static_cast<std::uint32_t>(logs_[c].intervals.size());
+    }
+
+    struct Node
+    {
+        sim::CoreId core;
+        std::uint32_t index;
+        std::uint64_t timestamp;
+        std::uint64_t orderPosition = 0; ///< rank in timestamp order
+        std::vector<std::uint32_t> successors;
+        std::uint32_t indegree = 0;
+    };
+    std::vector<Node> nodes(total);
+    for (std::size_t c = 0; c < cores; ++c) {
+        for (std::size_t i = 0; i < logs_[c].intervals.size(); ++i) {
+            Node &n = nodes[offset[c] + i];
+            n.core = static_cast<sim::CoreId>(c);
+            n.index = static_cast<std::uint32_t>(i);
+            n.timestamp = logs_[c].intervals[i].timestamp;
+        }
+    }
+
+    // orderPosition mirrors the sequential engine's replay positions
+    // (rank in the recorded timestamp total order) so divergence
+    // reports name the same position either way.
+    {
+        std::vector<std::uint32_t> by_time(total);
+        for (std::uint32_t n = 0; n < total; ++n)
+            by_time[n] = n;
+        std::sort(by_time.begin(), by_time.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                      return nodes[a].timestamp < nodes[b].timestamp;
+                  });
+        for (std::uint32_t rank = 0; rank < total; ++rank)
+            nodes[by_time[rank]].orderPosition = rank;
+    }
+
+    // Edges: implicit per-core program order plus the recorded
+    // cross-core predecessors. Same-core recorded edges are subsumed
+    // by the chain; the recorder dedups predecessors to one per source
+    // core, so no edge is inserted twice (which would corrupt the
+    // in-degree release counting).
+    for (std::size_t c = 0; c < cores; ++c) {
+        for (std::size_t i = 0; i < logs_[c].intervals.size(); ++i) {
+            const std::uint32_t me =
+                offset[c] + static_cast<std::uint32_t>(i);
+            if (i > 0) {
+                nodes[me - 1].successors.push_back(me);
+                ++nodes[me].indegree;
+            }
+            for (const IntervalDep &d :
+                 logs_[c].intervals[i].predecessors) {
+                if (d.core == c)
+                    continue;
+                RR_ASSERT(d.core < cores &&
+                              d.isn < logs_[d.core].intervals.size(),
+                          "dependency edge escapes the logs");
+                nodes[offset[d.core] + d.isn].successors.push_back(me);
+                ++nodes[me].indegree;
+            }
+        }
+    }
+
+    const auto indegree =
+        std::make_unique<std::atomic<std::uint32_t>[]>(total);
+    for (std::uint32_t n = 0; n < total; ++n)
+        indegree[n].store(nodes[n].indegree,
+                          std::memory_order_relaxed);
+
+    // ---- Per-core replay state (serialized by the core chain). ------
+    std::vector<isa::ExecContext> contexts(cores);
+    for (std::size_t c = 0; c < cores; ++c) {
+        auto &ctx = contexts[c];
+        ctx.pc = prog_.entryFor(static_cast<std::uint32_t>(c));
+        ctx.writeReg(isa::kRegThreadId, c);
+        ctx.writeReg(isa::kRegNumThreads, cores);
+    }
+    std::vector<std::deque<ReplayStep>> rings(cores);
+
+    mem::ShardedStore shards(initialMemory_, opts_.shards);
+    std::vector<CoreMemory> core_mems;
+    core_mems.reserve(cores);
+    for (std::size_t c = 0; c < cores; ++c)
+        core_mems.emplace_back(shards);
+    const IntervalInterpreter interp(prog_, logs_, opts_.costModel);
+    sim::TaskPool pool(opts_.workers);
+
+    // Scheduling-independent accumulators (sums commute).
+    std::atomic<std::uint64_t> instructions{0}, user_cycles{0},
+        os_cycles{0}, intervals_done{0};
+
+    // First divergence by interval timestamp (the recorded total
+    // order), so concurrent failures report deterministically.
+    std::mutex divergence_mu;
+    std::optional<DivergenceReport> divergence;
+
+    // Wall-clock duration of each interval's replay, written once by
+    // whichever worker ran it (the drain barrier publishes them).
+    // Feeds the measured schedule below.
+    std::vector<double> durations(total, 0.0);
+
+    // Each task replays a *chain* of intervals: after an interval
+    // completes, the same core's next interval — whose ExecContext,
+    // write set, and page cache are hot in this worker's cache —
+    // continues inline when it became ready, and all other (cross-
+    // core) fan-out goes through the queue for idle workers to pick
+    // up. Without the inline hop, every interval pays a queue
+    // round-trip (futex wake + per-core state migrating between
+    // workers), which costs more than replaying a typical interval
+    // does; chaining *across* cores instead would let one worker
+    // wander through the whole DAG serially while the rest idle.
+    constexpr std::uint32_t kNone = ~0U;
+    std::function<void(std::uint32_t)> run_node =
+        [&](std::uint32_t id) {
+            while (id != kNone) {
+                Node &node = nodes[id];
+                CoreMemory &cmem = core_mems[node.core];
+                IntervalInterpreter::Accum acc;
+                const auto t0 = std::chrono::steady_clock::now();
+                try {
+                    interp.replayInterval(node.core, node.index,
+                                          node.orderPosition,
+                                          contexts[node.core], cmem,
+                                          loadHook_, rings[node.core],
+                                          acc);
+                } catch (ReplayDivergence &d) {
+                    std::lock_guard lock(divergence_mu);
+                    const DivergenceReport &r = d.report();
+                    if (!divergence ||
+                        r.timestamp < divergence->timestamp)
+                        divergence = r;
+                    pool.cancelPending();
+                    return;
+                }
+                // Publish this interval's writes *before* releasing
+                // any successor: the word stores are sequenced before
+                // the acq_rel in-degree release below, so a dependent
+                // interval always observes the committed values.
+                cmem.commit();
+                durations[id] = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() -
+                                    t0)
+                                    .count();
+                instructions.fetch_add(acc.instructions,
+                                       std::memory_order_relaxed);
+                user_cycles.fetch_add(acc.cost.userCycles,
+                                      std::memory_order_relaxed);
+                os_cycles.fetch_add(acc.cost.osCycles,
+                                    std::memory_order_relaxed);
+                intervals_done.fetch_add(1, std::memory_order_relaxed);
+
+                std::uint32_t next = kNone;
+                for (const std::uint32_t succ : node.successors) {
+                    if (indegree[succ].fetch_sub(
+                            1, std::memory_order_acq_rel) != 1)
+                        continue;
+                    if (next == kNone &&
+                        nodes[succ].core == node.core)
+                        next = succ;
+                    else
+                        pool.submit(
+                            [&run_node, succ] { run_node(succ); });
+                }
+                id = next;
+            }
+        };
+
+    for (std::uint32_t n = 0; n < total; ++n) {
+        if (nodes[n].indegree == 0)
+            pool.submit([&run_node, n] { run_node(n); });
+    }
+    const sim::TaskPool::DrainStats drained = pool.drain();
+
+    if (divergence) {
+        // Rings are chronological per core; concatenate in core order.
+        // Non-failing cores may have replayed past the divergence
+        // point before the pool quiesced — their rings show where they
+        // stopped, which is the useful context for debugging anyway.
+        for (const auto &ring : rings)
+            for (const ReplayStep &s : ring)
+                divergence->recentSteps.push_back(s);
+        throw ReplayDivergence(std::move(*divergence));
+    }
+    RR_ASSERT(intervals_done.load() == total,
+              "parallel replay stalled: %llu of %u intervals ran "
+              "(dependency cycle?)",
+              static_cast<unsigned long long>(intervals_done.load()),
+              total);
+
+    // ---- Measured schedule. -----------------------------------------
+    // Replay each node's *measured* duration through a greedy list
+    // schedule on the same DAG with this run's worker count: ready
+    // nodes (all predecessors finished) go to the earliest-free
+    // worker, earliest-ready first. The resulting span is the
+    // wall-clock the DAG supports on N hardware threads, independent
+    // of how many this host actually has — the honest "measured
+    // speedup" companion to the cost-model bound from
+    // buildParallelSchedule().
+    double measured_serial = 0.0, measured_span = 0.0;
+    {
+        for (std::uint32_t n = 0; n < total; ++n)
+            measured_serial += durations[n];
+        std::vector<std::uint32_t> preds_left(total);
+        std::vector<double> ready_at(total, 0.0);
+        using Ready = std::pair<double, std::uint32_t>;
+        std::priority_queue<Ready, std::vector<Ready>,
+                            std::greater<>>
+            ready;
+        for (std::uint32_t n = 0; n < total; ++n) {
+            preds_left[n] = nodes[n].indegree;
+            if (preds_left[n] == 0)
+                ready.push({0.0, n});
+        }
+        std::priority_queue<double, std::vector<double>,
+                            std::greater<>>
+            worker_free;
+        for (std::uint32_t w = 0; w < pool.workers(); ++w)
+            worker_free.push(0.0);
+        while (!ready.empty()) {
+            const auto [at, id] = ready.top();
+            ready.pop();
+            const double free = worker_free.top();
+            worker_free.pop();
+            const double finish = std::max(at, free) + durations[id];
+            worker_free.push(finish);
+            measured_span = std::max(measured_span, finish);
+            for (const std::uint32_t succ : nodes[id].successors) {
+                ready_at[succ] = std::max(ready_at[succ], finish);
+                if (--preds_left[succ] == 0)
+                    ready.push({ready_at[succ], succ});
+            }
+        }
+    }
+
+    // ---- Assemble the result. ---------------------------------------
+    ReplayResult res;
+    res.instructions = instructions.load();
+    res.cost.userCycles = user_cycles.load();
+    res.cost.osCycles = os_cycles.load();
+    res.intervals = intervals_done.load();
+    res.contexts = std::move(contexts);
+    res.memory = shards.collapse();
+    res.wallSeconds = drained.wallSeconds;
+    res.workers = pool.workers();
+    res.measuredSerialSeconds = measured_serial;
+    res.measuredSpanSeconds = measured_span;
+
+    std::uint64_t words_committed = 0;
+    for (const CoreMemory &cmem : core_mems)
+        words_committed += cmem.wordsWritten();
+    auto &stats = res.engineStats;
+    stats.counter("intervals_replayed") += res.intervals;
+    stats.counter("words_committed") += words_committed;
+    stats.counter("tasks_run") += drained.tasksRun;
+    double busy_total = 0.0;
+    for (std::uint32_t w = 0; w < pool.workers(); ++w) {
+        stats.scalar("worker_busy_seconds")
+            .sample(drained.workerBusySeconds[w]);
+        stats.scalar("worker_tasks").sample(
+            static_cast<double>(drained.workerTasks[w]));
+        busy_total += drained.workerBusySeconds[w];
+    }
+    if (drained.wallSeconds > 0.0)
+        stats.scalar("utilization")
+            .sample(busy_total /
+                    (drained.wallSeconds * pool.workers()));
+    stats.scalar("measured_serial_seconds").sample(measured_serial);
+    stats.scalar("measured_span_seconds").sample(measured_span);
+    if (measured_span > 0.0)
+        stats.scalar("measured_speedup")
+            .sample(measured_serial / measured_span);
+    return res;
+}
+
+} // namespace rr::rnr

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Multi-threaded replay of dependency-recorded RelaxReplay logs
+ * (paper Section 3.6).
+ *
+ * The sequential Replayer enforces the recorded *total* order of
+ * intervals; with dependency recording enabled the logs also carry the
+ * *partial* order (cross-core predecessor edges plus implicit per-core
+ * program order), and replaying in any topological order of that DAG
+ * reproduces the execution. The ParallelReplayer exploits exactly
+ * that: every interval becomes a task gated on its DAG predecessors by
+ * an atomic in-degree counter, a sim::TaskPool executes ready tasks on
+ * a worker pool, and each task replays its interval against a private
+ * write set layered over a sharded memory image
+ * (mem::ShardedStore) that is committed when the interval completes —
+ * the software analogue of the per-core replay the paper sketches.
+ *
+ * Determinism: the DAG orders every pair of intervals that touch the
+ * same data (tested end-to-end against sequential replay for every
+ * kernel and a fuzz of random topological orders), per-core state
+ * (ExecContext, divergence ring, load-hook calls) is serialized by the
+ * implicit program-order chain, and write sets commit before successor
+ * in-degrees are released (acquire/release), so the final memory,
+ * contexts, load-value hashes and modelled cost are bit-identical to
+ * the sequential replayer at any worker count — the ctest gate
+ * `test_parallel_replayer.cc` enforces this.
+ */
+
+#ifndef RR_RNR_PARALLEL_REPLAYER_HH
+#define RR_RNR_PARALLEL_REPLAYER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "isa/program.hh"
+#include "mem/backing_store.hh"
+#include "rnr/divergence.hh"
+#include "rnr/log.hh"
+#include "rnr/replayer.hh"
+#include "sim/types.hh"
+
+namespace rr::rnr
+{
+
+struct ParallelReplayOptions
+{
+    /** Worker threads; 0 = all hardware threads. */
+    std::uint32_t workers = 0;
+    /** Cost model for the (scheduling-independent) timing estimate. */
+    ReplayCostModel costModel{};
+    /** Lock shards of the shared memory image. */
+    std::uint32_t shards = 64;
+};
+
+class ParallelReplayer
+{
+  public:
+    /**
+     * @param prog The recorded program.
+     * @param patched_logs One patched CoreLog per core (see
+     *        patcher.hh), recorded with dependencies
+     *        (RecorderConfig::recordDependencies) — without them the
+     *        DAG degenerates to per-core chains and replay is unsound.
+     * @param initial_memory The memory image recording started from.
+     */
+    ParallelReplayer(isa::Program prog,
+                     std::vector<CoreLog> patched_logs,
+                     mem::BackingStore initial_memory,
+                     ParallelReplayOptions opts = {});
+
+    /**
+     * Observe every replayed load/atomic value. The hook is called
+     * from worker threads concurrently, but calls for any one core are
+     * serialized in that core's program order (the per-core DAG
+     * chain) — per-core accumulation like the load-value hash chain
+     * needs no locking.
+     */
+    void
+    setLoadHook(std::function<void(sim::CoreId, std::uint64_t)> hook)
+    {
+        loadHook_ = std::move(hook);
+    }
+
+    /**
+     * Replay the whole DAG. Returns the same result as
+     * Replayer::run() — identical memory/contexts/cost/instructions —
+     * plus measured wallSeconds/workers and per-worker utilization in
+     * engineStats. Throws ReplayDivergence like the sequential engine
+     * (the earliest-timestamp divergence when several workers hit one
+     * before the pool quiesces). Single use: one run() per instance.
+     */
+    ReplayResult run();
+
+  private:
+    /** Owned copies: callers may pass temporaries. */
+    const isa::Program prog_;
+    std::vector<CoreLog> logs_;
+    mem::BackingStore initialMemory_;
+    ParallelReplayOptions opts_;
+    std::function<void(sim::CoreId, std::uint64_t)> loadHook_;
+    bool ran_ = false;
+};
+
+} // namespace rr::rnr
+
+#endif // RR_RNR_PARALLEL_REPLAYER_HH

@@ -26,7 +26,7 @@
 #include <vector>
 
 #include "rnr/log.hh"
-#include "rnr/replayer.hh"
+#include "rnr/replay_cost.hh"
 #include "sim/types.hh"
 
 namespace rr::rnr

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Cost model for the replay timing estimate (Figure 13), shared by the
+ * replay engines and the parallel-schedule analysis. Split out of
+ * replayer.hh so the interval interpreter and the DAG scheduler can use
+ * it without pulling in a whole engine.
+ */
+
+#ifndef RR_RNR_REPLAY_COST_HH
+#define RR_RNR_REPLAY_COST_HH
+
+#include <cstdint>
+
+namespace rr::rnr
+{
+
+/**
+ * Cost constants for the replay timing estimate. The paper's control
+ * module is linked into the application (Section 5.1), so "OS" costs
+ * are user-level: an end-of-block interrupt is a pipeline flush plus a
+ * handler entry/exit, interval ordering uses emulated condition
+ * variables, and reordered accesses are emulated in software. Defaults
+ * are calibrated to those magnitudes.
+ */
+struct ReplayCostModel
+{
+    /**
+     * Native IPC of uncontended in-order block replay. Replay runs the
+     * same code without coherence contention; its IPC approaches the
+     * recorded per-core IPC.
+     */
+    double replayIpc = 2.5;
+    /** End-of-InorderBlock interrupt: flush + handler entry/exit. */
+    std::uint64_t interruptCost = 150;
+    /** Log decode cost per entry, cycles. */
+    std::uint64_t perEntryCost = 20;
+    /** Software emulation of one reordered/dummy/patched access. */
+    std::uint64_t perReorderedCost = 150;
+    /** Interval ordering hand-off (emulated condition variable). */
+    std::uint64_t perIntervalCost = 400;
+};
+
+/** Replay cycle estimate, split as in Figure 13. */
+struct ReplayCost
+{
+    std::uint64_t userCycles = 0;
+    std::uint64_t osCycles = 0;
+
+    std::uint64_t total() const { return userCycles + osCycles; }
+};
+
+} // namespace rr::rnr
+
+#endif // RR_RNR_REPLAY_COST_HH

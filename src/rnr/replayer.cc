@@ -1,43 +1,14 @@
 #include "rnr/replayer.hh"
 
 #include <algorithm>
+#include <chrono>
 
+#include "rnr/interval_interpreter.hh"
 #include "rnr/patcher.hh"
 #include "sim/logging.hh"
 
 namespace rr::rnr
 {
-
-namespace
-{
-
-/** MemoryIf wrapper that remembers the last value read (load hook). */
-class TracingMemory : public isa::MemoryIf
-{
-  public:
-    explicit TracingMemory(mem::BackingStore &mem) : mem_(mem) {}
-
-    std::uint64_t
-    read64(sim::Addr a) override
-    {
-        lastRead = mem_.read64(a);
-        didRead = true;
-        return lastRead;
-    }
-
-    void write64(sim::Addr a, std::uint64_t v) override
-    {
-        mem_.write64(a, v);
-    }
-
-    std::uint64_t lastRead = 0;
-    bool didRead = false;
-
-  private:
-    mem::BackingStore &mem_;
-};
-
-} // namespace
 
 Replayer::Replayer(isa::Program prog, std::vector<CoreLog> patched_logs,
                    mem::BackingStore initial_memory)
@@ -46,40 +17,6 @@ Replayer::Replayer(isa::Program prog, std::vector<CoreLog> patched_logs,
 {
     for (const auto &log : logs_)
         RR_ASSERT(isPatched(log), "replayer requires a patched log");
-}
-
-void
-Replayer::noteStep(const ReplayStep &step)
-{
-    auto &ring = recentSteps_[step.core];
-    if (ring.size() >= kRingDepth)
-        ring.pop_front();
-    ring.push_back(step);
-}
-
-void
-Replayer::diverge(sim::CoreId core, std::uint32_t interval_index,
-                  std::uint32_t entry_index, std::uint64_t order_position,
-                  std::uint64_t pc, const LogEntry &entry,
-                  std::string expected, std::string actual)
-{
-    const IntervalRecord &iv = logs_[core].intervals[interval_index];
-    DivergenceReport report;
-    report.core = core;
-    report.intervalIndex = interval_index;
-    report.entryIndex = entry_index;
-    report.pc = pc;
-    report.entry = entry;
-    report.expected = std::move(expected);
-    report.actual = std::move(actual);
-    report.timestamp = iv.timestamp;
-    report.orderPosition = order_position;
-    report.predecessors = iv.predecessors;
-    // Rings are chronological per core; concatenate in core order.
-    for (const auto &ring : recentSteps_)
-        for (const ReplayStep &s : ring)
-            report.recentSteps.push_back(s);
-    throw ReplayDivergence(std::move(report));
 }
 
 ReplayResult
@@ -133,140 +70,33 @@ Replayer::runInOrder(const std::vector<OrderItem> &order)
         expected += log.intervals.size();
     RR_ASSERT(total == expected, "order must cover every interval");
 
+    const IntervalInterpreter interp(prog_, logs_, costModel_);
+    IntervalInterpreter::Accum acc;
+    const auto t0 = std::chrono::steady_clock::now();
     std::uint64_t position = 0;
-    for (const OrderItem &it : order) {
-        replayInterval(it.core, it.index, position++, res);
-        ++res.intervals;
-        res.cost.osCycles += costModel_.perIntervalCost;
+    try {
+        for (const OrderItem &it : order) {
+            interp.replayInterval(it.core, it.index, position++,
+                                  res.contexts[it.core], memory_,
+                                  loadHook_, recentSteps_[it.core], acc);
+            ++res.intervals;
+        }
+    } catch (ReplayDivergence &d) {
+        // Rings are chronological per core; concatenate in core order.
+        auto &steps = d.mutableReport().recentSteps;
+        for (const auto &ring : recentSteps_)
+            for (const ReplayStep &s : ring)
+                steps.push_back(s);
+        throw;
     }
+    const auto t1 = std::chrono::steady_clock::now();
 
+    res.instructions = acc.instructions;
+    res.cost = acc.cost;
+    res.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    res.workers = 1;
     res.memory = std::move(memory_);
     return res;
-}
-
-namespace
-{
-
-/** Render the instruction at @p pc (or the halted state) for a report. */
-std::string
-describeProgramPoint(const isa::Program &prog, const isa::ExecContext &ctx)
-{
-    if (ctx.halted)
-        return "core already halted";
-    return sim::strfmt("pc %llu: %s",
-                       static_cast<unsigned long long>(ctx.pc),
-                       isa::disassemble(prog.at(ctx.pc)).c_str());
-}
-
-} // namespace
-
-void
-Replayer::replayInterval(sim::CoreId core, std::uint32_t interval_index,
-                         std::uint64_t order_position, ReplayResult &res)
-{
-    const IntervalRecord &iv = logs_[core].intervals[interval_index];
-    isa::ExecContext &ctx = res.contexts[core];
-    TracingMemory tmem(memory_);
-
-    for (std::uint32_t ei = 0; ei < iv.entries.size(); ++ei) {
-        const LogEntry &e = iv.entries[ei];
-        std::uint64_t step_value = e.loadValue;
-        if (e.kind == EntryKind::InorderBlock)
-            step_value = e.blockSize;
-        else if (e.kind == EntryKind::ReorderedStore ||
-                 e.kind == EntryKind::PatchedStore)
-            step_value = e.storeValue;
-        noteStep(ReplayStep{core, interval_index, ei, e.kind, ctx.pc,
-                            step_value, e.addr});
-        res.cost.osCycles += costModel_.perEntryCost;
-        switch (e.kind) {
-          case EntryKind::InorderBlock: {
-            for (std::uint64_t n = 0; n < e.blockSize; ++n) {
-                if (ctx.halted) {
-                    diverge(core, interval_index, ei, order_position,
-                            ctx.pc, e,
-                            sim::strfmt("%llu more executable "
-                                        "instructions (%llu of %llu "
-                                        "replayed)",
-                                        static_cast<unsigned long long>(
-                                            e.blockSize - n),
-                                        static_cast<unsigned long long>(n),
-                                        static_cast<unsigned long long>(
-                                            e.blockSize)),
-                            "core already halted");
-                }
-                tmem.didRead = false;
-                const isa::Instruction &inst =
-                    isa::step(prog_, ctx, tmem);
-                if (tmem.didRead && loadHook_ &&
-                    (inst.isLoad() || inst.isAtomic()))
-                    loadHook_(core, tmem.lastRead);
-            }
-            res.instructions += e.blockSize;
-            res.cost.userCycles += static_cast<std::uint64_t>(
-                static_cast<double>(e.blockSize) / costModel_.replayIpc);
-            res.cost.osCycles += costModel_.interruptCost;
-            break;
-          }
-          case EntryKind::ReorderedLoad: {
-            if (ctx.halted || !prog_.at(ctx.pc).isLoad()) {
-                diverge(core, interval_index, ei, order_position, ctx.pc,
-                        e, "a load instruction",
-                        describeProgramPoint(prog_, ctx));
-            }
-            const isa::Instruction &inst = prog_.at(ctx.pc);
-            ctx.writeReg(inst.rd, e.loadValue);
-            ++ctx.pc;
-            ++ctx.instructions;
-            ++res.instructions;
-            if (loadHook_)
-                loadHook_(core, e.loadValue);
-            res.cost.osCycles += costModel_.perReorderedCost;
-            break;
-          }
-          case EntryKind::DummyStore: {
-            if (ctx.halted || !prog_.at(ctx.pc).isStore()) {
-                diverge(core, interval_index, ei, order_position, ctx.pc,
-                        e, "a store instruction",
-                        describeProgramPoint(prog_, ctx));
-            }
-            ++ctx.pc;
-            ++ctx.instructions;
-            ++res.instructions;
-            res.cost.osCycles += costModel_.perReorderedCost;
-            break;
-          }
-          case EntryKind::DummyAtomic: {
-            if (ctx.halted || !prog_.at(ctx.pc).isAtomic()) {
-                diverge(core, interval_index, ei, order_position, ctx.pc,
-                        e, "an atomic instruction",
-                        describeProgramPoint(prog_, ctx));
-            }
-            const isa::Instruction &inst = prog_.at(ctx.pc);
-            ctx.writeReg(inst.rd, e.loadValue);
-            ++ctx.pc;
-            ++ctx.instructions;
-            ++res.instructions;
-            if (loadHook_)
-                loadHook_(core, e.loadValue);
-            res.cost.osCycles += costModel_.perReorderedCost;
-            break;
-          }
-          case EntryKind::PatchedStore:
-            // The store instruction itself replays (as a dummy) in the
-            // interval where it was counted; only its memory effect
-            // belongs here, at the end of its perform interval.
-            memory_.write64(e.addr, e.storeValue);
-            res.cost.osCycles += costModel_.perReorderedCost;
-            break;
-          case EntryKind::ReorderedStore:
-          case EntryKind::ReorderedAtomic:
-            diverge(core, interval_index, ei, order_position, ctx.pc, e,
-                    "a patched log (ReorderedStore/Atomic rewritten by "
-                    "rnr::patch)",
-                    "an unpatched recording-side entry");
-        }
-    }
 }
 
 } // namespace rr::rnr

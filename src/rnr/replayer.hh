@@ -28,45 +28,12 @@
 #include "mem/backing_store.hh"
 #include "rnr/divergence.hh"
 #include "rnr/log.hh"
+#include "rnr/replay_cost.hh"
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace rr::rnr
 {
-
-/**
- * Cost constants for the replay timing estimate. The paper's control
- * module is linked into the application (Section 5.1), so "OS" costs
- * are user-level: an end-of-block interrupt is a pipeline flush plus a
- * handler entry/exit, interval ordering uses emulated condition
- * variables, and reordered accesses are emulated in software. Defaults
- * are calibrated to those magnitudes.
- */
-struct ReplayCostModel
-{
-    /**
-     * Native IPC of uncontended in-order block replay. Replay runs the
-     * same code without coherence contention; its IPC approaches the
-     * recorded per-core IPC.
-     */
-    double replayIpc = 2.5;
-    /** End-of-InorderBlock interrupt: flush + handler entry/exit. */
-    std::uint64_t interruptCost = 150;
-    /** Log decode cost per entry, cycles. */
-    std::uint64_t perEntryCost = 20;
-    /** Software emulation of one reordered/dummy/patched access. */
-    std::uint64_t perReorderedCost = 150;
-    /** Interval ordering hand-off (emulated condition variable). */
-    std::uint64_t perIntervalCost = 400;
-};
-
-/** Replay cycle estimate, split as in Figure 13. */
-struct ReplayCost
-{
-    std::uint64_t userCycles = 0;
-    std::uint64_t osCycles = 0;
-
-    std::uint64_t total() const { return userCycles + osCycles; }
-};
 
 struct ReplayResult
 {
@@ -76,10 +43,34 @@ struct ReplayResult
     mem::BackingStore memory;
     /** Final architectural context per core. */
     std::vector<isa::ExecContext> contexts;
-    /** Timing estimate. */
+    /** Timing estimate (modelled cycles, not wall-clock). */
     ReplayCost cost;
     /** Intervals processed. */
     std::uint64_t intervals = 0;
+
+    // Engine execution measurements (host wall-clock, not modelled).
+    /** Measured wall-clock seconds spent replaying. */
+    double wallSeconds = 0.0;
+    /** Worker threads the engine used (1 for sequential replay). */
+    std::uint32_t workers = 1;
+    /**
+     * Sum of measured per-interval replay durations (the serial
+     * execution time the DAG schedule is compared against). Parallel
+     * engine only; 0 for sequential replay.
+     */
+    double measuredSerialSeconds = 0.0;
+    /**
+     * Makespan of the measured-duration list schedule on `workers`
+     * lanes: the wall-clock this run's DAG supports given that many
+     * hardware threads. measuredSerialSeconds / measuredSpanSeconds
+     * is the measured speedup (host-CPU-count independent).
+     */
+    double measuredSpanSeconds = 0.0;
+    /**
+     * Engine counters: per-worker busy seconds/tasks and aggregate
+     * utilization (parallel engine), empty for sequential replay.
+     */
+    sim::StatSet engineStats{"replay_engine"};
 };
 
 class Replayer
@@ -135,20 +126,6 @@ class Replayer
         sim::CoreId core;
         std::uint32_t index;
     };
-
-    void replayInterval(sim::CoreId core, std::uint32_t interval_index,
-                        std::uint64_t order_position, ReplayResult &res);
-
-    /** Remember one replay step in core @p core 's ring buffer. */
-    void noteStep(const ReplayStep &step);
-
-    /** Throw a ReplayDivergence describing the current failure. */
-    [[noreturn]] void diverge(sim::CoreId core,
-                              std::uint32_t interval_index,
-                              std::uint32_t entry_index,
-                              std::uint64_t order_position,
-                              std::uint64_t pc, const LogEntry &entry,
-                              std::string expected, std::string actual);
 
     /** Owned copy: callers may pass temporaries. */
     const isa::Program prog_;

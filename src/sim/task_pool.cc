@@ -1,0 +1,114 @@
+#include "sim/task_pool.hh"
+
+#include <chrono>
+#include <thread>
+
+namespace rr::sim
+{
+
+namespace
+{
+
+std::uint32_t
+hardwareWorkers()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+} // namespace
+
+TaskPool::TaskPool(std::uint32_t workers)
+    : workers_(workers == 0 ? hardwareWorkers() : workers)
+{
+}
+
+void
+TaskPool::submit(Task task)
+{
+    {
+        std::lock_guard lock(mu_);
+        if (cancelled_)
+            return;
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+TaskPool::cancelPending()
+{
+    {
+        std::lock_guard lock(mu_);
+        cancelled_ = true;
+        queue_.clear();
+    }
+    cv_.notify_all();
+}
+
+void
+TaskPool::workerLoop(std::uint32_t worker_index, DrainStats &stats)
+{
+    using clock = std::chrono::steady_clock;
+    for (;;) {
+        std::unique_lock lock(mu_);
+        cv_.wait(lock,
+                 [this] { return !queue_.empty() || inflight_ == 0; });
+        if (queue_.empty())
+            return; // inflight_ == 0: nothing left, nothing coming.
+        Task task = std::move(queue_.front());
+        queue_.pop_front();
+        ++inflight_;
+        lock.unlock();
+
+        const auto t0 = clock::now();
+        task();
+        const auto t1 = clock::now();
+        stats.workerBusySeconds[worker_index] +=
+            std::chrono::duration<double>(t1 - t0).count();
+        ++stats.workerTasks[worker_index];
+
+        lock.lock();
+        --inflight_;
+        const bool done = queue_.empty() && inflight_ == 0;
+        lock.unlock();
+        if (done)
+            cv_.notify_all(); // release workers parked on "in flight"
+    }
+}
+
+TaskPool::DrainStats
+TaskPool::drain()
+{
+    DrainStats stats;
+    stats.workerBusySeconds.assign(workers_, 0.0);
+    stats.workerTasks.assign(workers_, 0);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    if (workers_ == 1) {
+        workerLoop(0, stats);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(workers_ - 1);
+        for (std::uint32_t w = 1; w < workers_; ++w)
+            threads.emplace_back(
+                [this, w, &stats] { workerLoop(w, stats); });
+        workerLoop(0, stats);
+        for (auto &t : threads)
+            t.join();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    {
+        // Re-arm after a cancelled drain so submit() + drain() starts
+        // a fresh cycle (no worker is alive to observe the flag now).
+        std::lock_guard lock(mu_);
+        cancelled_ = false;
+    }
+    stats.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    for (const std::uint64_t n : stats.workerTasks)
+        stats.tasksRun += n;
+    return stats;
+}
+
+} // namespace rr::sim

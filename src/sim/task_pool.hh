@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A dynamic task pool for dependency-graph execution.
+ *
+ * SweepRunner (sweep.hh) runs a *fixed* list of independent jobs; the
+ * parallel replayer needs the other shape: tasks that become runnable
+ * while the pool is draining, because finishing one interval unblocks
+ * its DAG successors. TaskPool supports exactly that — submit() is
+ * callable from inside a running task, and drain() returns when the
+ * queue is empty and no task is in flight.
+ *
+ * The pool follows SweepRunner's idioms: workers == 0 means all
+ * hardware threads, and a single-worker pool executes inline on the
+ * draining thread (no spawn), which keeps `--jobs 1` runs trivially
+ * deterministic and sanitizer-quiet.
+ */
+
+#ifndef RR_SIM_TASK_POOL_HH
+#define RR_SIM_TASK_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace rr::sim
+{
+
+class TaskPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** @param workers Worker threads; 0 = all hardware threads. */
+    explicit TaskPool(std::uint32_t workers = 0);
+
+    std::uint32_t workers() const { return workers_; }
+
+    /**
+     * Enqueue a task. Thread-safe; callable both before drain() and
+     * from inside a running task. Dropped silently after
+     * cancelPending() (the flag re-arms when the cancelled drain()
+     * returns).
+     */
+    void submit(Task task);
+
+    /**
+     * Drop every queued-but-not-started task and refuse new submits
+     * for the remainder of the current drain. In-flight tasks run to
+     * completion. Used to stop the world after a replay divergence.
+     */
+    void cancelPending();
+
+    /** What one drain() did, for utilization stats. */
+    struct DrainStats
+    {
+        double wallSeconds = 0.0;
+        std::uint64_t tasksRun = 0;
+        /** Sum of task run times per worker. */
+        std::vector<double> workerBusySeconds;
+        std::vector<std::uint64_t> workerTasks;
+    };
+
+    /**
+     * Run tasks until the queue is empty and none is in flight, then
+     * return. Spawns workers() - 1 threads and participates itself
+     * (inline execution when workers() == 1). Tasks must not throw —
+     * engines convert failures into state + cancelPending(). The pool
+     * is reusable: a later submit() + drain() starts a fresh cycle.
+     */
+    DrainStats drain();
+
+  private:
+    void workerLoop(std::uint32_t worker_index, DrainStats &stats);
+
+    const std::uint32_t workers_;
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Task> queue_;
+    std::uint32_t inflight_ = 0;
+    bool cancelled_ = false;
+};
+
+} // namespace rr::sim
+
+#endif // RR_SIM_TASK_POOL_HH

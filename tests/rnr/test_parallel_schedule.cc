@@ -108,6 +108,83 @@ TEST(ParallelSchedule, CostModelComponents)
     EXPECT_EQ(intervalReplayCost(iv, m), 100u + 21 + 6);
 }
 
+TEST(ParallelSchedule, EmptyLogsProduceEmptySchedule)
+{
+    const auto none = buildParallelSchedule({}, unitCost());
+    EXPECT_EQ(none.order.size(), 0u);
+    EXPECT_EQ(none.makespan, 0u);
+    EXPECT_EQ(none.totalWork, 0u);
+    EXPECT_DOUBLE_EQ(none.speedup(), 1.0);
+
+    // Cores that recorded nothing are equally legal.
+    std::vector<CoreLog> logs(4);
+    const auto s = buildParallelSchedule(logs, unitCost());
+    EXPECT_EQ(s.order.size(), 0u);
+    EXPECT_EQ(s.makespan, 0u);
+    EXPECT_DOUBLE_EQ(s.speedup(), 1.0);
+}
+
+TEST(ParallelSchedule, SingleIntervalHasNoParallelism)
+{
+    std::vector<CoreLog> logs(1);
+    logs[0].intervals.push_back(interval(1, 42));
+    const auto s = buildParallelSchedule(logs, unitCost());
+    ASSERT_EQ(s.order.size(), 1u);
+    EXPECT_EQ(s.makespan, 42u);
+    EXPECT_EQ(s.totalWork, 42u);
+    EXPECT_DOUBLE_EQ(s.speedup(), 1.0);
+    EXPECT_EQ(s.order[0].start, 0u);
+    EXPECT_EQ(s.order[0].finish, 42u);
+}
+
+TEST(ParallelSchedule, FullySerializedChainHasSpeedupOne)
+{
+    // A cross-core dependency chain c0 -> c1 -> c2 -> c0: every
+    // interval waits for the previous one, so the "parallel" schedule
+    // degenerates to sequential replay exactly.
+    std::vector<CoreLog> logs(3);
+    logs[0].intervals.push_back(interval(1, 10));
+    logs[1].intervals.push_back(interval(2, 20, {{0, 0}}));
+    logs[2].intervals.push_back(interval(3, 30, {{1, 0}}));
+    logs[0].intervals.push_back(interval(4, 40, {{2, 0}}));
+    const auto s = buildParallelSchedule(logs, unitCost());
+    EXPECT_EQ(s.totalWork, 100u);
+    EXPECT_EQ(s.makespan, 100u);
+    EXPECT_DOUBLE_EQ(s.speedup(), 1.0);
+    EXPECT_EQ(s.edges, 3u);
+}
+
+TEST(ParallelSchedule, PatchedStoreDependencySerializesIntervals)
+{
+    // Two cores whose single intervals would otherwise overlap
+    // perfectly; core 1 reads a word core 0 only publishes when its
+    // perform interval ends (a PatchedStore), so the recorder emitted
+    // a cross-core edge — the schedule must not overlap them.
+    IntervalRecord producer;
+    producer.entries.push_back(LogEntry::inorderBlock(100));
+    producer.entries.push_back(LogEntry::patchedStore(0x80, 7));
+    producer.timestamp = 1;
+
+    IntervalRecord consumer;
+    consumer.entries.push_back(LogEntry::inorderBlock(100));
+    consumer.timestamp = 2;
+    consumer.predecessors = {{0, 0}};
+
+    std::vector<CoreLog> logs(2);
+    logs[0].intervals.push_back(producer);
+    logs[1].intervals.push_back(consumer);
+    const auto with_dep = buildParallelSchedule(logs, unitCost());
+    EXPECT_EQ(with_dep.makespan, with_dep.totalWork)
+        << "dependent intervals must not overlap";
+    EXPECT_DOUBLE_EQ(with_dep.speedup(), 1.0);
+
+    // Control: drop the edge and the same two intervals overlap.
+    logs[1].intervals[0].predecessors.clear();
+    const auto without = buildParallelSchedule(logs, unitCost());
+    EXPECT_LT(without.makespan, without.totalWork);
+    EXPECT_GT(without.speedup(), 1.5);
+}
+
 TEST(ParallelScheduleDeathTest, EdgeEscapingLogsIsRejected)
 {
     std::vector<CoreLog> logs(1);

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sim/task_pool.hh"
+
+namespace
+{
+
+using rr::sim::TaskPool;
+
+TEST(TaskPool, DrainOnEmptyQueueReturnsImmediately)
+{
+    TaskPool pool(4);
+    const auto stats = pool.drain();
+    EXPECT_EQ(stats.tasksRun, 0u);
+}
+
+TEST(TaskPool, RunsEveryTaskExactlyOnce)
+{
+    TaskPool pool(4);
+    std::vector<std::atomic<int>> ran(100);
+    for (auto &r : ran)
+        r = 0;
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&ran, i] { ++ran[i]; });
+    const auto stats = pool.drain();
+    EXPECT_EQ(stats.tasksRun, 100u);
+    for (const auto &r : ran)
+        EXPECT_EQ(r.load(), 1);
+}
+
+TEST(TaskPool, SubmitFromInsideATask)
+{
+    // A chain submitted link by link from inside the pool: drain()
+    // must not return until the whole chain ran.
+    TaskPool pool(4);
+    std::atomic<int> depth{0};
+    std::function<void(int)> link = [&](int d) {
+        ++depth;
+        if (d < 50)
+            pool.submit([&link, d] { link(d + 1); });
+    };
+    pool.submit([&link] { link(1); });
+    const auto stats = pool.drain();
+    EXPECT_EQ(depth.load(), 50);
+    EXPECT_EQ(stats.tasksRun, 50u);
+}
+
+TEST(TaskPool, SingleWorkerRunsInline)
+{
+    TaskPool pool(1);
+    EXPECT_EQ(pool.workers(), 1u);
+    std::thread::id runner;
+    pool.submit([&runner] { runner = std::this_thread::get_id(); });
+    pool.drain();
+    EXPECT_TRUE(runner == std::this_thread::get_id());
+}
+
+TEST(TaskPool, CancelPendingDropsQueuedTasks)
+{
+    TaskPool pool(1); // inline: deterministic ordering
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 10; ++i) {
+        pool.submit([&] {
+            if (++ran == 3)
+                pool.cancelPending();
+        });
+    }
+    pool.drain();
+    EXPECT_EQ(ran.load(), 3);
+
+    // The pool is reusable and the cancel flag resets on drain().
+    pool.submit([&] { ++ran; });
+    pool.drain();
+    EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(TaskPool, DrainStatsCoverEveryWorker)
+{
+    TaskPool pool(3);
+    for (int i = 0; i < 30; ++i)
+        pool.submit([] {});
+    const auto stats = pool.drain();
+    ASSERT_EQ(stats.workerBusySeconds.size(), 3u);
+    ASSERT_EQ(stats.workerTasks.size(), 3u);
+    std::uint64_t sum = 0;
+    for (const auto t : stats.workerTasks)
+        sum += t;
+    EXPECT_EQ(sum, 30u);
+    EXPECT_EQ(stats.tasksRun, 30u);
+    EXPECT_GT(stats.wallSeconds, 0.0);
+}
+
+TEST(TaskPool, ZeroMeansAllHardwareThreads)
+{
+    TaskPool pool(0);
+    EXPECT_GE(pool.workers(), 1u);
+}
+
+} // namespace

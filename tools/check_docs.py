@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Doc-drift check: keep the CLI surface and the markdown honest.
+
+Two invariants, enforced in ctest (see tests/CMakeLists.txt):
+
+  * every command-line flag the rrsim and rrlog drivers actually
+    accept (scraped from the `arg == "--flag"` comparisons in their
+    sources, the authoritative parse sites) is mentioned in README.md
+    or somewhere under docs/*.md — a flag nobody documents is a flag
+    nobody finds;
+  * every relative markdown link in README.md, the top-level *.md
+    files and docs/*.md resolves to an existing file (anchors are
+    stripped; external http(s)/mailto links are ignored).
+
+Usage: check_docs.py [REPO_ROOT]
+Exit status 0 when the docs are in sync, 1 otherwise.
+"""
+
+import pathlib
+import re
+import sys
+
+
+def fail(errors):
+    for e in errors:
+        print(f"check_docs: {e}", file=sys.stderr)
+    sys.exit(1)
+
+
+def cli_flags(source):
+    """Flags a driver accepts: its `arg == "--x"` comparison sites."""
+    return set(re.findall(r'arg(?:\.rfind\(|\s*==\s*)"(--[a-z-]+)"',
+                          source))
+
+
+def markdown_links(text):
+    """Relative link targets of [text](target) links."""
+    out = []
+    for target in re.findall(r"\]\(([^)\s]+)\)", text):
+        if re.match(r"^(https?|mailto):", target) or target.startswith("#"):
+            continue
+        out.append(target.split("#", 1)[0])
+    return out
+
+
+def main():
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+    doc_paths = sorted(root.glob("*.md")) + sorted(root.glob("docs/*.md"))
+    if not doc_paths:
+        fail([f"no markdown files under {root}"])
+    docs = {p: p.read_text(encoding="utf-8") for p in doc_paths}
+    errors = []
+
+    # --- Every accepted CLI flag is documented somewhere. -------------
+    flag_corpus = "\n".join(
+        text for p, text in docs.items()
+        if p.name == "README.md" or p.parent.name == "docs")
+    for tool in ("rrsim", "rrlog"):
+        source_path = root / "tools" / f"{tool}.cc"
+        flags = cli_flags(source_path.read_text(encoding="utf-8"))
+        if not flags:
+            errors.append(f"scraped no flags from {source_path}; "
+                          "did the parser idiom change?")
+        for flag in sorted(flags):
+            if f"`{flag}" not in flag_corpus and flag not in flag_corpus:
+                errors.append(
+                    f"{tool} accepts {flag} but neither README.md nor "
+                    f"docs/*.md mentions it")
+
+    # --- Every relative markdown link resolves. -----------------------
+    for path, text in docs.items():
+        for target in markdown_links(text):
+            if not target:
+                continue
+            if not (path.parent / target).exists():
+                errors.append(f"{path}: broken link -> {target}")
+
+    if errors:
+        fail(errors)
+    print(f"check_docs: {len(doc_paths)} markdown files OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

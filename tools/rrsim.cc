@@ -11,11 +11,16 @@
  *       close (rnr::LogWriter; inspect it with the rrlog tool).
  *   rrsim replay <kernel|FILE.rrlog> [--cores N] [--scale S]
  *                [--mode ...] [--interval ...] [--parallel]
+ *                [--parallel-replay] [--jobs N]
  *       With a kernel name: record, then replay in-process and verify
  *       determinism. With a .rrlog file: load the recording from disk
  *       in this (separate) process, rebuild the workload from the
  *       file's metadata, replay, and verify the replayed load-value
  *       hashes and instruction counts against the recorded summary.
+ *       --parallel replays the dependency DAG's schedule order on one
+ *       thread; --parallel-replay (or --jobs N) runs the real
+ *       multi-threaded engine (rnr::ParallelReplayer) and reports
+ *       measured wall-clock speedup over the sequential replayer.
  *   rrsim inspect <kernel> [...]
  *       Record and dump the first intervals of core 0's log.
  *   rrsim sweep <kernel|all> [--cores N] [--scale S] [--jobs J]
@@ -34,6 +39,7 @@
 
 #include "machine/machine.hh"
 #include "rnr/logstore.hh"
+#include "rnr/parallel_replayer.hh"
 #include "rnr/parallel_schedule.hh"
 #include "rnr/patcher.hh"
 #include "rnr/replayer.hh"
@@ -57,7 +63,8 @@ struct Options
     std::uint64_t interval = 0; // INF
     bool deps = false;
     bool parallel = false;
-    std::uint32_t jobs = 0; // sweep: host threads; 0 = all cores
+    bool parallelReplay = false; // multi-threaded replay engine
+    std::uint32_t jobs = 0; // sweep/replay worker threads; 0 = all cores
     std::string outFile;
     std::string traceFile;
     std::string statsJson;
@@ -78,9 +85,14 @@ usage()
         "  --mode base|opt  recorder design (default opt)\n"
         "  --interval N|inf max interval size (default inf)\n"
         "  --deps           record dependency edges (parallel replay)\n"
-        "  --parallel       replay in dependency-DAG order\n"
-        "  --jobs J         concurrent recordings for sweep "
-        "(default: all host cores)\n"
+        "  --parallel       replay in dependency-DAG order "
+        "(single-threaded)\n"
+        "  --parallel-replay  replay on the multi-threaded engine and "
+        "report measured speedup\n"
+        "  --jobs J         worker threads: sweep recordings, or the "
+        "replay engine\n"
+        "                   (replay: implies --parallel-replay; "
+        "default: all host cores)\n"
         "  --out FILE       stream the recording to FILE.rrlog "
         "(record)\n"
         "  --trace FILE     write a Chrome-trace-format event trace "
@@ -159,6 +171,9 @@ parse(int argc, char **argv)
             o.deps = true;
         } else if (arg == "--parallel") {
             o.parallel = true;
+            o.deps = true;
+        } else if (arg == "--parallel-replay") {
+            o.parallelReplay = true;
             o.deps = true;
         } else if (arg == "--jobs") {
             o.jobs = static_cast<std::uint32_t>(parseNum(next()));
@@ -455,30 +470,56 @@ cmdReplayFile(const Options &o)
     for (auto &log : logs)
         patched.push_back(rnr::patch(log));
 
+    bool engine = o.parallelReplay || o.jobs > 0;
+    if (engine && !meta.deps) {
+        std::fprintf(stderr,
+                     "%s was recorded without dependency edges; "
+                     "replaying sequentially\n",
+                     o.kernel.c_str());
+        engine = false;
+    }
+
     std::vector<rnr::Replayer::OrderItem> order;
-    if (o.parallel && meta.deps) {
+    if (!engine && o.parallel && meta.deps) {
         const auto sched = rnr::buildParallelSchedule(patched);
         for (const auto &node : sched.order)
             order.push_back({node.core, node.index});
-    } else if (o.parallel) {
+    } else if (!engine && o.parallel) {
         std::fprintf(stderr,
                      "%s was recorded without dependency edges; "
                      "replaying sequentially\n",
                      o.kernel.c_str());
     }
 
-    rnr::Replayer rep(w.program, std::move(patched),
-                      m.initialMemory().clone());
     std::vector<std::uint64_t> hashes(meta.cores, 0);
     std::vector<std::uint64_t> load_counts(meta.cores, 0);
-    rep.setLoadHook([&](sim::CoreId c, std::uint64_t v) {
+    const auto hook = [&](sim::CoreId c, std::uint64_t v) {
         hashes[c] = machine::mixLoadValue(hashes[c], v);
         ++load_counts[c];
-    });
+    };
 
     rnr::ReplayResult res;
     try {
-        res = order.empty() ? rep.run() : rep.runInOrder(order);
+        if (engine) {
+            rnr::ParallelReplayOptions popts;
+            popts.workers = o.jobs;
+            rnr::ParallelReplayer rep(w.program, std::move(patched),
+                                      m.initialMemory().clone(), popts);
+            rep.setLoadHook(hook);
+            res = rep.run();
+            std::printf("parallel engine %u workers, %.1f ms replay "
+                        "wall clock, measured speedup %.2fx\n",
+                        res.workers, res.wallSeconds * 1e3,
+                        res.measuredSpanSeconds > 0.0
+                            ? res.measuredSerialSeconds /
+                                  res.measuredSpanSeconds
+                            : 1.0);
+        } else {
+            rnr::Replayer rep(w.program, std::move(patched),
+                              m.initialMemory().clone());
+            rep.setLoadHook(hook);
+            res = order.empty() ? rep.run() : rep.runInOrder(order);
+        }
     } catch (const rnr::ReplayDivergence &d) {
         std::fprintf(stderr,
                      "replay of %s diverged at core %u, interval %u:\n%s\n",
@@ -537,17 +578,98 @@ looksLikeLogFile(const std::string &name)
     return probe.good();
 }
 
+/**
+ * Replay @p patched on the multi-threaded engine AND the sequential
+ * replayer, verify both against the recording (and each other), and
+ * report the measured wall-clock speedup next to the cost model's
+ * bound.
+ */
+int
+runEngineReplay(const Options &o, Run &run,
+                const std::vector<rnr::CoreLog> &patched)
+{
+    auto verify = [&](const rnr::ReplayResult &res,
+                      const std::vector<std::uint64_t> &hashes) {
+        bool ok =
+            res.memory.fingerprint() == run.rec.memoryFingerprint &&
+            res.instructions == run.rec.totalInstructions;
+        for (sim::CoreId c = 0; c < o.cores && ok; ++c)
+            ok = hashes[c] == run.rec.cores[c].loadValueHash;
+        return ok;
+    };
+    auto hashing = [](std::vector<std::uint64_t> &hashes) {
+        return [&hashes](sim::CoreId c, std::uint64_t v) {
+            hashes[c] = machine::mixLoadValue(hashes[c], v);
+        };
+    };
+
+    rnr::Replayer seq(run.workload.program, patched,
+                      run.initial.clone());
+    std::vector<std::uint64_t> seq_hashes(o.cores, 0);
+    seq.setLoadHook(hashing(seq_hashes));
+    const rnr::ReplayResult seq_res = seq.run();
+
+    rnr::ParallelReplayOptions popts;
+    popts.workers = o.jobs;
+    rnr::ParallelReplayer par(run.workload.program, patched,
+                              run.initial.clone(), popts);
+    std::vector<std::uint64_t> par_hashes(o.cores, 0);
+    par.setLoadHook(hashing(par_hashes));
+    const rnr::ReplayResult par_res = par.run();
+
+    const auto sched = rnr::buildParallelSchedule(patched);
+    std::printf("parallel engine %u workers: %.1f ms wall (%.1f ms "
+                "sequential), %llu dependency edges\n",
+                par_res.workers, par_res.wallSeconds * 1e3,
+                seq_res.wallSeconds * 1e3,
+                (unsigned long long)sched.edges);
+    std::printf("measured speedup %.2fx on %u workers (%.2f ms serial "
+                "work in a %.2f ms schedule; modelled bound %.2fx)\n",
+                par_res.measuredSpanSeconds > 0.0
+                    ? par_res.measuredSerialSeconds /
+                          par_res.measuredSpanSeconds
+                    : 1.0,
+                par_res.workers,
+                par_res.measuredSerialSeconds * 1e3,
+                par_res.measuredSpanSeconds * 1e3, sched.speedup());
+    const auto &scalars = par_res.engineStats.scalars();
+    const auto util = scalars.find("utilization");
+    std::printf("utilization     %.0f%% mean worker busy over the "
+                "replay wall clock\n",
+                util == scalars.end() ? 0.0
+                                      : 100.0 * util->second.mean());
+
+    const bool ok = verify(seq_res, seq_hashes) &&
+                    verify(par_res, par_hashes) &&
+                    par_res.cost.total() == seq_res.cost.total();
+    std::printf("determinism     %s (%llu instructions replayed on "
+                "both engines)\n",
+                ok ? "OK" : "MISMATCH",
+                (unsigned long long)par_res.instructions);
+    if (!maybeExportStats(o, *run.machine, {&par_res.engineStats}))
+        return 1;
+    return ok ? 0 : 1;
+}
+
 int
 cmdReplay(const Options &o)
 {
     if (looksLikeLogFile(o.kernel))
         return cmdReplayFile(o);
-    Run run = record(o);
-    printRecordingStats(run, o);
+    Options ro = o;
+    if (ro.parallelReplay || ro.jobs > 0) {
+        ro.parallelReplay = true; // --jobs N implies the engine
+        ro.deps = true;           // the engine needs the DAG
+    }
+    Run run = record(ro);
+    printRecordingStats(run, ro);
 
     std::vector<rnr::CoreLog> patched;
     for (const auto &log : run.rec.logs[0])
         patched.push_back(rnr::patch(log));
+
+    if (ro.parallelReplay)
+        return runEngineReplay(ro, run, patched);
 
     rnr::Replayer rep(run.workload.program, patched,
                       run.initial.clone());

@@ -1,8 +1,13 @@
 #include "bench/common.hh"
 
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
+#include <unistd.h>
+
+#include "rnr/logstore.hh"
 #include "sim/trace.hh"
 
 namespace rrbench
@@ -209,6 +214,43 @@ forEachParallel(std::size_t count, const BenchOptions &opt,
     for (std::size_t i = 0; i < count; ++i)
         runner.enqueue([&task, i] { task(i); });
     runner.run();
+}
+
+std::vector<rnr::CoreLog>
+roundTripThroughDisk(const std::vector<rnr::CoreLog> &logs,
+                     std::uint32_t jobs)
+{
+    static std::atomic<std::uint64_t> counter{0};
+    const char *tmpdir = std::getenv("TMPDIR");
+    const std::string path =
+        std::string(tmpdir && *tmpdir ? tmpdir : "/tmp") + "/rrbench_" +
+        std::to_string(static_cast<unsigned long>(::getpid())) + "_" +
+        std::to_string(counter.fetch_add(1)) + ".rrlog";
+
+    rnr::RecordingMeta meta;
+    meta.kernel = "bench-roundtrip";
+    meta.cores = static_cast<std::uint32_t>(logs.size());
+    for (const auto &log : logs)
+        for (const auto &iv : log.intervals)
+            if (!iv.predecessors.empty())
+                meta.deps = true;
+
+    {
+        rnr::LogWriter writer(path, meta);
+        for (sim::CoreId c = 0; c < logs.size(); ++c)
+            for (const auto &iv : logs[c].intervals)
+                writer.append(c, iv);
+        rnr::RecordingSummary summary;
+        summary.cores.resize(logs.size());
+        for (std::size_t c = 0; c < logs.size(); ++c)
+            summary.cores[c].intervals = logs[c].intervals.size();
+        writer.finish(summary);
+    }
+
+    rnr::LogReader reader(path);
+    std::vector<rnr::CoreLog> out = reader.readAllParallel(jobs);
+    std::remove(path.c_str());
+    return out;
 }
 
 void

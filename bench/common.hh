@@ -121,6 +121,19 @@ std::vector<Recorded> recordSuite(std::uint32_t cores,
 void forEachParallel(std::size_t count, const BenchOptions &opt,
                      const std::function<void(std::size_t)> &task);
 
+/**
+ * Write @p logs to a temporary `.rrlog` and read them back through
+ * LogReader::readAllParallel on @p jobs workers (0 = all host cores),
+ * so the replay benches exercise the same zero-copy ingest + parallel
+ * chunk decode path as `rrsim replay` on a file. The round trip is
+ * exact except IntervalRecord::cycle, which the format does not
+ * persist (reporting-only; replay never reads it). The temporary file
+ * is removed before returning.
+ */
+std::vector<rr::rnr::CoreLog>
+roundTripThroughDisk(const std::vector<rr::rnr::CoreLog> &logs,
+                     std::uint32_t jobs = 0);
+
 /** Print the [sweep] summary line of a finished run. */
 void printSweepStats(const rr::sim::SweepStats &stats);
 

@@ -6,13 +6,21 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <limits>
+#include <mutex>
 #include <thread>
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include "sim/arena.hh"
 #include "sim/faultinject.hh"
+#include "sim/jobs.hh"
 #include "sim/logging.hh"
+#include "sim/task_pool.hh"
 #include "sim/trace.hh"
 
 namespace rr::rnr
@@ -83,11 +91,24 @@ fnv1aU64(std::uint64_t hash, std::uint64_t v)
 class Cursor
 {
   public:
-    Cursor(const std::vector<std::uint8_t> &bytes, std::uint64_t bits,
+    Cursor(const std::uint8_t *bytes, std::uint64_t bits,
            std::uint64_t chunk_offset, std::int64_t chunk_seq)
         : reader_(bytes, bits), bits_(bits), chunkOffset_(chunk_offset),
           chunkSeq_(chunk_seq)
     {
+    }
+
+    Cursor(std::span<const std::uint8_t> bytes, std::uint64_t bits,
+           std::uint64_t chunk_offset, std::int64_t chunk_seq)
+        : Cursor(bytes.data(), bits, chunk_offset, chunk_seq)
+    {
+    }
+
+    /** Bits left in the payload; bounds untrusted element counts. */
+    std::uint64_t
+    remainingBits() const
+    {
+        return bits_ - reader_.position();
     }
 
     std::uint64_t
@@ -204,49 +225,70 @@ decodeSummary(Cursor &c)
     return s;
 }
 
-/** Decode one interval (the inverse of LogWriter::encodeInterval). */
-IntervalRecord
-decodeInterval(Cursor &c, bool first_in_chunk, sim::Isn &prev_cisn,
-               std::uint64_t &prev_ts)
+/** Decode one entry's tag and fields (shared by every decode path, so
+ *  the sequential and parallel readers fail byte-identically). */
+void
+decodeEntry(Cursor &c, LogEntry &entry)
 {
-    IntervalRecord iv;
-    const std::uint64_t entry_count = c.varint();
-    for (std::uint64_t e = 0; e < entry_count; ++e) {
-        LogEntry entry;
-        const std::uint64_t tag = c.read(bits::kTypeTag);
-        if (tag > static_cast<std::uint64_t>(EntryKind::DummyAtomic))
-            c.fail("invalid entry tag " + std::to_string(tag));
-        entry.kind = static_cast<EntryKind>(tag);
-        switch (entry.kind) {
-          case EntryKind::InorderBlock:
-            entry.blockSize = c.varint();
-            break;
-          case EntryKind::ReorderedLoad:
-            entry.loadValue = c.varint();
-            break;
-          case EntryKind::ReorderedStore:
-            entry.addr = c.varint();
-            entry.storeValue = c.varint();
-            entry.offset = static_cast<std::uint32_t>(c.varint());
-            break;
-          case EntryKind::ReorderedAtomic:
-            entry.addr = c.varint();
-            entry.loadValue = c.varint();
-            entry.storeValue = c.varint();
-            entry.offset = static_cast<std::uint32_t>(c.varint());
-            break;
-          case EntryKind::PatchedStore:
-            entry.addr = c.varint();
-            entry.storeValue = c.varint();
-            break;
-          case EntryKind::DummyStore:
-            break;
-          case EntryKind::DummyAtomic:
-            entry.loadValue = c.varint();
-            break;
-        }
-        iv.entries.push_back(entry);
+    const std::uint64_t tag = c.read(bits::kTypeTag);
+    if (tag > static_cast<std::uint64_t>(EntryKind::DummyAtomic))
+        c.fail("invalid entry tag " + std::to_string(tag));
+    entry.kind = static_cast<EntryKind>(tag);
+    switch (entry.kind) {
+      case EntryKind::InorderBlock:
+        entry.blockSize = c.varint();
+        break;
+      case EntryKind::ReorderedLoad:
+        entry.loadValue = c.varint();
+        break;
+      case EntryKind::ReorderedStore:
+        entry.addr = c.varint();
+        entry.storeValue = c.varint();
+        entry.offset = static_cast<std::uint32_t>(c.varint());
+        break;
+      case EntryKind::ReorderedAtomic:
+        entry.addr = c.varint();
+        entry.loadValue = c.varint();
+        entry.storeValue = c.varint();
+        entry.offset = static_cast<std::uint32_t>(c.varint());
+        break;
+      case EntryKind::PatchedStore:
+        entry.addr = c.varint();
+        entry.storeValue = c.varint();
+        break;
+      case EntryKind::DummyStore:
+        break;
+      case EntryKind::DummyAtomic:
+        entry.loadValue = c.varint();
+        break;
     }
+}
+
+/** An untrusted element count must be satisfiable by the bits left in
+ *  the chunk, or reserve()/allocArray() on it is a memory bomb. */
+std::uint64_t
+checkedCount(Cursor &c, std::uint32_t min_bits_each, const char *what)
+{
+    const std::uint64_t count = c.varint();
+    if (count > c.remainingBits() / min_bits_each)
+        c.fail(std::string("unreasonable ") + what + " count " +
+               std::to_string(count));
+    return count;
+}
+
+/** Every entry carries at least its 3-bit tag. */
+constexpr std::uint32_t kMinEntryBits = bits::kTypeTag;
+/** A dependency edge is two varints: >= 16 bits. */
+constexpr std::uint32_t kMinDepBits = 16;
+/** An empty interval is 4 one-group varints: >= 32 bits. */
+constexpr std::uint32_t kMinIntervalBits = 32;
+
+/** Decode the cisn/timestamp frame (absolute for the first interval
+ *  of a chunk, zigzag deltas after). */
+void
+decodeFrame(Cursor &c, bool first_in_chunk, sim::Isn &prev_cisn,
+            std::uint64_t &prev_ts, IntervalRecord &iv)
+{
     if (first_in_chunk) {
         iv.cisn = c.varint();
         iv.timestamp = c.varint();
@@ -260,9 +302,27 @@ decodeInterval(Cursor &c, bool first_in_chunk, sim::Isn &prev_cisn,
     }
     prev_cisn = iv.cisn;
     prev_ts = iv.timestamp;
-    const std::uint64_t dep_count = c.varint();
+}
+
+/** Decode one interval (the inverse of LogWriter::encodeInterval). */
+IntervalRecord
+decodeInterval(Cursor &c, bool first_in_chunk, sim::Isn &prev_cisn,
+               std::uint64_t &prev_ts)
+{
+    IntervalRecord iv;
+    const std::uint64_t entry_count =
+        checkedCount(c, kMinEntryBits, "entry");
+    iv.entries.reserve(entry_count);
+    for (std::uint64_t e = 0; e < entry_count; ++e) {
+        LogEntry entry;
+        decodeEntry(c, entry);
+        iv.entries.push_back(entry);
+    }
+    decodeFrame(c, first_in_chunk, prev_cisn, prev_ts, iv);
+    const std::uint64_t dep_count = checkedCount(c, kMinDepBits, "dependency");
     if (dep_count > 1u << 20)
         c.fail("unreasonable dependency count");
+    iv.predecessors.reserve(dep_count);
     for (std::uint64_t d = 0; d < dep_count; ++d) {
         IntervalDep dep;
         dep.core = static_cast<sim::CoreId>(c.varint());
@@ -270,6 +330,42 @@ decodeInterval(Cursor &c, bool first_in_chunk, sim::Isn &prev_cisn,
         iv.predecessors.push_back(dep);
     }
     return iv;
+}
+
+/**
+ * Arena-staged variant for the parallel decoder: entries and edges are
+ * decoded into bump-allocated scratch arrays (LogEntry and IntervalDep
+ * are trivially copyable PODs), then bulk-assigned into the interval's
+ * vectors — one exact-size allocation per field, no growth reallocs,
+ * no per-object heap traffic during the decode itself. Field order,
+ * caps and failure text are shared with decodeInterval(), so the two
+ * paths are bit- and error-identical by construction.
+ */
+void
+decodeIntervalArena(Cursor &c, bool first_in_chunk, sim::Isn &prev_cisn,
+                    std::uint64_t &prev_ts, sim::Arena &arena,
+                    IntervalRecord &iv)
+{
+    const std::uint64_t entry_count =
+        checkedCount(c, kMinEntryBits, "entry");
+    LogEntry *entries = arena.allocArray<LogEntry>(entry_count);
+    for (std::uint64_t e = 0; e < entry_count; ++e) {
+        entries[e] = LogEntry{};
+        decodeEntry(c, entries[e]);
+    }
+    decodeFrame(c, first_in_chunk, prev_cisn, prev_ts, iv);
+    const std::uint64_t dep_count = checkedCount(c, kMinDepBits, "dependency");
+    if (dep_count > 1u << 20)
+        c.fail("unreasonable dependency count");
+    IntervalDep *deps = arena.allocArray<IntervalDep>(dep_count);
+    for (std::uint64_t d = 0; d < dep_count; ++d) {
+        deps[d].core = static_cast<sim::CoreId>(c.varint());
+        deps[d].isn = c.varint();
+    }
+    if (entry_count != 0)
+        iv.entries.assign(entries, entries + entry_count);
+    if (dep_count != 0)
+        iv.predecessors.assign(deps, deps + dep_count);
 }
 
 } // namespace
@@ -759,20 +855,91 @@ LogWriter::finalizeFile()
 
 // --- LogReader ---
 
-LogReader::LogReader(const std::string &path)
-    : path_(path), in_(path, std::ios::binary)
+void
+LogReader::setupIngest(IngestMode mode)
 {
+    if (mode != IngestMode::Streamed) {
+        const int fd = ::open(path_.c_str(), O_RDONLY);
+        if (fd < 0) {
+            if (mode == IngestMode::Mmap)
+                throw LogStoreError("cannot open " + path_ +
+                                        " for reading",
+                                    0, -1, LogErrorKind::Io, errno);
+            // Auto: fall through to the streamed open below, which
+            // reports the error with its own (identical) message.
+        } else {
+            struct stat st = {};
+            if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+                void *m = ::mmap(nullptr,
+                                 static_cast<std::size_t>(st.st_size),
+                                 PROT_READ, MAP_PRIVATE, fd, 0);
+                if (m != MAP_FAILED) {
+                    map_ = static_cast<const std::uint8_t *>(m);
+                    mapBytes_ = static_cast<std::size_t>(st.st_size);
+                    fd_ = fd;
+                    fileBytes_ = mapBytes_;
+                    mode_ = IngestMode::Mmap;
+                    // Readahead hints: chunk walks are sequential, and
+                    // replay wants the whole file resident anyway.
+                    (void)::posix_madvise(
+                        m, mapBytes_, POSIX_MADV_SEQUENTIAL);
+                    (void)::posix_madvise(
+                        m, mapBytes_, POSIX_MADV_WILLNEED);
+                    return;
+                }
+            }
+            ::close(fd);
+            if (mode == IngestMode::Mmap)
+                throw LogStoreError("cannot mmap " + path_, 0, -1,
+                                    LogErrorKind::Io,
+                                    errno != 0 ? errno : EINVAL);
+            // Auto: unmappable (empty file, odd filesystem) — stream.
+        }
+    }
+    in_.open(path_, std::ios::binary);
     if (!in_)
-        throw LogStoreError("cannot open " + path + " for reading", 0,
+        throw LogStoreError("cannot open " + path_ + " for reading", 0,
                             -1, LogErrorKind::Io, errno);
     in_.seekg(0, std::ios::end);
     fileBytes_ = static_cast<std::uint64_t>(in_.tellg());
     in_.seekg(0);
+    mode_ = IngestMode::Streamed;
+}
+
+LogReader::~LogReader()
+{
+    if (map_)
+        ::munmap(const_cast<std::uint8_t *>(map_), mapBytes_);
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+LogReader::readBytesAt(std::uint64_t offset, std::uint8_t *dest,
+                       std::size_t n)
+{
+    if (map_) {
+        std::memcpy(dest, map_ + offset, n);
+        return;
+    }
+    in_.clear();
+    in_.seekg(static_cast<std::streamoff>(offset));
+    in_.read(reinterpret_cast<char *>(dest),
+             static_cast<std::streamsize>(n));
+    if (!in_)
+        throw LogStoreError("read failed", offset, -1, LogErrorKind::Io,
+                            errno);
+}
+
+LogReader::LogReader(const std::string &path, IngestMode mode)
+    : path_(path)
+{
+    setupIngest(mode);
 
     std::uint8_t h[fmt::kFileHeaderBytes];
     if (fileBytes_ < fmt::kFileHeaderBytes)
         throw LogStoreError("file shorter than the 24-byte header", 0);
-    in_.read(reinterpret_cast<char *>(h), sizeof h);
+    readBytesAt(0, h, sizeof h);
     if (std::memcmp(h, fmt::kMagic.data(), 4) != 0)
         throw LogStoreError("bad magic: not an .rrlog file", 0);
     if (fmt::crc32(h, fmt::kFileHeaderBytes - 4) !=
@@ -820,14 +987,20 @@ LogReader::readChunkAt(std::uint64_t offset, Chunk &out,
         return false; // clean boundary; caller checks for End chunk
     if (offset + fmt::kChunkHeaderBytes > fileBytes_)
         throw LogStoreError("truncated chunk header", offset);
+    const std::uint8_t *hp;
     std::uint8_t h[fmt::kChunkHeaderBytes];
-    in_.clear();
-    in_.seekg(static_cast<std::streamoff>(offset));
-    in_.read(reinterpret_cast<char *>(h), sizeof h);
-    if (!in_)
-        throw LogStoreError("read failed on chunk header", offset, -1,
-                            LogErrorKind::Io, errno);
-    if (!fmt::ChunkHeader::decode(h, out.header))
+    if (map_) {
+        hp = map_ + offset; // header validated in place, no copy
+    } else {
+        in_.clear();
+        in_.seekg(static_cast<std::streamoff>(offset));
+        in_.read(reinterpret_cast<char *>(h), sizeof h);
+        if (!in_)
+            throw LogStoreError("read failed on chunk header", offset,
+                                -1, LogErrorKind::Io, errno);
+        hp = h;
+    }
+    if (!fmt::ChunkHeader::decode(hp, out.header))
         throw LogStoreError("chunk header CRC mismatch "
                             "(corrupt or misaligned framing)",
                             offset);
@@ -839,13 +1012,23 @@ LogReader::readChunkAt(std::uint64_t offset, Chunk &out,
                 std::to_string(payload_bytes) +
                 " payload bytes but the file ends first",
             offset, static_cast<std::int64_t>(out.header.seq));
-    out.payload.resize(payload_bytes);
-    in_.read(reinterpret_cast<char *>(out.payload.data()),
-             static_cast<std::streamsize>(payload_bytes));
-    if (!in_)
-        throw LogStoreError("read failed on chunk payload", offset,
-                            static_cast<std::int64_t>(out.header.seq),
-                            LogErrorKind::Io, errno);
+    if (map_) {
+        // Zero-copy: the payload view points straight into the page
+        // cache; the CRC pass below is the only full touch.
+        out.owned.clear();
+        out.payload = std::span<const std::uint8_t>(
+            map_ + offset + fmt::kChunkHeaderBytes, payload_bytes);
+    } else {
+        out.owned.resize(payload_bytes);
+        in_.read(reinterpret_cast<char *>(out.owned.data()),
+                 static_cast<std::streamsize>(payload_bytes));
+        if (!in_)
+            throw LogStoreError(
+                "read failed on chunk payload", offset,
+                static_cast<std::int64_t>(out.header.seq),
+                LogErrorKind::Io, errno);
+        out.payload = out.owned;
+    }
     if (verify_payload_crc &&
         fmt::crc32(out.payload.data(), out.payload.size()) !=
             out.header.payloadCrc)
@@ -857,7 +1040,7 @@ LogReader::readChunkAt(std::uint64_t offset, Chunk &out,
 void
 LogReader::decodeDataChunk(
     const Chunk &chunk,
-    const std::function<void(sim::CoreId, const IntervalRecord &)> &fn)
+    const std::function<bool(sim::CoreId, const IntervalRecord &)> &fn)
 {
     const auto seq = static_cast<std::int64_t>(chunk.header.seq);
     if (chunk.header.core >= coreCount_)
@@ -867,26 +1050,29 @@ LogReader::decodeDataChunk(
                                 std::to_string(coreCount_) + " cores",
                             chunk.offset, seq);
     Cursor c(chunk.payload, chunk.header.payloadBits, chunk.offset, seq);
-    const std::uint64_t count = c.varint();
+    const std::uint64_t count =
+        checkedCount(c, kMinIntervalBits, "interval");
     sim::Isn prev_cisn = 0;
     std::uint64_t prev_ts = 0;
     for (std::uint64_t i = 0; i < count; ++i) {
         const IntervalRecord iv =
             decodeInterval(c, i == 0, prev_cisn, prev_ts);
-        fn(chunk.header.core, iv);
+        if (!fn(chunk.header.core, iv))
+            return; // early stop: skip the trailing-bits check too
     }
     if (!c.atEnd())
         c.fail("trailing bits after the last interval");
 }
 
-void
-LogReader::forEachInterval(
-    const std::function<void(sim::CoreId, const IntervalRecord &,
-                             std::uint64_t, std::uint64_t)> &fn)
+bool
+LogReader::walkIntervals(
+    const std::function<bool(sim::CoreId, const IntervalRecord &,
+                             const ChunkView &)> &fn)
 {
     std::uint64_t offset = firstDataOffset_;
     std::uint64_t expected_seq = 1; // the meta chunk was seq 0
     bool clean_end = false;
+    bool stopped = false;
     Chunk chunk;
     while (readChunkAt(offset, chunk)) {
         if (chunk.header.seq != expected_seq)
@@ -898,12 +1084,16 @@ LogReader::forEachInterval(
                 static_cast<std::int64_t>(chunk.header.seq));
         ++expected_seq;
         switch (chunk.header.type) {
-          case ChunkType::Data:
+          case ChunkType::Data: {
+            const ChunkView view{chunk.header.seq, chunk.offset,
+                                 chunk.header.payloadBits};
             decodeDataChunk(chunk, [&](sim::CoreId core,
                                        const IntervalRecord &iv) {
-                fn(core, iv, chunk.header.seq, chunk.offset);
+                stopped = !fn(core, iv, view);
+                return !stopped;
             });
             break;
+          }
           case ChunkType::Summary: {
             Cursor c(chunk.payload, chunk.header.payloadBits,
                      chunk.offset,
@@ -920,6 +1110,8 @@ LogReader::forEachInterval(
                                 static_cast<std::int64_t>(
                                     chunk.header.seq));
         }
+        if (stopped)
+            return false; // caller bailed; nothing further is read
         offset =
             chunk.offset + fmt::kChunkHeaderBytes +
             chunk.header.payloadBytes();
@@ -934,6 +1126,19 @@ LogReader::forEachInterval(
     if (offset != fileBytes_)
         throw LogStoreError("trailing bytes after the end-of-log marker",
                             offset);
+    return true;
+}
+
+void
+LogReader::forEachInterval(
+    const std::function<void(sim::CoreId, const IntervalRecord &,
+                             std::uint64_t, std::uint64_t)> &fn)
+{
+    walkIntervals([&](sim::CoreId core, const IntervalRecord &iv,
+                      const ChunkView &view) {
+        fn(core, iv, view.seq, view.offset);
+        return true;
+    });
 }
 
 std::vector<CoreLog>
@@ -944,6 +1149,200 @@ LogReader::readAll()
                         std::uint64_t, std::uint64_t) {
         logs[core].intervals.push_back(iv);
     });
+    return logs;
+}
+
+std::vector<CoreLog>
+LogReader::readAllParallel(std::uint32_t workers)
+{
+    // ---- Pass 1 (sequential): framing. Hop chunk headers, verify
+    // sequence continuity, decode the (small) Summary, find the End
+    // marker. Data-chunk payload CRCs and varint decode — the actual
+    // byte-crunching — are deferred to the parallel pass. Any framing
+    // error is *captured*, not thrown: a data chunk earlier in the
+    // file may fail in pass 2, and the earliest file offset must win
+    // so a damaged file reports exactly what readAll() would.
+    std::vector<Chunk> chunks;
+    std::unique_ptr<LogStoreError> scan_error;
+    auto capture = [&](const LogStoreError &e) {
+        scan_error = std::make_unique<LogStoreError>(e);
+    };
+    std::uint64_t offset = firstDataOffset_;
+    std::uint64_t expected_seq = 1;
+    bool clean_end = false;
+    try {
+        Chunk chunk;
+        for (;;) {
+            if (!readChunkAt(offset, chunk,
+                             /*verify_payload_crc=*/false))
+                break;
+            if (chunk.header.seq != expected_seq)
+                throw LogStoreError(
+                    "chunk sequence break: expected " +
+                        std::to_string(expected_seq) + ", found " +
+                        std::to_string(chunk.header.seq),
+                    chunk.offset,
+                    static_cast<std::int64_t>(chunk.header.seq));
+            ++expected_seq;
+            offset = chunk.offset + fmt::kChunkHeaderBytes +
+                     chunk.header.payloadBytes();
+            switch (chunk.header.type) {
+              case ChunkType::Data:
+                chunks.push_back(std::move(chunk));
+                if (!chunks.back().owned.empty())
+                    chunks.back().payload = chunks.back().owned;
+                chunk = Chunk{};
+                break;
+              case ChunkType::Summary: {
+                if (fmt::crc32(chunk.payload.data(),
+                               chunk.payload.size()) !=
+                    chunk.header.payloadCrc)
+                    throw LogStoreError(
+                        "chunk payload CRC mismatch", chunk.offset,
+                        static_cast<std::int64_t>(chunk.header.seq));
+                Cursor c(chunk.payload, chunk.header.payloadBits,
+                         chunk.offset,
+                         static_cast<std::int64_t>(chunk.header.seq));
+                summary_ = decodeSummary(c);
+                haveSummary_ = true;
+                break;
+              }
+              case ChunkType::End:
+                if (fmt::crc32(chunk.payload.data(),
+                               chunk.payload.size()) !=
+                    chunk.header.payloadCrc)
+                    throw LogStoreError(
+                        "chunk payload CRC mismatch", chunk.offset,
+                        static_cast<std::int64_t>(chunk.header.seq));
+                clean_end = true;
+                break;
+              case ChunkType::Meta:
+                throw LogStoreError(
+                    "duplicate meta chunk", chunk.offset,
+                    static_cast<std::int64_t>(chunk.header.seq));
+            }
+            if (clean_end)
+                break;
+        }
+        if (!scan_error) {
+            if (!clean_end)
+                throw LogStoreError(
+                    "no end-of-log marker: the recording was truncated "
+                    "(LogWriter::finish never ran or the file was cut "
+                    "short)",
+                    offset);
+            if (offset != fileBytes_)
+                throw LogStoreError(
+                    "trailing bytes after the end-of-log marker",
+                    offset);
+        }
+    } catch (const LogStoreError &e) {
+        capture(e);
+    }
+
+    // ---- Pass 2 (parallel): per-chunk CRC + varint decode. Chunks
+    // are independent (the delta codec resets per chunk), so each
+    // task stages its own interval vector; per-worker arenas absorb
+    // the entry/dependency scratch. Affinity hint = producing core,
+    // which keeps a core's chunk stream on one worker and its arena
+    // warm.
+    struct ArenaPool
+    {
+        std::mutex mu;
+        std::vector<std::unique_ptr<sim::Arena>> free;
+
+        std::unique_ptr<sim::Arena>
+        acquire()
+        {
+            std::lock_guard lock(mu);
+            if (free.empty())
+                return std::make_unique<sim::Arena>();
+            auto a = std::move(free.back());
+            free.pop_back();
+            return a;
+        }
+        void
+        release(std::unique_ptr<sim::Arena> a)
+        {
+            std::lock_guard lock(mu);
+            free.push_back(std::move(a));
+        }
+    } arenas;
+
+    std::vector<std::vector<IntervalRecord>> staged(chunks.size());
+    std::vector<std::exception_ptr> errors(chunks.size());
+    auto decode_one = [&](std::size_t i) {
+        const Chunk &ch = chunks[i];
+        try {
+            if (fmt::crc32(ch.payload.data(), ch.payload.size()) !=
+                ch.header.payloadCrc)
+                throw LogStoreError(
+                    "chunk payload CRC mismatch", ch.offset,
+                    static_cast<std::int64_t>(ch.header.seq));
+            auto arena = arenas.acquire();
+            arena->reset();
+            const auto seq = static_cast<std::int64_t>(ch.header.seq);
+            if (ch.header.core >= coreCount_)
+                throw LogStoreError(
+                    "data chunk names core " +
+                        std::to_string(ch.header.core) +
+                        " but the file has " +
+                        std::to_string(coreCount_) + " cores",
+                    ch.offset, seq);
+            Cursor c(ch.payload, ch.header.payloadBits, ch.offset, seq);
+            const std::uint64_t count =
+                checkedCount(c, kMinIntervalBits, "interval");
+            staged[i].resize(count);
+            sim::Isn prev_cisn = 0;
+            std::uint64_t prev_ts = 0;
+            for (std::uint64_t k = 0; k < count; ++k)
+                decodeIntervalArena(c, k == 0, prev_cisn, prev_ts,
+                                    *arena, staged[i][k]);
+            if (!c.atEnd())
+                c.fail("trailing bits after the last interval");
+            arenas.release(std::move(arena));
+        } catch (...) {
+            errors[i] = std::current_exception();
+        }
+    };
+
+    const std::uint32_t want = sim::resolveJobs(workers);
+    if (want <= 1 || chunks.size() <= 1) {
+        for (std::size_t i = 0; i < chunks.size(); ++i)
+            decode_one(i);
+    } else {
+        sim::TaskPool pool(static_cast<std::uint32_t>(
+            std::min<std::size_t>(want, chunks.size())));
+        for (std::size_t i = 0; i < chunks.size(); ++i)
+            pool.submit([&decode_one, i] { decode_one(i); },
+                        chunks[i].header.core);
+        pool.drain();
+    }
+
+    // ---- Error selection: chunks are collected in ascending file
+    // offset and the scan error (if any) sits past every collected
+    // chunk, so the first task error in index order — else the scan
+    // error — is exactly the first error a sequential walk hits.
+    for (std::size_t i = 0; i < chunks.size(); ++i)
+        if (errors[i])
+            std::rethrow_exception(errors[i]);
+    if (scan_error)
+        throw *scan_error;
+
+    // ---- Stitch: file order per core == interval order (the writer
+    // flushes each core's chunks in close order).
+    std::vector<CoreLog> logs(coreCount_);
+    std::vector<std::size_t> totals(coreCount_, 0);
+    for (std::size_t i = 0; i < chunks.size(); ++i)
+        totals[chunks[i].header.core] += staged[i].size();
+    for (std::uint32_t c = 0; c < coreCount_; ++c)
+        logs[c].intervals.reserve(totals[c]);
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+        auto &dst = logs[chunks[i].header.core].intervals;
+        dst.insert(dst.end(),
+                   std::make_move_iterator(staged[i].begin()),
+                   std::make_move_iterator(staged[i].end()));
+    }
     return logs;
 }
 
@@ -968,6 +1367,7 @@ LogReader::info()
             decodeDataChunk(chunk, [&](sim::CoreId,
                                        const IntervalRecord &) {
                 ++info.intervals;
+                return true;
             });
             break;
           case ChunkType::Summary: {
@@ -1060,6 +1460,7 @@ LogReader::verify()
                         chunk, [&](sim::CoreId core,
                                    const IntervalRecord &) {
                             ++intervals_per_core[core];
+                            return true;
                         });
                     break;
                   case ChunkType::Summary: {
@@ -1178,6 +1579,7 @@ LogReader::recoverPrefix()
                 decodeDataChunk(chunk,
                                 [&](sim::CoreId, const IntervalRecord &iv) {
                                     staged.push_back(iv);
+                                    return true;
                                 });
             } catch (const LogStoreError &e) {
                 core_live[core] = false;

@@ -25,6 +25,7 @@
 #include <functional>
 #include <memory>
 #include <ostream>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -359,6 +360,27 @@ std::uint64_t consistentCut(std::vector<CoreLog> &logs,
                             const std::vector<bool> &truncated = {});
 
 /**
+ * How a LogReader gets bytes off the disk.
+ *
+ * Mmap is the zero-copy fast path: the file is mapped read-only with
+ * sequential readahead hints, chunk payloads are handed to the decoder
+ * as `std::span` views straight into the page cache, and nothing is
+ * copied until intervals materialize. Streamed is the portable
+ * fallback (ifstream + owned payload buffers) and the only mode that
+ * bounds peak RSS below the file size. Auto tries mmap and silently
+ * falls back to streaming when the mapping fails (exotic filesystems,
+ * 32-bit address pressure). Both modes produce bit-identical results
+ * and byte-identical error messages — the corruption-matrix tests run
+ * against both.
+ */
+enum class IngestMode
+{
+    Auto,
+    Streamed,
+    Mmap,
+};
+
+/**
  * Integrity-checking .rrlog reader. The constructor validates the file
  * header and the Meta chunk (magic, version, header CRC, fingerprint)
  * and throws LogStoreError on any mismatch; the walking entry points
@@ -367,9 +389,19 @@ std::uint64_t consistentCut(std::vector<CoreLog> &logs,
 class LogReader
 {
   public:
-    explicit LogReader(const std::string &path);
+    explicit LogReader(const std::string &path,
+                       IngestMode mode = IngestMode::Auto);
+    ~LogReader();
+
+    /** The mapping (mmap mode) is single-owner; readers don't copy. */
+    LogReader(const LogReader &) = delete;
+    LogReader &operator=(const LogReader &) = delete;
 
     const std::string &path() const { return path_; }
+    /** The ingest mode actually in effect (Auto never survives
+     *  construction: it resolves to Mmap or Streamed). */
+    IngestMode ingestMode() const { return mode_; }
+    std::uint64_t fileBytes() const { return fileBytes_; }
     std::uint16_t version() const { return version_; }
     std::uint16_t flags() const { return flags_; }
     /** Whether the file is flagged as a deliberate partial recording. */
@@ -384,6 +416,28 @@ class LogReader
      */
     LogFileInfo info();
 
+    /** Where an interval handed out by walkIntervals() came from. */
+    struct ChunkView
+    {
+        std::uint64_t seq = 0;
+        std::uint64_t offset = 0;      ///< file offset of the header
+        std::uint64_t payloadBits = 0; ///< the whole chunk's payload
+    };
+
+    /**
+     * Decode intervals in file order, one chunk at a time (peak memory
+     * is one chunk, not the file), invoking @p fn with the producing
+     * core, the reconstructed interval (cycle is not persisted and
+     * reads back 0) and the source chunk. @p fn returning false stops
+     * the walk immediately — no further chunk is read or validated —
+     * and walkIntervals returns false; walking to the End marker
+     * (which is then required, as is the absence of trailing bytes)
+     * returns true. Throws LogStoreError on corruption.
+     */
+    bool walkIntervals(
+        const std::function<bool(sim::CoreId, const IntervalRecord &,
+                                 const ChunkView &)> &fn);
+
     /**
      * Decode every interval in file order, invoking @p fn with the
      * producing core, the reconstructed interval (cycle is not
@@ -397,6 +451,22 @@ class LogReader
 
     /** Reconstruct all per-core logs; requires a clean End chunk. */
     std::vector<CoreLog> readAll();
+
+    /**
+     * readAll(), but with chunk payloads CRC-checked and decoded
+     * concurrently on up to @p workers sim::TaskPool threads (0 = all
+     * host cores) — sound because the delta codec resets at every
+     * chunk boundary, so chunks decode independently. A single
+     * sequential pass validates the framing (headers, sequence
+     * continuity, End marker) and decodes the Summary; the bulky
+     * per-chunk varint work fans out behind it, staging intervals
+     * through per-worker bump arenas. The result — including which
+     * LogStoreError is thrown for a damaged file — is identical to
+     * readAll(): when several chunks are bad, the error of the
+     * earliest file offset wins, exactly as a sequential walk would
+     * have reported it.
+     */
+    std::vector<CoreLog> readAllParallel(std::uint32_t workers = 0);
 
     /**
      * The recording summary; throws LogStoreError when the file has
@@ -431,8 +501,18 @@ class LogReader
     {
         fmt::ChunkHeader header;
         std::uint64_t offset = 0; ///< file offset of the chunk header
-        std::vector<std::uint8_t> payload;
+        /** Payload view: into the mapping (mmap mode, zero-copy) or
+         *  into `owned` (streamed mode). Valid while the reader and
+         *  this Chunk live; moving the Chunk keeps it valid. */
+        std::span<const std::uint8_t> payload;
+        std::vector<std::uint8_t> owned;
     };
+
+    /** Map the file or open the stream, per the requested mode. */
+    void setupIngest(IngestMode mode);
+    /** Read @p n raw bytes at @p offset (header parsing). */
+    void readBytesAt(std::uint64_t offset, std::uint8_t *dest,
+                     std::size_t n);
 
     /**
      * Read the chunk at @p offset. @p verify_payload_crc false lets
@@ -442,13 +522,17 @@ class LogReader
     bool readChunkAt(std::uint64_t offset, Chunk &out,
                      bool verify_payload_crc = true);
 
-    void decodeDataChunk(const Chunk &chunk,
-                         const std::function<void(sim::CoreId,
-                                                  const IntervalRecord &)>
-                             &fn);
+    void decodeDataChunk(
+        const Chunk &chunk,
+        const std::function<bool(sim::CoreId, const IntervalRecord &)>
+            &fn);
 
     std::string path_;
-    std::ifstream in_;
+    std::ifstream in_;       ///< streamed mode only
+    int fd_ = -1;            ///< mmap mode only
+    const std::uint8_t *map_ = nullptr;
+    std::size_t mapBytes_ = 0;
+    IngestMode mode_ = IngestMode::Streamed;
     std::uint64_t fileBytes_ = 0;
     std::uint16_t version_ = 0;
     std::uint16_t flags_ = 0;

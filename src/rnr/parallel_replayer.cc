@@ -143,6 +143,9 @@ ParallelReplayer::run()
         std::uint64_t orderPosition = 0; ///< rank in timestamp order
         std::vector<std::uint32_t> successors;
         std::uint32_t indegree = 0;
+        /** Some successor lives on another core: a batched-commit run
+         *  must publish this interval's writes before releasing it. */
+        bool hasCrossSucc = false;
     };
     std::vector<Node> nodes(total);
     for (std::size_t c = 0; c < cores; ++c) {
@@ -189,7 +192,9 @@ ParallelReplayer::run()
                 RR_ASSERT(d.core < cores &&
                               d.isn < logs_[d.core].intervals.size(),
                           "dependency edge escapes the logs");
-                nodes[offset[d.core] + d.isn].successors.push_back(me);
+                Node &pred = nodes[offset[d.core] + d.isn];
+                pred.successors.push_back(me);
+                pred.hasCrossSucc = true;
                 ++nodes[me].indegree;
             }
         }
@@ -267,10 +272,20 @@ ParallelReplayer::run()
                     return;
                 }
                 // Publish this interval's writes *before* releasing
-                // any successor: the word stores are sequenced before
-                // the acq_rel in-degree release below, so a dependent
-                // interval always observes the committed values.
-                cmem.commit();
+                // any successor on another core: the word stores are
+                // sequenced before the acq_rel in-degree release below,
+                // so a dependent interval always observes the committed
+                // values. When every successor is same-core (and
+                // batching is on), the writes stay in the core's
+                // private write set instead — the chain's next interval
+                // reads through it, on this worker or (when the chain
+                // resumes elsewhere) under the happens-before the
+                // in-degree release sequence provides — and the next
+                // forced commit lands the accumulated set in one
+                // batched ShardedStore call.
+                if (!opts_.batchCommits || node.hasCrossSucc ||
+                    node.successors.empty())
+                    cmem.commit();
                 durations[id] = std::chrono::duration<double>(
                                     std::chrono::steady_clock::now() -
                                     t0)
@@ -292,8 +307,12 @@ ParallelReplayer::run()
                         nodes[succ].core == node.core)
                         next = succ;
                     else
+                        // Affinity hint: keep a core's chain on a
+                        // stable worker so its ExecContext, write set
+                        // and page cache stay warm.
                         pool.submit(
-                            [&run_node, succ] { run_node(succ); });
+                            [&run_node, succ] { run_node(succ); },
+                            nodes[succ].core);
                 }
                 id = next;
             }
@@ -301,7 +320,8 @@ ParallelReplayer::run()
 
     for (std::uint32_t n = 0; n < total; ++n) {
         if (nodes[n].indegree == 0)
-            pool.submit([&run_node, n] { run_node(n); });
+            pool.submit([&run_node, n] { run_node(n); },
+                        nodes[n].core);
     }
     const sim::TaskPool::DrainStats drained = pool.drain();
 

@@ -52,6 +52,18 @@ struct ParallelReplayOptions
     ReplayCostModel costModel{};
     /** Lock shards of the shared memory image. */
     std::uint32_t shards = 64;
+    /**
+     * Aggregate the write sets of same-core interval chains and commit
+     * them to the sharded image in one batched call per chain segment.
+     * An interval only *must* publish before releasing a successor on
+     * another core (the DAG edge is what a cross-core reader holds), so
+     * intervals whose successors are all same-core keep their writes in
+     * the core's private write set — the next interval of the chain
+     * reads through it — and the eventual commit applies final values
+     * once, skipping the per-interval shard traffic. Bit-identical
+     * final memory either way; see docs/REPLAY.md ("Replay data path").
+     */
+    bool batchCommits = true;
 };
 
 class ParallelReplayer

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * A chunked bump allocator for decode-time staging. One Arena serves
+ * one thread: allocation is a pointer bump, `reset()` recycles every
+ * block without returning memory to the OS, and nothing is freed
+ * per-object — exactly the lifetime of "all intervals of one log
+ * chunk", which are staged here and then bulk-moved into their
+ * destination containers. Trivially-destructible payloads only: the
+ * arena never runs destructors.
+ */
+
+#ifndef RR_SIM_ARENA_HH
+#define RR_SIM_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace rr::sim
+{
+
+class Arena
+{
+  public:
+    static constexpr std::size_t kDefaultBlockBytes = 256 * 1024;
+
+    explicit Arena(std::size_t block_bytes = kDefaultBlockBytes)
+        : blockBytes_(block_bytes)
+    {
+        RR_ASSERT(block_bytes >= 64, "arena block too small");
+    }
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** Uninitialized, aligned storage for @p count objects of T. */
+    template <typename T>
+    T *
+    allocArray(std::size_t count)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena never runs destructors");
+        if (count == 0)
+            return nullptr;
+        const std::size_t bytes = count * sizeof(T);
+        return static_cast<T *>(allocBytes(bytes, alignof(T)));
+    }
+
+    /**
+     * Recycle every block for reuse. Previously returned pointers are
+     * invalidated but the memory stays owned by the arena, so a
+     * steady-state decode loop stops allocating after its first chunk.
+     */
+    void
+    reset()
+    {
+        block_ = 0;
+        used_ = 0;
+    }
+
+    /** Bytes currently reserved from the OS (capacity, not usage). */
+    std::size_t
+    capacityBytes() const
+    {
+        std::size_t total = 0;
+        for (const auto &b : blocks_)
+            total += b.size;
+        return total;
+    }
+
+  private:
+    struct Block
+    {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size = 0;
+    };
+
+    /** Offset of the next @p align -aligned position in the current
+     *  block — aligns the actual pointer, not the offset, since block
+     *  bases only carry operator-new alignment. */
+    std::size_t
+    alignedOffset(std::size_t align) const
+    {
+        const auto base = reinterpret_cast<std::uintptr_t>(
+            blocks_[block_].data.get());
+        const std::uintptr_t p =
+            (base + used_ + align - 1) & ~(std::uintptr_t{align} - 1);
+        return static_cast<std::size_t>(p - base);
+    }
+
+    void *
+    allocBytes(std::size_t bytes, std::size_t align)
+    {
+        if (blocks_.empty() || block_ >= blocks_.size() ||
+            alignedOffset(align) + bytes > blocks_[block_].size)
+            advance(bytes + align - 1); // worst-case padding
+        const std::size_t aligned = alignedOffset(align);
+        void *p = blocks_[block_].data.get() + aligned;
+        used_ = aligned + bytes;
+        return p;
+    }
+
+    /** Move to the next block able to hold @p need bytes, making one
+     *  when no recycled block fits (oversized requests get a block of
+     *  their own). */
+    void
+    advance(std::size_t need)
+    {
+        const std::size_t next = blocks_.empty() ? 0 : block_ + 1;
+        if (next < blocks_.size() && blocks_[next].size >= need) {
+            block_ = next;
+            used_ = 0;
+            return;
+        }
+        Block b;
+        b.size = need > blockBytes_ ? need : blockBytes_;
+        b.data = std::make_unique<std::byte[]>(b.size);
+        blocks_.insert(blocks_.begin() + static_cast<std::ptrdiff_t>(next),
+                       std::move(b));
+        block_ = next;
+        used_ = 0;
+    }
+
+    std::size_t blockBytes_;
+    std::vector<Block> blocks_;
+    std::size_t block_ = 0;
+    /** Offset into blocks_[block_]; ignored while blocks_ is empty. */
+    std::size_t used_ = 0;
+};
+
+} // namespace rr::sim
+
+#endif // RR_SIM_ARENA_HH

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "sim/jobs.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -11,13 +12,6 @@ namespace rr::sim
 
 namespace
 {
-
-std::uint32_t
-hardwareWorkers()
-{
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : hw;
-}
 
 std::uint64_t
 splitmix64(std::uint64_t x)
@@ -31,7 +25,7 @@ splitmix64(std::uint64_t x)
 } // namespace
 
 SweepRunner::SweepRunner(std::uint32_t workers, std::uint64_t base_seed)
-    : workers_(workers == 0 ? hardwareWorkers() : workers),
+    : workers_(resolveJobs(workers)),
       baseSeed_(base_seed)
 {
 }

@@ -3,23 +3,13 @@
 #include <chrono>
 #include <thread>
 
+#include "sim/jobs.hh"
+
 namespace rr::sim
 {
 
-namespace
-{
-
-std::uint32_t
-hardwareWorkers()
-{
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : hw;
-}
-
-} // namespace
-
 TaskPool::TaskPool(std::uint32_t workers)
-    : workers_(workers == 0 ? hardwareWorkers() : workers)
+    : workers_(resolveJobs(workers)), local_(workers_)
 {
 }
 
@@ -31,6 +21,20 @@ TaskPool::submit(Task task)
         if (cancelled_)
             return;
         queue_.push_back(std::move(task));
+        ++queued_;
+    }
+    cv_.notify_one();
+}
+
+void
+TaskPool::submit(Task task, std::uint32_t affinity)
+{
+    {
+        std::lock_guard lock(mu_);
+        if (cancelled_)
+            return;
+        local_[affinity % workers_].push_back(std::move(task));
+        ++queued_;
     }
     cv_.notify_one();
 }
@@ -42,8 +46,33 @@ TaskPool::cancelPending()
         std::lock_guard lock(mu_);
         cancelled_ = true;
         queue_.clear();
+        for (auto &q : local_)
+            q.clear();
+        queued_ = 0;
     }
     cv_.notify_all();
+}
+
+TaskPool::Task
+TaskPool::takeLocked(std::uint32_t worker_index)
+{
+    auto pop_front = [this](std::deque<Task> &q) {
+        Task t = std::move(q.front());
+        q.pop_front();
+        --queued_;
+        return t;
+    };
+    if (!local_[worker_index].empty())
+        return pop_front(local_[worker_index]);
+    if (!queue_.empty())
+        return pop_front(queue_);
+    // Steal the oldest task of the nearest busy neighbour.
+    for (std::uint32_t i = 1; i < workers_; ++i) {
+        std::deque<Task> &q = local_[(worker_index + i) % workers_];
+        if (!q.empty())
+            return pop_front(q);
+    }
+    return {};
 }
 
 void
@@ -53,11 +82,10 @@ TaskPool::workerLoop(std::uint32_t worker_index, DrainStats &stats)
     for (;;) {
         std::unique_lock lock(mu_);
         cv_.wait(lock,
-                 [this] { return !queue_.empty() || inflight_ == 0; });
-        if (queue_.empty())
+                 [this] { return queued_ != 0 || inflight_ == 0; });
+        if (queued_ == 0)
             return; // inflight_ == 0: nothing left, nothing coming.
-        Task task = std::move(queue_.front());
-        queue_.pop_front();
+        Task task = takeLocked(worker_index);
         ++inflight_;
         lock.unlock();
 
@@ -70,10 +98,12 @@ TaskPool::workerLoop(std::uint32_t worker_index, DrainStats &stats)
 
         lock.lock();
         --inflight_;
-        const bool done = queue_.empty() && inflight_ == 0;
+        const bool done = queued_ == 0 && inflight_ == 0;
         lock.unlock();
         if (done)
             cv_.notify_all(); // release workers parked on "in flight"
+        else
+            cv_.notify_one(); // a hinted task may await a busy worker
     }
 }
 

@@ -47,6 +47,17 @@ class TaskPool
     void submit(Task task);
 
     /**
+     * Enqueue with an affinity hint: the task lands on worker
+     * `affinity % workers()`'s local queue and runs there unless that
+     * worker falls idle last — idle workers steal from the shared
+     * queue first, then from other workers' local queues, so a hint
+     * can delay a task but never strand it. The parallel replayer
+     * hints with the interval's core id, which keeps a core's chain
+     * (and its write-set pages) on a stable worker.
+     */
+    void submit(Task task, std::uint32_t affinity);
+
+    /**
      * Drop every queued-but-not-started task and refuse new submits
      * for the remainder of the current drain. In-flight tasks run to
      * completion. Used to stop the world after a replay divergence.
@@ -74,12 +85,18 @@ class TaskPool
 
   private:
     void workerLoop(std::uint32_t worker_index, DrainStats &stats);
+    /** Pop the next task for @p worker_index; caller holds mu_ and
+     *  guarantees queued_ != 0. */
+    Task takeLocked(std::uint32_t worker_index);
 
     const std::uint32_t workers_;
 
     std::mutex mu_;
     std::condition_variable cv_;
     std::deque<Task> queue_;
+    /** Per-worker affinity queues; queued_ counts queue_ + local_. */
+    std::vector<std::deque<Task>> local_;
+    std::uint64_t queued_ = 0;
     std::uint32_t inflight_ = 0;
     bool cancelled_ = false;
 };

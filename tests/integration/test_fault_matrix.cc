@@ -28,6 +28,8 @@
 #include <cerrno>
 #include <cstdio>
 #include <fstream>
+
+#include <unistd.h>
 #include <memory>
 #include <string>
 #include <vector>
@@ -239,8 +241,12 @@ class TransientIoFaults : public ::testing::TestWithParam<const char *>
 
 TEST_P(TransientIoFaults, AreAbsorbedAndInvisibleInTheFinalBytes)
 {
-    const std::string clean_path = tmpPathFor("io_clean");
-    const std::string fault_path = tmpPathFor("io_fault");
+    // Per-process suffix: the parameterized instances run concurrently
+    // under `ctest -j` and must not clobber each other's files.
+    const std::string uniq = std::to_string(
+        static_cast<unsigned long>(::getpid()));
+    const std::string clean_path = tmpPathFor("io_clean_" + uniq);
+    const std::string fault_path = tmpPathFor("io_fault_" + uniq);
     {
         InjectorGuard guard("");
         recordKernel(clean_path, sim::RecorderMode::Opt);

@@ -182,6 +182,50 @@ TEST(ParallelReplayer, MeasuredScheduleAccountingIsSane)
     EXPECT_GT(res.engineStats.counterValue("words_committed"), 0u);
 }
 
+TEST(ParallelReplayer, BatchedAndUnbatchedCommitsAreBitIdentical)
+{
+    // The batched-commit optimization defers same-core-chain commits
+    // until a cross-core successor (or the chain end) needs them; with
+    // it off every interval commits individually. Both must reproduce
+    // the recording exactly, and batching can only ever commit fewer
+    // (deduplicated) words.
+    for (const char *kernel : {"ocean", "fft"}) {
+        const DepRun run =
+            recordWithDeps(kernel, 4, sim::RecorderMode::Opt, 512);
+        std::vector<std::uint64_t> seq_hashes(4, 0);
+        const rnr::ReplayResult seq = runSequential(run, seq_hashes);
+
+        std::uint64_t words_batched = 0, words_unbatched = 0;
+        for (const bool batch : {false, true}) {
+            for (const std::uint32_t workers : {2u, 8u}) {
+                rnr::ParallelReplayOptions opts;
+                opts.workers = workers;
+                opts.batchCommits = batch;
+                rnr::ParallelReplayer rep(run.workload.program,
+                                          run.patched,
+                                          run.initial.clone(), opts);
+                std::vector<std::uint64_t> hashes(4, 0);
+                rep.setLoadHook([&](sim::CoreId c, std::uint64_t v) {
+                    hashes[c] = machine::mixLoadValue(hashes[c], v);
+                });
+                const rnr::ReplayResult res = rep.run();
+                EXPECT_EQ(res.memory.fingerprint(),
+                          seq.memory.fingerprint())
+                    << kernel << " batch=" << batch
+                    << " workers=" << workers;
+                EXPECT_EQ(res.instructions, seq.instructions);
+                EXPECT_EQ(res.intervals, seq.intervals);
+                EXPECT_EQ(hashes, seq_hashes);
+                const std::uint64_t words =
+                    res.engineStats.counterValue("words_committed");
+                EXPECT_GT(words, 0u);
+                (batch ? words_batched : words_unbatched) = words;
+            }
+        }
+        EXPECT_LE(words_batched, words_unbatched) << kernel;
+    }
+}
+
 TEST(ParallelReplayer, SingleWorkerRunsInline)
 {
     const DepRun run =

@@ -16,8 +16,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <vector>
+
+#include <sys/resource.h>
 
 #include "rnr/logstore.hh"
 #include "sim/rng.hh"
@@ -917,6 +920,290 @@ TEST(LogStorePartial, BudgetFlushesAConsistentPrefixAndFlagsPartial)
                   std::abs(static_cast<long>(got[0].intervals.size()) -
                            static_cast<long>(got[1].intervals.size()))),
               1u);
+    std::remove(path.c_str());
+}
+
+// --- zero-copy (mmap) ingest and parallel decode ---
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define RR_TEST_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define RR_TEST_UNDER_SANITIZER 1
+#endif
+#endif
+#ifndef RR_TEST_UNDER_SANITIZER
+#define RR_TEST_UNDER_SANITIZER 0
+#endif
+
+TEST(LogStoreIngest, MmapMatchesStreamed)
+{
+    const std::string path = tempPath("mmap_match");
+    const auto logs = writeSample(path, 3, /*deps=*/true);
+
+    LogReader streamed(path, IngestMode::Streamed);
+    EXPECT_EQ(streamed.ingestMode(), IngestMode::Streamed);
+    LogReader mapped(path, IngestMode::Mmap);
+    EXPECT_EQ(mapped.ingestMode(), IngestMode::Mmap);
+    EXPECT_EQ(streamed.fileBytes(), mapped.fileBytes());
+
+    expectLogsEq(streamed.readAll(), logs);
+    expectLogsEq(mapped.readAll(), logs);
+    EXPECT_TRUE(LogReader(path, IngestMode::Mmap).verify().empty());
+
+    // Auto prefers the zero-copy path on a regular file.
+    EXPECT_EQ(LogReader(path).ingestMode(), IngestMode::Mmap);
+    std::remove(path.c_str());
+}
+
+TEST(LogStoreIngest, ParallelDecodeMatchesSequential)
+{
+    // Sweep worker counts x chunk sizes (many tiny chunks stress the
+    // per-chunk arena staging; one big chunk stresses the serial
+    // fallback) under both ingest modes.
+    const auto logs = makeFullLogs(4, 50);
+    for (const std::size_t chunk_bytes : {std::size_t{16},
+                                          std::size_t{256},
+                                          std::size_t{1} << 20}) {
+        const std::string path =
+            tempPath("par_" + std::to_string(chunk_bytes));
+        writeWithChunkTarget(path, logs, chunk_bytes);
+        const auto want = LogReader(path, IngestMode::Streamed).readAll();
+        expectLogsEq(want, logs);
+        for (const std::uint32_t workers : {1u, 2u, 8u}) {
+            for (const IngestMode mode :
+                 {IngestMode::Streamed, IngestMode::Mmap}) {
+                LogReader reader(path, mode);
+                expectLogsEq(reader.readAllParallel(workers), want);
+            }
+        }
+        std::remove(path.c_str());
+    }
+}
+
+/** One decode attempt, with any LogStoreError captured for parity
+ *  comparison across ingest modes and decode strategies. */
+struct DecodeOutcome
+{
+    bool threw = false;
+    std::string message;
+    std::uint64_t offset = 0;
+    std::int64_t seq = 0;
+    LogErrorKind kind = LogErrorKind::Format;
+    std::uint64_t intervals = 0;
+};
+
+DecodeOutcome
+decodeOutcome(const std::string &path, IngestMode mode, bool parallel,
+              std::uint32_t workers = 4)
+{
+    DecodeOutcome o;
+    try {
+        LogReader reader(path, mode);
+        const auto logs =
+            parallel ? reader.readAllParallel(workers) : reader.readAll();
+        for (const auto &log : logs)
+            o.intervals += log.intervals.size();
+    } catch (const LogStoreError &e) {
+        o.threw = true;
+        o.message = e.what();
+        o.offset = e.fileOffset();
+        o.seq = e.chunkSeq();
+        o.kind = e.kind();
+    }
+    return o;
+}
+
+TEST(LogStoreIngest, CorruptionMatrixIngestParity)
+{
+    // Every corruption class x {streamed, mmap} x {sequential,
+    // parallel}: all four readers must agree on the exact outcome —
+    // same error message, file offset, chunk seq and kind (or the same
+    // successful decode). This pins the parallel mmap path to the
+    // sequential streamed path's error behavior.
+    const auto logs = makeFullLogs(3, 20);
+    const std::string path = tempPath("parity");
+    writeWithChunkTarget(path, logs, 64);
+    const auto pristine = slurp(path);
+
+    struct Case
+    {
+        const char *name;
+        std::function<void(std::vector<std::uint8_t> &)> corrupt;
+    };
+    const std::vector<Case> cases = {
+        {"pristine", [](std::vector<std::uint8_t> &) {}},
+        {"payload_bit_flip",
+         [](std::vector<std::uint8_t> &b) {
+             const std::uint64_t off =
+                 findChunk(b, fmt::ChunkType::Data);
+             b[off + fmt::kChunkHeaderBytes] ^= 0x20;
+         }},
+        {"late_payload_bit_flip",
+         [](std::vector<std::uint8_t> &b) {
+             // Corrupt a *late* data chunk: the parallel decoder may
+             // finish other chunks first but must still report this
+             // one (first in file order).
+             std::uint64_t off = fmt::kFileHeaderBytes, last = 0;
+             while (off + fmt::kChunkHeaderBytes <= b.size()) {
+                 fmt::ChunkHeader h;
+                 ASSERT_TRUE(
+                     fmt::ChunkHeader::decode(b.data() + off, h));
+                 if (h.type == fmt::ChunkType::Data)
+                     last = off;
+                 off += fmt::kChunkHeaderBytes + h.payloadBytes();
+             }
+             ASSERT_NE(last, 0u);
+             b[last + fmt::kChunkHeaderBytes] ^= 0x20;
+         }},
+        {"chunk_header_bit_flip",
+         [](std::vector<std::uint8_t> &b) {
+             const std::uint64_t off =
+                 findChunk(b, fmt::ChunkType::Data);
+             b[off + 16] ^= 0x01;
+         }},
+        {"zeroed_chunk",
+         [](std::vector<std::uint8_t> &b) {
+             fmt::ChunkHeader h;
+             const std::uint64_t off =
+                 findChunk(b, fmt::ChunkType::Data, &h);
+             const std::uint64_t len =
+                 fmt::kChunkHeaderBytes + h.payloadBytes();
+             for (std::uint64_t i = 0; i < len; ++i)
+                 b[off + i] = 0;
+         }},
+        {"truncated_mid_payload",
+         [](std::vector<std::uint8_t> &b) {
+             const std::uint64_t off =
+                 findChunk(b, fmt::ChunkType::Data);
+             b.resize(off + fmt::kChunkHeaderBytes + 1);
+         }},
+        {"truncated_mid_header",
+         [](std::vector<std::uint8_t> &b) {
+             const std::uint64_t off =
+                 findChunk(b, fmt::ChunkType::Data);
+             b.resize(off + 7);
+         }},
+        {"missing_end_marker",
+         [](std::vector<std::uint8_t> &b) {
+             b.resize(b.size() - fmt::kChunkHeaderBytes);
+         }},
+        {"summary_payload_bit_flip",
+         [](std::vector<std::uint8_t> &b) {
+             const std::uint64_t off =
+                 findChunk(b, fmt::ChunkType::Summary);
+             b[off + fmt::kChunkHeaderBytes] ^= 0x04;
+         }},
+    };
+
+    for (const Case &c : cases) {
+        auto bytes = pristine;
+        c.corrupt(bytes);
+        spew(path, bytes);
+
+        const DecodeOutcome want =
+            decodeOutcome(path, IngestMode::Streamed, false);
+        for (const bool parallel : {false, true}) {
+            for (const IngestMode mode :
+                 {IngestMode::Streamed, IngestMode::Mmap}) {
+                if (!parallel && mode == IngestMode::Streamed)
+                    continue; // that's `want` itself
+                const DecodeOutcome got =
+                    decodeOutcome(path, mode, parallel);
+                EXPECT_EQ(got.threw, want.threw) << c.name;
+                EXPECT_EQ(got.message, want.message) << c.name;
+                EXPECT_EQ(got.offset, want.offset) << c.name;
+                EXPECT_EQ(got.seq, want.seq) << c.name;
+                EXPECT_EQ(got.kind, want.kind) << c.name;
+                EXPECT_EQ(got.intervals, want.intervals) << c.name;
+            }
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(LogStoreIngest, WalkIntervalsEarlyStop)
+{
+    const std::string path = tempPath("walk_stop");
+    writeSample(path); // 10 intervals across 2 data chunks
+
+    LogReader reader(path);
+    std::uint64_t seen = 0;
+    const bool complete = reader.walkIntervals(
+        [&seen](rr::sim::CoreId, const IntervalRecord &,
+                const LogReader::ChunkView &) {
+            return ++seen < 3; // stop after the third interval
+        });
+    EXPECT_FALSE(complete);
+    EXPECT_EQ(seen, 3u);
+
+    // A full walk reports completion and sees everything, with
+    // monotonically non-decreasing chunk offsets.
+    seen = 0;
+    std::uint64_t last_offset = 0;
+    const bool full = LogReader(path).walkIntervals(
+        [&](rr::sim::CoreId, const IntervalRecord &,
+            const LogReader::ChunkView &view) {
+            ++seen;
+            EXPECT_GE(view.offset, last_offset);
+            last_offset = view.offset;
+            return true;
+        });
+    EXPECT_TRUE(full);
+    EXPECT_EQ(seen, 10u);
+    std::remove(path.c_str());
+}
+
+TEST(LogStoreIngest, StreamingWalkKeepsRssBounded)
+{
+    if (RR_TEST_UNDER_SANITIZER)
+        GTEST_SKIP() << "RSS accounting is meaningless under sanitizers";
+
+    // A file holding several MiB of intervals, walked with the
+    // streaming API (the rrlog stats/dump path): peak RSS must grow by
+    // far less than the file size, because only one chunk is ever
+    // resident.
+    const std::string path = tempPath("rss");
+    rr::sim::Rng rng(23);
+    {
+        LogWriter writer(path, makeMeta(1));
+        IntervalRecord iv;
+        for (int i = 0; i < 400'000; ++i) {
+            iv.entries.clear();
+            iv.entries.push_back(
+                LogEntry::inorderBlock(1 + rng.below(64)));
+            iv.entries.push_back(LogEntry::reorderedLoad(rng.next()));
+            iv.cisn = static_cast<rr::sim::Isn>(i);
+            iv.timestamp = static_cast<std::uint64_t>(i) + 1;
+            writer.append(0, iv);
+        }
+        RecordingSummary s;
+        s.cores.push_back(CoreReplaySummary{400'000, 0, 0, 0});
+        writer.finish(s);
+    }
+    const std::uint64_t file_bytes = slurp(path).size();
+    ASSERT_GT(file_bytes, 4u << 20);
+
+    struct rusage before;
+    ASSERT_EQ(getrusage(RUSAGE_SELF, &before), 0);
+    std::uint64_t seen = 0;
+    LogReader reader(path, IngestMode::Streamed);
+    reader.walkIntervals([&seen](rr::sim::CoreId,
+                                 const IntervalRecord &,
+                                 const LogReader::ChunkView &) {
+        ++seen;
+        return true;
+    });
+    struct rusage after;
+    ASSERT_EQ(getrusage(RUSAGE_SELF, &after), 0);
+    EXPECT_EQ(seen, 400'000u);
+
+    // ru_maxrss is KiB on Linux. Allow generous slack (allocator
+    // overhead, the slurp above) — the point is "not O(file size)".
+    const long grown_kib = after.ru_maxrss - before.ru_maxrss;
+    EXPECT_LT(grown_kib, static_cast<long>(file_bytes >> 11))
+        << "walk grew RSS by " << grown_kib << " KiB over a "
+        << (file_bytes >> 10) << " KiB file";
     std::remove(path.c_str());
 }
 

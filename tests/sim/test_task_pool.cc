@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -98,6 +100,88 @@ TEST(TaskPool, ZeroMeansAllHardwareThreads)
 {
     TaskPool pool(0);
     EXPECT_GE(pool.workers(), 1u);
+}
+
+TEST(TaskPool, AffinityTasksAllRunExactlyOnce)
+{
+    TaskPool pool(4);
+    std::vector<std::atomic<int>> ran(100);
+    for (auto &r : ran)
+        r = 0;
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&ran, i] { ++ran[i]; },
+                    static_cast<std::uint32_t>(i % 7));
+    const auto stats = pool.drain();
+    EXPECT_EQ(stats.tasksRun, 100u);
+    for (const auto &r : ran)
+        EXPECT_EQ(r.load(), 1);
+}
+
+TEST(TaskPool, AffinityHintNeverStrandsTasks)
+{
+    // Every task hints at the same worker; idle workers must steal
+    // from its local queue rather than let the backlog serialize.
+    TaskPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 48; ++i)
+        pool.submit(
+            [&ran] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                ++ran;
+            },
+            0);
+    const auto stats = pool.drain();
+    EXPECT_EQ(ran.load(), 48);
+    std::uint32_t busy_workers = 0;
+    for (const auto t : stats.workerTasks)
+        busy_workers += t != 0;
+    EXPECT_GT(busy_workers, 1u);
+}
+
+TEST(TaskPool, AffinitySubmitFromInsideATask)
+{
+    // A per-"core" chain submitted link by link with a stable hint —
+    // the parallel replayer's same-core continuation pattern.
+    TaskPool pool(4);
+    std::array<std::atomic<int>, 3> depth{};
+    std::function<void(std::uint32_t, int)> link =
+        [&](std::uint32_t core, int d) {
+            ++depth[core];
+            if (d < 40)
+                pool.submit([&link, core, d] { link(core, d + 1); },
+                            core);
+        };
+    for (std::uint32_t core = 0; core < 3; ++core)
+        pool.submit([&link, core] { link(core, 1); }, core);
+    const auto stats = pool.drain();
+    EXPECT_EQ(stats.tasksRun, 3u * 40u);
+    for (const auto &d : depth)
+        EXPECT_EQ(d.load(), 40);
+}
+
+TEST(TaskPool, MixedPlainAndAffinitySubmits)
+{
+    TaskPool pool(3);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 60; ++i) {
+        if (i % 2 == 0)
+            pool.submit([&ran] { ++ran; });
+        else
+            pool.submit([&ran] { ++ran; },
+                        static_cast<std::uint32_t>(i));
+    }
+    EXPECT_EQ(pool.drain().tasksRun, 60u);
+    EXPECT_EQ(ran.load(), 60);
+}
+
+TEST(TaskPool, AffinityOnSingleWorkerRunsInline)
+{
+    TaskPool pool(1);
+    std::thread::id runner;
+    pool.submit([&runner] { runner = std::this_thread::get_id(); }, 5);
+    EXPECT_EQ(pool.drain().tasksRun, 1u);
+    EXPECT_TRUE(runner == std::this_thread::get_id());
 }
 
 } // namespace

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_replay_throughput.json files.
+
+Usage: perf_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+
+For every stage present in both files, compares intervals_per_sec and
+fails (exit 1) when the current run is more than --threshold percent
+(default 20) slower than the baseline. Stages present in only one file
+are reported but not fatal (the stage set may legitimately evolve).
+Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"perf_compare: cannot read {path}: {e}")
+    stages = doc.get("stages")
+    if not isinstance(stages, dict) or not stages:
+        sys.exit(f"perf_compare: {path} has no stages")
+    return doc, stages
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Diff two replay-throughput bench results.")
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=20.0,
+                    help="max tolerated slowdown in percent (default 20)")
+    args = ap.parse_args()
+
+    base_doc, base = load(args.baseline)
+    cur_doc, cur = load(args.current)
+
+    if base_doc.get("kernel") != cur_doc.get("kernel") or \
+            base_doc.get("scale") != cur_doc.get("scale"):
+        print(f"note: comparing different workloads "
+              f"({base_doc.get('kernel')}/{base_doc.get('scale')} vs "
+              f"{cur_doc.get('kernel')}/{cur_doc.get('scale')})")
+
+    regressions = []
+    print(f"{'stage':<28}{'baseline':>14}{'current':>14}{'delta':>9}")
+    for name in base:
+        if name not in cur:
+            print(f"{name:<28}{'(only in baseline)':>37}")
+            continue
+        b = base[name].get("intervals_per_sec", 0.0)
+        c = cur[name].get("intervals_per_sec", 0.0)
+        if b <= 0:
+            print(f"{name:<28}{'(no baseline rate)':>37}")
+            continue
+        delta = 100.0 * (c - b) / b
+        print(f"{name:<28}{b:>14.0f}{c:>14.0f}{delta:>+8.1f}%")
+        if delta < -args.threshold:
+            regressions.append((name, delta))
+    for name in cur:
+        if name not in base:
+            print(f"{name:<28}{'(only in current)':>37}")
+
+    if regressions:
+        for name, delta in regressions:
+            print(f"FAIL: {name} regressed {delta:.1f}% "
+                  f"(threshold -{args.threshold:.0f}%)")
+        return 1
+    print(f"OK: no stage regressed more than {args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,6 +54,9 @@ usage()
         "  --core N         dump: restrict to one core\n"
         "  --max N          dump: intervals per core (default 8)\n"
         "  --stats-json F   stats: export the StatSets as JSON\n"
+        "  --ingest MODE    read path: auto (default; mmap with "
+        "streamed fallback),\n"
+        "                   mmap (zero-copy, required) or stream\n"
         "repair salvages FILE's consistent prefix into FILE2.\n"
         "exit codes: 0 ok, 1 corrupt/differs, 2 usage, 3 I/O error.\n");
     std::exit(2);
@@ -66,6 +69,7 @@ struct Options
     std::uint32_t core = UINT32_MAX;
     std::uint64_t max = 8;
     std::string statsJson;
+    rnr::IngestMode ingest = rnr::IngestMode::Auto;
 };
 
 Options
@@ -97,7 +101,17 @@ parse(int argc, char **argv)
             o.max = std::strtoull(next().c_str(), nullptr, 10);
         else if (arg == "--stats-json")
             o.statsJson = next();
-        else if (arg.rfind("--", 0) == 0)
+        else if (arg == "--ingest") {
+            const std::string m = next();
+            if (m == "auto")
+                o.ingest = rnr::IngestMode::Auto;
+            else if (m == "mmap")
+                o.ingest = rnr::IngestMode::Mmap;
+            else if (m == "stream")
+                o.ingest = rnr::IngestMode::Streamed;
+            else
+                usage();
+        } else if (arg.rfind("--", 0) == 0)
             usage();
         else if (o.command.empty())
             o.command = arg;
@@ -171,7 +185,7 @@ printMeta(const rnr::LogReader &reader)
 int
 cmdInfo(const Options &o)
 {
-    rnr::LogReader reader(o.files[0]);
+    rnr::LogReader reader(o.files[0], o.ingest);
     printMeta(reader);
     const rnr::LogFileInfo info = reader.info();
     std::printf("file            %llu bytes, %llu chunks "
@@ -209,7 +223,7 @@ cmdInfo(const Options &o)
 int
 cmdStats(const Options &o)
 {
-    rnr::LogReader reader(o.files[0]);
+    rnr::LogReader reader(o.files[0], o.ingest);
     std::vector<rnr::LogStats> per_core(reader.coreCount());
     std::vector<sim::StatSet> core_sets;
     for (std::uint32_t c = 0; c < reader.coreCount(); ++c)
@@ -219,9 +233,19 @@ cmdStats(const Options &o)
         total.histogram("entries_per_interval", 4, 16);
     sim::Histogram &bits_h = total.histogram("interval_bits", 64, 16);
 
-    reader.forEachInterval([&](sim::CoreId core,
-                               const rnr::IntervalRecord &iv,
-                               std::uint64_t, std::uint64_t) {
+    // One streaming pass: per-interval stats and on-disk payload bits
+    // (counted once per chunk — all of a chunk's intervals share a
+    // ChunkView) together, so the file is decoded once and peak memory
+    // stays one chunk regardless of file size.
+    std::uint64_t disk_payload_bits = 0;
+    std::uint64_t last_chunk_seq = 0; // the meta chunk; never data
+    reader.walkIntervals([&](sim::CoreId core,
+                             const rnr::IntervalRecord &iv,
+                             const rnr::LogReader::ChunkView &chunk) {
+        if (chunk.seq != last_chunk_seq) {
+            last_chunk_seq = chunk.seq;
+            disk_payload_bits += chunk.payloadBits;
+        }
         rnr::CoreLog one;
         one.intervals.push_back(iv);
         per_core[core].accumulate(one);
@@ -231,6 +255,7 @@ cmdStats(const Options &o)
         core_sets[core].counter("entries") += iv.entries.size();
         core_sets[core].counter("dependency_edges") +=
             iv.predecessors.size();
+        return true;
     });
 
     rnr::LogStats sum;
@@ -251,7 +276,6 @@ cmdStats(const Options &o)
         total.counter("reordered") += s.reordered();
         total.counter("model_bits") += s.totalBits;
     }
-    const rnr::LogFileInfo info = reader.info();
     std::printf("%-8s%12llu%12llu%12llu%12llu%12llu%14llu\n", "total",
                 (unsigned long long)sum.intervals,
                 (unsigned long long)sum.inorderInstructions,
@@ -261,15 +285,15 @@ cmdStats(const Options &o)
                 (unsigned long long)sum.totalBits);
     std::printf("\non disk         %llu bytes total, %llu data payload "
                 "bits (%.1f%% of the %llu-bit packed model)\n",
-                (unsigned long long)info.fileBytes,
-                (unsigned long long)info.payloadBits,
+                (unsigned long long)reader.fileBytes(),
+                (unsigned long long)disk_payload_bits,
                 sum.totalBits
-                    ? 100.0 * static_cast<double>(info.payloadBits) /
+                    ? 100.0 * static_cast<double>(disk_payload_bits) /
                           static_cast<double>(sum.totalBits)
                     : 0.0,
                 (unsigned long long)sum.totalBits);
-    total.counter("disk_bytes") += info.fileBytes;
-    total.counter("disk_payload_bits") += info.payloadBits;
+    total.counter("disk_bytes") += reader.fileBytes();
+    total.counter("disk_payload_bits") += disk_payload_bits;
 
     total.print(std::cout);
     if (!o.statsJson.empty()) {
@@ -291,31 +315,46 @@ cmdStats(const Options &o)
 int
 cmdDump(const Options &o)
 {
-    rnr::LogReader reader(o.files[0]);
+    rnr::LogReader reader(o.files[0], o.ingest);
     printMeta(reader);
     std::vector<std::uint64_t> shown(reader.coreCount(), 0);
-    reader.forEachInterval([&](sim::CoreId core,
-                               const rnr::IntervalRecord &iv,
-                               std::uint64_t chunk_seq, std::uint64_t) {
-        if (o.core != UINT32_MAX && core != o.core)
-            return;
-        if (shown[core]++ >= o.max)
-            return;
-        std::printf("core %u interval %llu (ts %llu, chunk %llu)", core,
-                    (unsigned long long)iv.cisn,
-                    (unsigned long long)iv.timestamp,
-                    (unsigned long long)chunk_seq);
-        for (const auto &d : iv.predecessors)
-            std::printf(" [after core%u#%llu]", d.core,
-                        (unsigned long long)d.isn);
-        std::printf(":\n");
-        for (const auto &e : iv.entries)
-            printEntry(e);
-    });
+    // Early stop: once every requested core is past --max, nothing
+    // later in the file can reach the output, so stop the walk — the
+    // remaining chunks are neither read nor decoded. Dumping the head
+    // of a multi-gigabyte log touches only its first chunks.
+    const bool walked_all = reader.walkIntervals(
+        [&](sim::CoreId core, const rnr::IntervalRecord &iv,
+            const rnr::LogReader::ChunkView &chunk) {
+            if (o.core != UINT32_MAX && core != o.core)
+                return true;
+            if (shown[core]++ < o.max) {
+                std::printf("core %u interval %llu (ts %llu, chunk "
+                            "%llu)",
+                            core, (unsigned long long)iv.cisn,
+                            (unsigned long long)iv.timestamp,
+                            (unsigned long long)chunk.seq);
+                for (const auto &d : iv.predecessors)
+                    std::printf(" [after core%u#%llu]", d.core,
+                                (unsigned long long)d.isn);
+                std::printf(":\n");
+                for (const auto &e : iv.entries)
+                    printEntry(e);
+            }
+            for (std::uint32_t c = 0; c < reader.coreCount(); ++c) {
+                if (o.core != UINT32_MAX && c != o.core)
+                    continue;
+                if (shown[c] <= o.max)
+                    return true; // this core may still print
+            }
+            return false;
+        });
     for (std::uint32_t c = 0; c < reader.coreCount(); ++c) {
         if (o.core != UINT32_MAX && c != o.core)
             continue;
-        if (shown[c] > o.max)
+        if (!walked_all && shown[c] > o.max)
+            std::printf("core %u: ... more intervals (not decoded)\n",
+                        c);
+        else if (shown[c] > o.max)
             std::printf("core %u: ... %llu more intervals\n", c,
                         (unsigned long long)(shown[c] - o.max));
     }
@@ -325,7 +364,7 @@ cmdDump(const Options &o)
 int
 cmdVerify(const Options &o)
 {
-    rnr::LogReader reader(o.files[0]);
+    rnr::LogReader reader(o.files[0], o.ingest);
     const std::vector<rnr::VerifyIssue> issues = reader.verify();
     if (issues.empty()) {
         std::printf("%s: OK (fingerprint %016llx, %u cores)\n",
@@ -361,10 +400,10 @@ exitCodeFor(const rnr::LogStoreError &e)
 }
 
 rnr::LogReader
-open(const std::string &path)
+open(const std::string &path, rnr::IngestMode mode)
 {
     try {
-        return rnr::LogReader(path);
+        return rnr::LogReader(path, mode);
     } catch (const rnr::LogStoreError &e) {
         std::fprintf(stderr, "rrlog: %s: %s\n", path.c_str(), e.what());
         std::exit(exitCodeFor(e));
@@ -376,7 +415,7 @@ cmdRepair(const Options &o)
 {
     const std::string &src = o.files[0];
     const std::string &dst = o.files[1];
-    rnr::LogReader reader(src);
+    rnr::LogReader reader(src, o.ingest);
     rnr::RecoveryResult rec = reader.recoverPrefix();
     for (const auto &issue : rec.issues)
         std::fprintf(stderr, "%s: offset %llu: %s\n", src.c_str(),
@@ -415,8 +454,8 @@ cmdRepair(const Options &o)
 int
 cmdDiff(const Options &o)
 {
-    rnr::LogReader a = open(o.files[0]);
-    rnr::LogReader b = open(o.files[1]);
+    rnr::LogReader a(open(o.files[0], o.ingest));
+    rnr::LogReader b(open(o.files[1], o.ingest));
     if (a.fingerprint() != b.fingerprint()) {
         std::printf("metadata differs: fingerprints %016llx vs %016llx "
                     "(%s/%u cores vs %s/%u cores)\n",

@@ -71,6 +71,7 @@ struct Options
     std::string faults;          // --faults fault-plan spec
     std::uint64_t chunkBytes = 0; // --chunk-bytes; 0 = format default
     bool allowPartial = false;   // replay: accept partial/torn files
+    rnr::IngestMode ingest = rnr::IngestMode::Auto; // --ingest
 };
 
 [[noreturn]] void
@@ -107,6 +108,10 @@ usage()
         "prefix of a\n"
         "                   partial or torn .rrlog instead of refusing "
         "it\n"
+        "  --ingest MODE    .rrlog read path: auto (default; mmap with "
+        "streamed\n"
+        "                   fallback), mmap (zero-copy, required), or "
+        "stream\n"
         "sweep takes a kernel name or 'all' for the whole suite.\n"
         "flags may appear before or after the command.\n");
     std::exit(2);
@@ -185,6 +190,16 @@ parse(int argc, char **argv)
             o.chunkBytes = parseNum(next());
         } else if (arg == "--allow-partial") {
             o.allowPartial = true;
+        } else if (arg == "--ingest") {
+            const std::string m = next();
+            if (m == "auto")
+                o.ingest = rnr::IngestMode::Auto;
+            else if (m == "mmap")
+                o.ingest = rnr::IngestMode::Mmap;
+            else if (m == "stream")
+                o.ingest = rnr::IngestMode::Streamed;
+            else
+                usage();
         } else {
             usage();
         }
@@ -392,7 +407,7 @@ cmdRecord(const Options &o)
 int
 cmdReplayFile(const Options &o)
 {
-    rnr::LogReader reader(o.kernel);
+    rnr::LogReader reader(o.kernel, o.ingest);
     const rnr::RecordingMeta &meta = reader.meta();
 
     // Full verification (against the recorded summary) only makes sense
@@ -434,7 +449,9 @@ cmdReplayFile(const Options &o)
             return 1;
         }
         summary = reader.summary();
-        logs = reader.readAll();
+        // Chunk payloads decode concurrently (identical result and
+        // errors to readAll); --jobs bounds the decode fan-out too.
+        logs = reader.readAllParallel(o.jobs);
     }
 
     std::printf("log file        %s (format v%u, fingerprint %016llx%s)\n",

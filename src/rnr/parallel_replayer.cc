@@ -233,6 +233,11 @@ ParallelReplayer::run()
     std::mutex divergence_mu;
     std::optional<DivergenceReport> divergence;
 
+    // Cooperative cancellation (opts_.abortCheck): any worker that
+    // observes the abort stops the world exactly like a divergence
+    // does — cancel pending tasks, let in-flight intervals finish.
+    std::atomic<bool> aborted{false};
+
     // Wall-clock duration of each interval's replay, written once by
     // whichever worker ran it (the drain barrier publishes them).
     // Feeds the measured schedule below.
@@ -252,6 +257,13 @@ ParallelReplayer::run()
     std::function<void(std::uint32_t)> run_node =
         [&](std::uint32_t id) {
             while (id != kNone) {
+                if (opts_.abortCheck &&
+                    (aborted.load(std::memory_order_relaxed) ||
+                     opts_.abortCheck())) {
+                    aborted.store(true, std::memory_order_relaxed);
+                    pool.cancelPending();
+                    return;
+                }
                 Node &node = nodes[id];
                 CoreMemory &cmem = core_mems[node.core];
                 IntervalInterpreter::Accum acc;
@@ -335,6 +347,8 @@ ParallelReplayer::run()
                 divergence->recentSteps.push_back(s);
         throw ReplayDivergence(std::move(*divergence));
     }
+    if (aborted.load())
+        throw ReplayAborted();
     RR_ASSERT(intervals_done.load() == total,
               "parallel replay stalled: %llu of %u intervals ran "
               "(dependency cycle?)",

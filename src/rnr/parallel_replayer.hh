@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <stdexcept>
 #include <vector>
 
 #include "isa/program.hh"
@@ -44,6 +45,15 @@
 namespace rr::rnr
 {
 
+/**
+ * Thrown by ParallelReplayer::run() when ParallelReplayOptions::
+ * abortCheck fired: the replay was cancelled, not wrong.
+ */
+struct ReplayAborted : std::runtime_error
+{
+    ReplayAborted() : std::runtime_error("parallel replay aborted") {}
+};
+
 struct ParallelReplayOptions
 {
     /** Worker threads; 0 = all hardware threads. */
@@ -52,6 +62,14 @@ struct ParallelReplayOptions
     ReplayCostModel costModel{};
     /** Lock shards of the shared memory image. */
     std::uint32_t shards = 64;
+    /**
+     * Cooperative abort: polled once per interval by every worker.
+     * When it returns true the engine cancels all pending work,
+     * lets in-flight intervals finish, and run() throws ReplayAborted.
+     * Used by the replay service for job cancellation and timeouts;
+     * replay state is abandoned, so partial progress is not visible.
+     */
+    std::function<bool()> abortCheck;
     /**
      * Aggregate the write sets of same-core interval chains and commit
      * them to the sharded image in one batched call per chain segment.

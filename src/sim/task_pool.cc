@@ -13,6 +13,12 @@ TaskPool::TaskPool(std::uint32_t workers)
 {
 }
 
+TaskPool::~TaskPool()
+{
+    if (serving())
+        stop(/*finish_queued=*/false);
+}
+
 void
 TaskPool::submit(Task task)
 {
@@ -39,18 +45,115 @@ TaskPool::submit(Task task, std::uint32_t affinity)
     cv_.notify_one();
 }
 
-void
+std::uint64_t
+TaskPool::dropQueuedLocked()
+{
+    const std::uint64_t dropped = queued_;
+    queue_.clear();
+    for (auto &q : local_)
+        q.clear();
+    queued_ = 0;
+    return dropped;
+}
+
+std::uint64_t
 TaskPool::cancelPending()
+{
+    std::uint64_t dropped;
+    {
+        std::lock_guard lock(mu_);
+        // Latching the refuse-new-submits flag only makes sense inside
+        // a drain(), whose completion re-arms it. A serving pool has
+        // no such point: latching here would silently drop every
+        // later submit forever, wedging the daemon after its first
+        // cancellation.
+        if (!serving_)
+            cancelled_ = true;
+        dropped = dropQueuedLocked();
+    }
+    cv_.notify_all();
+    return dropped;
+}
+
+void
+TaskPool::start()
 {
     {
         std::lock_guard lock(mu_);
-        cancelled_ = true;
-        queue_.clear();
-        for (auto &q : local_)
-            q.clear();
-        queued_ = 0;
+        serving_ = true;
+        stopping_ = false;
+        stopFinishQueued_ = true;
+        serviceTasksRun_ = 0;
+    }
+    serviceThreads_.reserve(workers_);
+    for (std::uint32_t w = 0; w < workers_; ++w)
+        serviceThreads_.emplace_back([this, w] { serviceLoop(w); });
+}
+
+std::uint64_t
+TaskPool::stop(bool finish_queued)
+{
+    std::uint64_t dropped = 0;
+    {
+        std::lock_guard lock(mu_);
+        stopping_ = true;
+        stopFinishQueued_ = finish_queued;
+        if (!finish_queued)
+            dropped = dropQueuedLocked();
     }
     cv_.notify_all();
+    for (auto &t : serviceThreads_)
+        t.join();
+    serviceThreads_.clear();
+    {
+        std::lock_guard lock(mu_);
+        serving_ = false;
+        stopping_ = false;
+        // Tasks submitted after the workers decided to exit stay
+        // queued for the next start()/drain() cycle, like a submit
+        // racing the end of a drain.
+    }
+    return dropped;
+}
+
+bool
+TaskPool::serving() const
+{
+    std::lock_guard lock(mu_);
+    return serving_;
+}
+
+std::uint64_t
+TaskPool::serviceTasksRun() const
+{
+    std::lock_guard lock(mu_);
+    return serviceTasksRun_;
+}
+
+void
+TaskPool::serviceLoop(std::uint32_t worker_index)
+{
+    for (;;) {
+        std::unique_lock lock(mu_);
+        cv_.wait(lock, [this] { return queued_ != 0 || stopping_; });
+        if (stopping_ && (queued_ == 0 || !stopFinishQueued_))
+            return;
+        Task task = takeLocked(worker_index);
+        ++inflight_;
+        lock.unlock();
+
+        task();
+
+        lock.lock();
+        --inflight_;
+        ++serviceTasksRun_;
+        const bool idle = queued_ == 0 && inflight_ == 0;
+        lock.unlock();
+        if (idle)
+            cv_.notify_all(); // wake stop()'s drain wait / peers to exit
+        else
+            cv_.notify_one(); // a hinted task may await a busy worker
+    }
 }
 
 TaskPool::Task

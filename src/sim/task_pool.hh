@@ -23,6 +23,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 namespace rr::sim
@@ -35,14 +36,16 @@ class TaskPool
 
     /** @param workers Worker threads; 0 = all hardware threads. */
     explicit TaskPool(std::uint32_t workers = 0);
+    ~TaskPool();
 
     std::uint32_t workers() const { return workers_; }
 
     /**
      * Enqueue a task. Thread-safe; callable both before drain() and
      * from inside a running task. Dropped silently after
-     * cancelPending() (the flag re-arms when the cancelled drain()
-     * returns).
+     * cancelPending() during a drain() (the flag re-arms when the
+     * cancelled drain() returns); in service mode submits are never
+     * silently dropped — see cancelPending().
      */
     void submit(Task task);
 
@@ -58,11 +61,41 @@ class TaskPool
     void submit(Task task, std::uint32_t affinity);
 
     /**
-     * Drop every queued-but-not-started task and refuse new submits
-     * for the remainder of the current drain. In-flight tasks run to
-     * completion. Used to stop the world after a replay divergence.
+     * Drop every queued-but-not-started task; in-flight tasks run to
+     * completion. Returns the number of tasks dropped.
+     *
+     * During a drain() the pool additionally refuses new submits for
+     * the remainder of that drain (stop-the-world after a replay
+     * divergence). In service mode there is no drain end to re-arm
+     * the flag, so cancelPending() only clears what is queued *now*
+     * and later submits are accepted — a long-lived server must not
+     * be wedged by one cancellation.
      */
-    void cancelPending();
+    std::uint64_t cancelPending();
+
+    /**
+     * Service mode: spawn workers() persistent threads that execute
+     * tasks as they are submitted and otherwise sleep. Unlike drain(),
+     * the pool stays alive through idle periods — the shape a
+     * long-lived daemon needs. Not reentrant; do not mix a running
+     * service with drain().
+     */
+    void start();
+
+    /**
+     * Leave service mode. With @p finish_queued the workers first run
+     * everything already queued (graceful drain); otherwise queued
+     * tasks are dropped (their count is returned) and only in-flight
+     * tasks finish. Joins all workers before returning. The pool can
+     * be start()ed again afterwards.
+     */
+    std::uint64_t stop(bool finish_queued = true);
+
+    /** True between start() and stop(). */
+    bool serving() const;
+
+    /** Tasks executed since start() (service mode only). */
+    std::uint64_t serviceTasksRun() const;
 
     /** What one drain() did, for utilization stats. */
     struct DrainStats
@@ -85,13 +118,16 @@ class TaskPool
 
   private:
     void workerLoop(std::uint32_t worker_index, DrainStats &stats);
+    void serviceLoop(std::uint32_t worker_index);
     /** Pop the next task for @p worker_index; caller holds mu_ and
      *  guarantees queued_ != 0. */
     Task takeLocked(std::uint32_t worker_index);
+    /** Clear all queues; caller holds mu_. Returns tasks dropped. */
+    std::uint64_t dropQueuedLocked();
 
     const std::uint32_t workers_;
 
-    std::mutex mu_;
+    mutable std::mutex mu_;
     std::condition_variable cv_;
     std::deque<Task> queue_;
     /** Per-worker affinity queues; queued_ counts queue_ + local_. */
@@ -99,6 +135,14 @@ class TaskPool
     std::uint64_t queued_ = 0;
     std::uint32_t inflight_ = 0;
     bool cancelled_ = false;
+
+    // Service mode (all under mu_ except the thread handles, which
+    // only start()/stop() touch — callers serialize those two).
+    bool serving_ = false;
+    bool stopping_ = false;
+    bool stopFinishQueued_ = true;
+    std::uint64_t serviceTasksRun_ = 0;
+    std::vector<std::thread> serviceThreads_;
 };
 
 } // namespace rr::sim

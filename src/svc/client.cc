@@ -1,0 +1,206 @@
+#include "svc/client.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace rr::svc
+{
+
+Client::~Client()
+{
+    close();
+}
+
+Client::Client(Client &&other) noexcept
+    : fd_(other.fd_), inbuf_(std::move(other.inbuf_))
+{
+    other.fd_ = -1;
+}
+
+Client &
+Client::operator=(Client &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        inbuf_ = std::move(other.inbuf_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+std::optional<Client>
+Client::connectUnix(const std::string &path, std::string &error)
+{
+    sockaddr_un sun{};
+    sun.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(sun.sun_path)) {
+        error = "socket path too long: " + path;
+        return std::nullopt;
+    }
+    std::strncpy(sun.sun_path, path.c_str(),
+                 sizeof(sun.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return std::nullopt;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&sun),
+                  sizeof(sun)) != 0) {
+        error = "connect " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return std::nullopt;
+    }
+    return Client(fd);
+}
+
+std::optional<Client>
+Client::connectTcp(const std::string &host, int port,
+                   std::string &error)
+{
+    sockaddr_in sin{};
+    sin.sin_family = AF_INET;
+    sin.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &sin.sin_addr) != 1) {
+        error = "not an IPv4 address: " + host;
+        return std::nullopt;
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return std::nullopt;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&sin),
+                  sizeof(sin)) != 0) {
+        error = "connect " + host + ":" + std::to_string(port) + ": " +
+                std::strerror(errno);
+        ::close(fd);
+        return std::nullopt;
+    }
+    return Client(fd);
+}
+
+bool
+Client::sendLine(const std::string &line, std::string &error)
+{
+    std::string out = line;
+    out += '\n';
+    std::size_t off = 0;
+    while (off < out.size()) {
+        const ssize_t n =
+            ::write(fd_, out.data() + off, out.size() - off);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        error = std::string("write: ") + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+std::optional<std::string>
+Client::readLine(std::string &error, double timeout_sec)
+{
+    error.clear();
+    for (;;) {
+        const std::size_t nl = inbuf_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = inbuf_.substr(0, nl);
+            inbuf_.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            return line;
+        }
+        if (fd_ < 0)
+            return std::nullopt; // EOF already seen
+        if (timeout_sec > 0.0) {
+            pollfd pfd{fd_, POLLIN, 0};
+            const int rc =
+                ::poll(&pfd, 1,
+                       static_cast<int>(timeout_sec * 1000.0));
+            if (rc == 0)
+                return std::nullopt; // timeout, error stays empty
+            if (rc < 0) {
+                if (errno == EINTR)
+                    continue;
+                error = std::string("poll: ") + std::strerror(errno);
+                return std::nullopt;
+            }
+        }
+        char buf[4096];
+        const ssize_t n = ::read(fd_, buf, sizeof(buf));
+        if (n > 0) {
+            inbuf_.append(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0) {
+            close();
+            if (!inbuf_.empty()) { // final unterminated line
+                std::string line;
+                line.swap(inbuf_);
+                return line;
+            }
+            return std::nullopt;
+        }
+        if (errno == EINTR)
+            continue;
+        error = std::string("read: ") + std::strerror(errno);
+        return std::nullopt;
+    }
+}
+
+bool
+eventIsTerminal(const Json &event)
+{
+    const std::string &kind = event.get("event").asString();
+    return kind == "completed" || kind == "failed" ||
+           kind == "cancelled" || kind == "rejected";
+}
+
+std::uint64_t
+eventJobId(const Json &event)
+{
+    return static_cast<std::uint64_t>(event.get("job").asInt(0));
+}
+
+std::optional<std::string>
+Client::awaitTerminal(std::uint64_t job,
+                      std::vector<std::string> &transcript,
+                      std::string &error, double timeout_sec)
+{
+    for (;;) {
+        std::optional<std::string> line = readLine(error, timeout_sec);
+        if (!line)
+            return std::nullopt;
+        transcript.push_back(*line);
+        std::string perr;
+        std::optional<Json> ev = parseJson(*line, perr);
+        if (!ev)
+            continue; // not ours to judge; keep reading
+        if (eventIsTerminal(*ev) &&
+            (job == 0 || eventJobId(*ev) == job))
+            return line;
+    }
+}
+
+} // namespace rr::svc

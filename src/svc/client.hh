@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Blocking NDJSON client for the replay service — the transport under
+ * `rrsim submit` and the daemon tests. One instance = one connection;
+ * sendLine()/readLine() speak the newline-delimited protocol of
+ * src/svc/protocol.hh, and the higher-level helpers cover the common
+ * request/response shapes (ping, submit-and-wait).
+ */
+
+#ifndef RR_SVC_CLIENT_HH
+#define RR_SVC_CLIENT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "svc/protocol.hh"
+
+namespace rr::svc
+{
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+    Client(Client &&other) noexcept;
+    Client &operator=(Client &&other) noexcept;
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect to a Unix-domain service socket. */
+    static std::optional<Client>
+    connectUnix(const std::string &path, std::string &error);
+
+    /** Connect to a TCP service endpoint (host must be an IP). */
+    static std::optional<Client>
+    connectTcp(const std::string &host, int port, std::string &error);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** Send one request line (newline appended here). */
+    bool sendLine(const std::string &line, std::string &error);
+
+    /**
+     * Read the next event line (without the newline). Blocks up to
+     * @p timeout_sec (0 = forever). nullopt = timeout, EOF, or error
+     * (@p error distinguishes: empty on timeout/EOF).
+     */
+    std::optional<std::string> readLine(std::string &error,
+                                        double timeout_sec = 0.0);
+
+    /**
+     * Read events until one with "job" == @p job is terminal
+     * (completed / failed / cancelled / rejected), collecting every
+     * line seen into @p transcript. @return the terminal event line,
+     * or nullopt on timeout/disconnect.
+     */
+    std::optional<std::string>
+    awaitTerminal(std::uint64_t job,
+                  std::vector<std::string> &transcript,
+                  std::string &error, double timeout_sec = 0.0);
+
+    void close();
+
+  private:
+    explicit Client(int fd) : fd_(fd) {}
+
+    int fd_ = -1;
+    std::string inbuf_;
+};
+
+/** Event-line classification helpers (shared by client & tests). */
+bool eventIsTerminal(const Json &event);
+std::uint64_t eventJobId(const Json &event);
+
+} // namespace rr::svc
+
+#endif // RR_SVC_CLIENT_HH

@@ -1,0 +1,183 @@
+#include "svc/job_queue.hh"
+
+#include <vector>
+
+namespace rr::svc
+{
+
+JobQueue::JobQueue() : JobQueue(Options()) {}
+
+JobQueue::JobQueue(Options opts) : opts_(opts) {}
+
+AdmitResult
+JobQueue::admit(JobDesc job, std::uint64_t weight)
+{
+    AdmitResult res;
+    {
+        std::lock_guard lock(mu_);
+        res.depth = depth_;
+        if (closed_) {
+            res.error = ErrorCode::ShuttingDown;
+            return res;
+        }
+        if (depth_ >= opts_.capacity) {
+            ++counters_.rejectedFull;
+            res.error = ErrorCode::QueueFull;
+            return res;
+        }
+        Tenant &t = tenants_[job.tenant];
+        t.weight = weight;
+        if (t.fifo.size() >= opts_.tenantQuota) {
+            ++counters_.rejectedQuota;
+            res.error = ErrorCode::QuotaExceeded;
+            return res;
+        }
+        job.id = nextId_++;
+        job.enqueued = std::chrono::steady_clock::now();
+        res.admitted = true;
+        res.jobId = job.id;
+        t.fifo.push_back(std::move(job));
+        ++depth_;
+        ++counters_.admitted;
+        res.depth = depth_;
+    }
+    cv_.notify_one();
+    return res;
+}
+
+JobDesc
+JobQueue::popLocked()
+{
+    // Smooth weighted round-robin over tenants with queued work.
+    std::int64_t total = 0;
+    Tenant *best = nullptr;
+    for (auto &[name, t] : tenants_) {
+        if (t.fifo.empty())
+            continue;
+        t.credit += static_cast<std::int64_t>(t.weight);
+        total += static_cast<std::int64_t>(t.weight);
+        if (!best || t.credit > best->credit)
+            best = &t;
+    }
+    best->credit -= total;
+    JobDesc job = std::move(best->fifo.front());
+    best->fifo.pop_front();
+    --depth_;
+    ++counters_.popped;
+    return job;
+}
+
+std::optional<JobDesc>
+JobQueue::pop(std::chrono::steady_clock::time_point deadline)
+{
+    std::unique_lock lock(mu_);
+    if (!cv_.wait_until(lock, deadline,
+                        [this] { return depth_ != 0 || closed_; }))
+        return std::nullopt;
+    if (depth_ == 0)
+        return std::nullopt; // closed and empty
+    return popLocked();
+}
+
+std::optional<JobDesc>
+JobQueue::tryPop()
+{
+    std::lock_guard lock(mu_);
+    if (depth_ == 0)
+        return std::nullopt;
+    return popLocked();
+}
+
+std::optional<JobDesc>
+JobQueue::cancel(std::uint64_t job_id)
+{
+    std::lock_guard lock(mu_);
+    for (auto &[name, t] : tenants_) {
+        for (auto it = t.fifo.begin(); it != t.fifo.end(); ++it) {
+            if (it->id != job_id)
+                continue;
+            JobDesc job = std::move(*it);
+            t.fifo.erase(it);
+            --depth_;
+            ++counters_.cancelled;
+            return job;
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<JobDesc>
+JobQueue::cancelConnection(std::uint64_t conn)
+{
+    std::vector<JobDesc> out;
+    std::lock_guard lock(mu_);
+    for (auto &[name, t] : tenants_) {
+        for (auto it = t.fifo.begin(); it != t.fifo.end();) {
+            if (it->conn == conn) {
+                out.push_back(std::move(*it));
+                it = t.fifo.erase(it);
+                --depth_;
+                ++counters_.cancelled;
+            } else {
+                ++it;
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<JobDesc>
+JobQueue::drainAll()
+{
+    std::vector<JobDesc> out;
+    std::lock_guard lock(mu_);
+    for (auto &[name, t] : tenants_) {
+        for (auto &job : t.fifo)
+            out.push_back(std::move(job));
+        t.fifo.clear();
+    }
+    counters_.cancelled += out.size();
+    depth_ = 0;
+    return out;
+}
+
+void
+JobQueue::close()
+{
+    {
+        std::lock_guard lock(mu_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+bool
+JobQueue::closed() const
+{
+    std::lock_guard lock(mu_);
+    return closed_;
+}
+
+std::uint64_t
+JobQueue::depth() const
+{
+    std::lock_guard lock(mu_);
+    return depth_;
+}
+
+std::uint64_t
+JobQueue::tenantDepth(const std::string &tenant) const
+{
+    std::lock_guard lock(mu_);
+    auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? 0 : it->second.fifo.size();
+}
+
+JobQueue::Counters
+JobQueue::counters() const
+{
+    std::lock_guard lock(mu_);
+    return counters_;
+}
+
+} // namespace rr::svc

@@ -1,0 +1,255 @@
+#include "svc/scheduler.hh"
+
+#include <utility>
+
+#include "svc/protocol.hh"
+
+namespace rr::svc
+{
+
+using Clock = std::chrono::steady_clock;
+
+Scheduler::Scheduler(JobQueue &queue, Options opts, EventFn emit)
+    : queue_(queue), opts_(opts), emit_(std::move(emit)),
+      pool_(opts.executors)
+{
+}
+
+Scheduler::~Scheduler()
+{
+    if (started_)
+        stop(false);
+}
+
+void
+Scheduler::start()
+{
+    pool_.start();
+    dispatcher_ = std::thread([this] { dispatchLoop(); });
+    started_ = true;
+}
+
+void
+Scheduler::cancelAll(const char *reason)
+{
+    queue_.close();
+    for (JobDesc &d : queue_.drainAll()) {
+        emit_(d.conn, eventCancelled(d.id, d.tag, reason));
+        std::lock_guard lk(mu_);
+        ++done_.cancelled;
+    }
+    std::lock_guard lk(mu_);
+    for (auto &[id, run] : running_) {
+        if (!run.token->cancelled()) {
+            run.cancelReason = reason;
+            run.token->cancel();
+        }
+    }
+}
+
+void
+Scheduler::stop(bool drain)
+{
+    if (!drain)
+        cancelAll("shutdown");
+    {
+        std::lock_guard lk(mu_);
+        stopping_ = true;
+    }
+    queue_.close();
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+    if (pool_.serving())
+        pool_.stop(true); // fired tokens make cancelled jobs exit fast
+    started_ = false;
+}
+
+bool
+Scheduler::cancel(std::uint64_t job_id)
+{
+    if (std::optional<JobDesc> d = queue_.cancel(job_id)) {
+        emit_(d->conn, eventCancelled(d->id, d->tag, "cancel"));
+        std::lock_guard lk(mu_);
+        ++done_.cancelled;
+        return true;
+    }
+    std::lock_guard lk(mu_);
+    auto it = running_.find(job_id);
+    if (it == running_.end())
+        return false;
+    it->second.cancelReason = "cancel";
+    it->second.token->cancel();
+    return true;
+}
+
+void
+Scheduler::cancelConnection(std::uint64_t conn)
+{
+    for (JobDesc &d : queue_.cancelConnection(conn)) {
+        emit_(d.conn, eventCancelled(d.id, d.tag, "disconnect"));
+        std::lock_guard lk(mu_);
+        ++done_.cancelled;
+    }
+    std::lock_guard lk(mu_);
+    for (auto &[id, run] : running_) {
+        if (run.desc.conn == conn && !run.token->cancelled()) {
+            run.cancelReason = "disconnect";
+            run.token->cancel();
+        }
+    }
+}
+
+Scheduler::Snapshot
+Scheduler::snapshot() const
+{
+    std::lock_guard lk(mu_);
+    Snapshot s = done_;
+    s.running = running_.size();
+    return s;
+}
+
+bool
+Scheduler::stopping() const
+{
+    std::lock_guard lk(mu_);
+    return stopping_;
+}
+
+void
+Scheduler::fireExpiredLocked(Clock::time_point now)
+{
+    for (auto &[id, run] : running_) {
+        if (run.deadline <= now && !run.token->cancelled()) {
+            run.cancelReason = "timeout";
+            run.token->cancel();
+        }
+    }
+}
+
+void
+Scheduler::dispatchLoop()
+{
+    for (;;) {
+        const Clock::time_point tick =
+            Clock::now() + std::chrono::milliseconds(100);
+        {
+            // Gate on a free executor slot before popping, so the
+            // backlog stays in the JobQueue — where quotas and
+            // weighted fairness apply — instead of draining into the
+            // pool's unbounded FIFO the moment it is admitted.
+            std::unique_lock lk(mu_);
+            slotFree_.wait_until(lk, tick, [this] {
+                return running_.size() < pool_.workers();
+            });
+            fireExpiredLocked(Clock::now());
+            if (running_.size() >= pool_.workers())
+                continue; // keep the 100ms deadline-scan cadence
+        }
+        std::optional<JobDesc> job = queue_.pop(tick);
+        {
+            std::lock_guard lk(mu_);
+            fireExpiredLocked(Clock::now());
+        }
+        if (job) {
+            const std::uint64_t id = job->id;
+            const std::uint64_t conn = job->conn;
+            const std::string tag = job->tag;
+            double timeout = job->timeoutSec > 0.0
+                                 ? job->timeoutSec
+                                 : opts_.defaultTimeoutSec;
+            Running run;
+            run.desc = std::move(*job);
+            run.token = std::make_shared<CancelToken>();
+            run.deadline =
+                timeout > 0.0
+                    ? Clock::now() +
+                          std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(timeout))
+                    : Clock::time_point::max();
+            {
+                std::lock_guard lk(mu_);
+                running_.emplace(id, std::move(run));
+            }
+            emit_(conn, eventRunning(id, tag));
+            pool_.submit([this, id] { execute(id); });
+            continue;
+        }
+        bool stop_now;
+        {
+            std::lock_guard lk(mu_);
+            stop_now = stopping_ && queue_.depth() == 0 &&
+                       running_.empty();
+        }
+        if (stop_now)
+            break;
+        // A closed empty queue makes pop() return immediately; keep
+        // the 100ms timeout-scan cadence instead of spinning while the
+        // last running jobs finish.
+        if (queue_.closed() && queue_.depth() == 0)
+            std::this_thread::sleep_until(tick);
+    }
+}
+
+void
+Scheduler::execute(std::uint64_t job_id)
+{
+    JobDesc desc;
+    std::shared_ptr<CancelToken> token;
+    {
+        std::lock_guard lk(mu_);
+        auto it = running_.find(job_id);
+        if (it == running_.end())
+            return;
+        desc = it->second.desc;
+        token = it->second.token;
+    }
+
+    auto finish = [&](const std::string &event, int bucket) {
+        {
+            std::lock_guard lk(mu_);
+            running_.erase(job_id);
+            if (bucket == 0)
+                ++done_.completed;
+            else if (bucket == 1)
+                ++done_.failed;
+            else
+                ++done_.cancelled;
+        }
+        slotFree_.notify_one();
+        emit_(desc.conn, event);
+    };
+    auto reason = [&]() -> const char * {
+        std::lock_guard lk(mu_);
+        auto it = running_.find(job_id);
+        return it == running_.end() ? "cancel"
+                                    : it->second.cancelReason;
+    };
+
+    if (token->cancelled()) {
+        finish(eventCancelled(job_id, desc.tag, reason()), 2);
+        return;
+    }
+    emit_(desc.conn, eventProgress(job_id, desc.tag, "execute"));
+    const Clock::time_point t0 = Clock::now();
+    try {
+        JobOutcome out = runJob(desc.params, *token);
+        const double wall =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        if (out.ok)
+            finish(eventCompleted(job_id, desc.tag, out.resultJson,
+                                  wall),
+                   0);
+        else
+            finish(eventFailed(job_id, desc.tag, out.errorClassName(),
+                               out.message),
+                   1);
+    } catch (const JobCancelled &) {
+        finish(eventCancelled(job_id, desc.tag, reason()), 2);
+    } catch (const std::exception &e) {
+        // TaskPool tasks must not throw; fold anything unexpected
+        // into a failure event.
+        finish(eventFailed(job_id, desc.tag, "INTERNAL", e.what()), 1);
+    }
+}
+
+} // namespace rr::svc

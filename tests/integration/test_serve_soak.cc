@@ -1,0 +1,602 @@
+/**
+ * @file
+ * Soak and correctness tests for the replay service run in-process: a
+ * real svc::Server on a temp Unix socket, hammered by concurrent
+ * client threads over the actual wire protocol.
+ *
+ * Covers the daemon acceptance criteria: zero lost or duplicated
+ * responses under 8 concurrent clients and 200+ mixed jobs, typed
+ * quota/capacity enforcement, mid-flight cancellation of queued and
+ * running jobs, per-job timeouts, malformed-line robustness, bounded
+ * RSS, and byte-identical job results between the daemon path and a
+ * direct in-process runJob() call.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/client.hh"
+#include "svc/job_runner.hh"
+#include "svc/protocol.hh"
+#include "svc/server.hh"
+
+namespace
+{
+
+using namespace rr::svc;
+
+constexpr bool kUnderSanitizer =
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+    true;
+#else
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+    true;
+#else
+    false;
+#endif
+#else
+    false;
+#endif
+#endif
+
+long
+maxRssKib()
+{
+    struct rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+    return ru.ru_maxrss;
+}
+
+Json
+parseEvent(const std::string &line)
+{
+    std::string error;
+    auto v = parseJson(line, error);
+    EXPECT_TRUE(v.has_value()) << line << " -> " << error;
+    return v ? *v : Json();
+}
+
+/** Extract the raw result-object bytes from an untagged completed
+ *  event: ...,"result":{...}} — everything between the marker and the
+ *  envelope's closing brace. */
+std::string
+rawResult(const std::string &completed_line)
+{
+    const std::string marker = ",\"result\":";
+    const auto pos = completed_line.find(marker);
+    EXPECT_NE(pos, std::string::npos) << completed_line;
+    if (pos == std::string::npos)
+        return "";
+    return completed_line.substr(pos + marker.size(),
+                                 completed_line.size() - 1 -
+                                     (pos + marker.size()));
+}
+
+class ServeTest : public ::testing::Test
+{
+  protected:
+    void
+    startServer(Server::Options opts)
+    {
+        socket_ = "/tmp/rrsim-soak-" + std::to_string(getpid()) + "-" +
+                  ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name() +
+                  ".sock";
+        opts.socketPath = socket_;
+        server_.emplace(std::move(opts));
+        thread_ = std::thread([this] {
+            try {
+                server_->run();
+            } catch (const std::exception &e) {
+                serverError_ = e.what();
+            }
+        });
+        for (int i = 0; i < 500; ++i) {
+            std::string error;
+            if (Client::connectUnix(socket_, error))
+                return;
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        FAIL() << "server never came up: " << serverError_;
+    }
+
+    void
+    TearDown() override
+    {
+        if (server_) {
+            server_->requestStop(/*drain=*/true);
+            thread_.join();
+            EXPECT_TRUE(serverError_.empty()) << serverError_;
+        }
+        ::unlink(socket_.c_str());
+    }
+
+    Client
+    connect()
+    {
+        std::string error;
+        auto c = Client::connectUnix(socket_, error);
+        EXPECT_TRUE(c.has_value()) << error;
+        return c ? std::move(*c) : Client();
+    }
+
+    /** Read lines until @p pred matches; everything seen (match
+     *  included) is appended to @p seen. */
+    std::optional<std::string>
+    pumpUntil(Client &client,
+              const std::function<bool(const Json &)> &pred,
+              std::vector<std::string> &seen, double timeout_sec)
+    {
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration<double>(timeout_sec);
+        std::string error;
+        while (std::chrono::steady_clock::now() < deadline) {
+            auto line = client.readLine(error, 1.0);
+            if (!line) {
+                if (!error.empty())
+                    ADD_FAILURE() << "read error: " << error;
+                continue;
+            }
+            seen.push_back(*line);
+            if (pred(parseEvent(*line)))
+                return line;
+        }
+        return std::nullopt;
+    }
+
+    std::string socket_;
+    std::optional<Server> server_;
+    std::thread thread_;
+    std::string serverError_;
+};
+
+/** A tiny recording every fast job (stats/verify/replay) feeds on. */
+std::string
+makeProbeLog(const std::string &name)
+{
+    const std::string path = "/tmp/rrsim-soak-probe-" +
+                             std::to_string(getpid()) + "-" + name +
+                             ".rrlog";
+    JobParams p;
+    p.kind = JobKind::Record;
+    p.kernel = "fft";
+    p.cores = 2;
+    p.scale = 1;
+    p.deps = true;
+    p.outFile = path;
+    CancelToken token;
+    const JobOutcome out = runJob(p, token);
+    EXPECT_TRUE(out.ok) << out.message;
+    return path;
+}
+
+// --- the soak ---------------------------------------------------------
+
+TEST_F(ServeTest, SoakEightClientsMixedJobsNoLostOrDupResponses)
+{
+    const long rssBefore = maxRssKib();
+    const std::string probe = makeProbeLog("soak");
+
+    Server::Options opts;
+    opts.sched.executors = 4;
+    startServer(opts);
+
+    constexpr int kClients = 8;
+    constexpr int kJobsPerClient = 25; // 200 total
+    std::mutex mu;
+    std::map<std::string, int> terminals; // tag -> terminal count
+    std::map<std::string, int> outcomes;  // event name histogram
+    std::atomic<int> failures{0};
+
+    auto clientBody = [&](int c) {
+        Client client = connect();
+        ASSERT_TRUE(client.connected());
+        const std::string tenant = "client" + std::to_string(c);
+        for (int i = 0; i < kJobsPerClient; ++i) {
+            const std::string tag =
+                "c" + std::to_string(c) + "-" + std::to_string(i);
+            std::string req;
+            const std::string common =
+                ",\"tenant\":\"" + tenant +
+                "\",\"weight\":" + std::to_string(c % 3 + 1) +
+                ",\"tag\":\"" + tag + "\"}";
+            switch (i % 8) {
+              case 0:
+                req = R"({"op":"record","kernel":"fft","cores":2)" +
+                      common;
+                break;
+              case 1:
+              case 2:
+              case 3:
+                req = R"({"op":"stats","file":)" + jsonQuote(probe) +
+                      common;
+                break;
+              case 4:
+              case 5:
+                req = R"({"op":"verify","file":)" + jsonQuote(probe) +
+                      common;
+                break;
+              default:
+                req = R"({"op":"replay","jobs":2,"file":)" +
+                      jsonQuote(probe) + common;
+                break;
+            }
+            std::string error;
+            ASSERT_TRUE(client.sendLine(req, error)) << error;
+            auto ack = client.readLine(error, 120.0);
+            ASSERT_TRUE(ack.has_value()) << error;
+            const Json ackEv = parseEvent(*ack);
+            ASSERT_EQ(ackEv.get("event").asString(), "accepted")
+                << *ack;
+            ASSERT_EQ(ackEv.get("tag").asString(), tag);
+            const auto job =
+                static_cast<std::uint64_t>(ackEv.get("job").asInt());
+            std::vector<std::string> transcript;
+            auto terminal =
+                client.awaitTerminal(job, transcript, error, 240.0);
+            ASSERT_TRUE(terminal.has_value())
+                << tag << ": " << error;
+            const Json ev = parseEvent(*terminal);
+            if (ev.get("event").asString() != "completed")
+                ++failures;
+            // The lifecycle must have streamed a running event for
+            // this job before the terminal one.
+            bool sawRunning = false;
+            for (const auto &line : transcript) {
+                const Json t = parseEvent(line);
+                sawRunning |= t.get("event").asString() == "running" &&
+                              eventJobId(t) == job;
+            }
+            EXPECT_TRUE(sawRunning) << tag;
+            std::lock_guard lock(mu);
+            ++terminals[ev.get("tag").asString()];
+            ++outcomes[ev.get("event").asString()];
+        }
+    };
+
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c)
+        clients.emplace_back(clientBody, c);
+    for (auto &t : clients)
+        t.join();
+
+    // Zero lost, zero duplicated: every tag exactly one terminal.
+    EXPECT_EQ(terminals.size(),
+              static_cast<std::size_t>(kClients * kJobsPerClient));
+    for (const auto &[tag, count] : terminals)
+        EXPECT_EQ(count, 1) << tag;
+    EXPECT_EQ(outcomes["completed"], kClients * kJobsPerClient);
+    EXPECT_EQ(failures.load(), 0);
+
+    if (!kUnderSanitizer) {
+        const long growthKib = maxRssKib() - rssBefore;
+        EXPECT_LT(growthKib, 1024L * 1024L)
+            << "soak grew RSS by " << growthKib << " KiB";
+    }
+    ::unlink(probe.c_str());
+}
+
+// --- admission control + cancellation ---------------------------------
+
+TEST_F(ServeTest, QuotaCapacityAndCancellationUnderBurst)
+{
+    const std::string probe = makeProbeLog("burst");
+    Server::Options opts;
+    opts.queue.capacity = 4;
+    opts.queue.tenantQuota = 2;
+    opts.sched.executors = 1;
+    startServer(opts);
+
+    Client client = connect();
+    std::string error;
+    std::vector<std::string> seen;
+
+    // A long job pins the single executor, so everything submitted
+    // after it stays *queued* — where capacity and quota apply.
+    ASSERT_TRUE(client.sendLine(
+        R"({"op":"record","kernel":"fft","cores":2,"scale":32,)"
+        R"("tenant":"longco","tag":"long"})",
+        error));
+    auto acc = pumpUntil(
+        client,
+        [](const Json &e) {
+            return e.get("event").asString() == "accepted";
+        },
+        seen, 30.0);
+    ASSERT_TRUE(acc.has_value());
+    const auto longId =
+        static_cast<std::uint64_t>(parseEvent(*acc).get("job").asInt());
+    ASSERT_TRUE(pumpUntil(
+                    client,
+                    [&](const Json &e) {
+                        return e.get("event").asString() == "running" &&
+                               eventJobId(e) == longId;
+                    },
+                    seen, 30.0)
+                    .has_value());
+
+    auto submitStats = [&](const std::string &tenant,
+                           const std::string &tag) -> Json {
+        EXPECT_TRUE(client.sendLine(R"({"op":"stats","file":)" +
+                                        jsonQuote(probe) +
+                                        ",\"tenant\":\"" + tenant +
+                                        "\",\"tag\":\"" + tag + "\"}",
+                                    error))
+            << error;
+        auto ack = pumpUntil(
+            client,
+            [](const Json &e) {
+                const std::string &ev = e.get("event").asString();
+                return ev == "accepted" || ev == "rejected";
+            },
+            seen, 30.0);
+        EXPECT_TRUE(ack.has_value());
+        return ack ? parseEvent(*ack) : Json();
+    };
+
+    // alice: quota 2 -> 2 accepted, then typed QUOTA_EXCEEDED.
+    std::vector<std::uint64_t> aliceIds;
+    int aliceQuotaRejects = 0;
+    for (int i = 0; i < 6; ++i) {
+        const Json ack =
+            submitStats("alice", "a" + std::to_string(i));
+        if (ack.get("event").asString() == "accepted")
+            aliceIds.push_back(
+                static_cast<std::uint64_t>(ack.get("job").asInt()));
+        else {
+            EXPECT_EQ(ack.get("error").asString(), "QUOTA_EXCEEDED");
+            ++aliceQuotaRejects;
+        }
+    }
+    EXPECT_EQ(aliceIds.size(), 2u);
+    EXPECT_EQ(aliceQuotaRejects, 4);
+
+    // bob: 2 more fit (quota), then the global capacity of 4 is hit.
+    std::vector<std::uint64_t> bobIds;
+    int bobFullRejects = 0;
+    for (int i = 0; i < 3; ++i) {
+        const Json ack = submitStats("bob", "b" + std::to_string(i));
+        if (ack.get("event").asString() == "accepted")
+            bobIds.push_back(
+                static_cast<std::uint64_t>(ack.get("job").asInt()));
+        else {
+            EXPECT_EQ(ack.get("error").asString(), "QUEUE_FULL");
+            ++bobFullRejects;
+        }
+    }
+    EXPECT_EQ(bobIds.size(), 2u);
+    EXPECT_EQ(bobFullRejects, 1);
+
+    // Cancel a *queued* job: immediate cancel_ok + cancelled(cancel).
+    ASSERT_TRUE(client.sendLine(
+        R"({"op":"cancel","job":)" + std::to_string(aliceIds[0]) + "}",
+        error));
+    ASSERT_TRUE(pumpUntil(
+                    client,
+                    [](const Json &e) {
+                        return e.get("event").asString() ==
+                               "cancel_ok";
+                    },
+                    seen, 30.0)
+                    .has_value());
+
+    // Cancel the *running* long job: its token fires and the runner
+    // unwinds cooperatively.
+    ASSERT_TRUE(client.sendLine(
+        R"({"op":"cancel","job":)" + std::to_string(longId) + "}",
+        error));
+
+    // Everything still admitted must reach exactly one terminal state:
+    // long + aliceIds[0] cancelled, the other three completed.
+    std::map<std::uint64_t, std::string> expect;
+    expect[longId] = "cancelled";
+    expect[aliceIds[0]] = "cancelled";
+    expect[aliceIds[1]] = "completed";
+    expect[bobIds[0]] = "completed";
+    expect[bobIds[1]] = "completed";
+    std::map<std::uint64_t, std::string> got;
+    while (got.size() < expect.size()) {
+        auto line = pumpUntil(
+            client,
+            [](const Json &e) { return eventIsTerminal(e); }, seen,
+            120.0);
+        ASSERT_TRUE(line.has_value()) << "lost a terminal event";
+        const Json ev = parseEvent(*line);
+        const std::uint64_t id = eventJobId(ev);
+        ASSERT_EQ(got.count(id), 0u)
+            << "duplicated terminal for job " << id;
+        got[id] = ev.get("event").asString();
+        if (got[id] == "cancelled") {
+            EXPECT_EQ(ev.get("reason").asString(), "cancel") << *line;
+        }
+    }
+    EXPECT_EQ(got, expect);
+    ::unlink(probe.c_str());
+}
+
+TEST_F(ServeTest, PerJobTimeoutCancelsWithTimeoutReason)
+{
+    startServer(Server::Options{});
+    Client client = connect();
+    std::string error;
+    std::vector<std::string> seen;
+    ASSERT_TRUE(client.sendLine(
+        R"({"op":"record","kernel":"fft","cores":2,"scale":32,)"
+        R"("timeout":0.05,"tag":"doomed"})",
+        error));
+    auto terminal = pumpUntil(
+        client,
+        [](const Json &e) { return eventIsTerminal(e); }, seen, 60.0);
+    ASSERT_TRUE(terminal.has_value());
+    const Json ev = parseEvent(*terminal);
+    EXPECT_EQ(ev.get("event").asString(), "cancelled") << *terminal;
+    EXPECT_EQ(ev.get("reason").asString(), "timeout") << *terminal;
+}
+
+// --- wire robustness --------------------------------------------------
+
+TEST_F(ServeTest, MalformedLinesGetTypedRejectionsAndServerSurvives)
+{
+    Server::Options opts;
+    opts.maxLineBytes = 4096;
+    startServer(opts);
+    Client client = connect();
+    std::string error;
+    const std::string garbage[] = {
+        "not json at all",
+        "{\"op\":\"nope\"}",
+        "{\"op\":\"record\"}",
+        "[1,2,3]",
+        "{\"op\":\"record\",\"kernel\":\"fft\",\"cores\":-4}",
+        std::string(64, '{'),
+    };
+    for (const std::string &line : garbage) {
+        ASSERT_TRUE(client.sendLine(line, error)) << error;
+        auto resp = client.readLine(error, 30.0);
+        ASSERT_TRUE(resp.has_value()) << error;
+        const Json ev = parseEvent(*resp);
+        EXPECT_EQ(ev.get("event").asString(), "rejected") << *resp;
+        EXPECT_EQ(ev.get("error").asString(), "BAD_REQUEST") << *resp;
+    }
+    // Still alive and well-behaved afterwards.
+    ASSERT_TRUE(client.sendLine(R"({"op":"ping"})", error));
+    auto pong = client.readLine(error, 30.0);
+    ASSERT_TRUE(pong.has_value());
+    EXPECT_EQ(parseEvent(*pong).get("event").asString(), "pong");
+
+    // An oversized line is rejected and the connection closed; the
+    // server itself keeps serving new connections.
+    ASSERT_TRUE(
+        client.sendLine(std::string(2 * 4096, 'x'), error));
+    auto reject = client.readLine(error, 30.0);
+    if (reject) {
+        EXPECT_EQ(parseEvent(*reject).get("event").asString(),
+                  "rejected");
+    }
+    Client fresh = connect();
+    ASSERT_TRUE(fresh.sendLine(R"({"op":"ping"})", error));
+    auto pong2 = fresh.readLine(error, 30.0);
+    ASSERT_TRUE(pong2.has_value()) << error;
+    EXPECT_EQ(parseEvent(*pong2).get("event").asString(), "pong");
+}
+
+// --- byte identity: daemon result vs direct in-process run ------------
+
+TEST_F(ServeTest, DaemonResultsAreByteIdenticalToDirectRuns)
+{
+    const std::string probe = makeProbeLog("ident");
+    startServer(Server::Options{});
+
+    // No tag on these submissions: rawResult() then spans to the
+    // envelope's closing brace.
+    const std::string requests[] = {
+        R"({"op":"record","kernel":"fft","cores":2,"scale":1})",
+        R"({"op":"replay","jobs":2,"file":)" + jsonQuote(probe) + "}",
+        R"({"op":"verify","file":)" + jsonQuote(probe) + "}",
+        R"({"op":"stats","file":)" + jsonQuote(probe) + "}",
+    };
+    for (const std::string &req : requests) {
+        Client client = connect();
+        std::string error;
+        ASSERT_TRUE(client.sendLine(req, error)) << error;
+        auto ack = client.readLine(error, 60.0);
+        ASSERT_TRUE(ack.has_value()) << error;
+        const auto job = static_cast<std::uint64_t>(
+            parseEvent(*ack).get("job").asInt());
+        std::vector<std::string> transcript;
+        auto terminal =
+            client.awaitTerminal(job, transcript, error, 240.0);
+        ASSERT_TRUE(terminal.has_value()) << req << ": " << error;
+        ASSERT_EQ(parseEvent(*terminal).get("event").asString(),
+                  "completed")
+            << *terminal;
+
+        // Re-run the identical params in-process: the daemon's result
+        // bytes must match exactly.
+        auto parsed = parseRequest(req, error);
+        ASSERT_TRUE(parsed.has_value()) << error;
+        CancelToken token;
+        const JobOutcome direct = runJob(parsed->params, token);
+        ASSERT_TRUE(direct.ok) << direct.message;
+        EXPECT_EQ(rawResult(*terminal), direct.resultJson) << req;
+    }
+    ::unlink(probe.c_str());
+}
+
+// --- queued descriptors stay cheap ------------------------------------
+
+TEST_F(ServeTest, ThousandsOfQueuedJobsStayDescriptorSized)
+{
+    const std::string probe = makeProbeLog("depth");
+    Server::Options opts;
+    opts.queue.capacity = 5000;
+    opts.queue.tenantQuota = 5000;
+    opts.sched.executors = 1;
+    startServer(opts);
+
+    Client client = connect();
+    std::string error;
+    // Pin the executor so submissions pile up in the queue.
+    ASSERT_TRUE(client.sendLine(
+        R"({"op":"record","kernel":"fft","cores":2,"scale":32,)"
+        R"("tag":"pin"})",
+        error));
+    std::vector<std::string> seen;
+    ASSERT_TRUE(pumpUntil(
+                    client,
+                    [](const Json &e) {
+                        return e.get("event").asString() == "running";
+                    },
+                    seen, 30.0)
+                    .has_value());
+
+    const long rssBefore = maxRssKib();
+    constexpr int kQueued = 3000;
+    const std::string req = R"({"op":"stats","file":)" +
+                            jsonQuote(probe) + R"(,"tag":"q"})";
+    for (int i = 0; i < kQueued; ++i)
+        ASSERT_TRUE(client.sendLine(req, error)) << error;
+    int accepted = 0;
+    while (accepted < kQueued) {
+        auto line = pumpUntil(
+            client,
+            [](const Json &e) {
+                return e.get("event").asString() == "accepted";
+            },
+            seen, 60.0);
+        ASSERT_TRUE(line.has_value());
+        ++accepted;
+    }
+    if (!kUnderSanitizer) {
+        const long growthKib = maxRssKib() - rssBefore;
+        EXPECT_LT(growthKib, 64L * 1024L)
+            << kQueued << " queued descriptors grew RSS by "
+            << growthKib << " KiB";
+    }
+    // Abort instead of draining 3000 queued stats jobs. Close the
+    // client first: 3000 cancelled events would otherwise pile into an
+    // outbuf nobody reads, and shutdown waits for flushed connections.
+    client.close();
+    server_->requestStop(/*drain=*/false);
+    thread_.join();
+    server_.reset();
+    ::unlink(probe.c_str());
+}
+
+} // namespace

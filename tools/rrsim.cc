@@ -28,14 +28,36 @@
  *       policies concurrently on J host threads via sim::SweepRunner,
  *       and report per-kernel log stats plus wall-clock and
  *       simulated-instruction throughput (self-timing mode).
+ *   rrsim serve [--socket PATH] [--tcp PORT] [--capacity N]
+ *               [--quota N] [--exec-jobs N] [--timeout SEC]
+ *               [--daemonize] [--pidfile FILE]
+ *       Run the replay service daemon (svc::Server): a multi-tenant
+ *       job queue over a Unix-domain (and optionally loopback TCP)
+ *       socket speaking newline-delimited JSON. See docs/SERVICE.md.
+ *   rrsim submit <record|replay|verify|stats> <kernel|FILE> [options]
+ *   rrsim submit <ping|status|cancel|shutdown> [JOBID]
+ *       Client for a running daemon: submit a job and stream its
+ *       lifecycle events to stdout (exit code mirrors the one-shot
+ *       commands), or poke the server.
+ *
+ * Exit codes (all subcommands, same convention as rrlog):
+ *   0 success, 1 corrupt input / replay mismatch / job failed,
+ *   2 usage error (including unknown kernels), 3 OS-level I/O error.
  */
 
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "machine/machine.hh"
 #include "rnr/logstore.hh"
@@ -46,6 +68,8 @@
 #include "sim/faultinject.hh"
 #include "sim/sweep.hh"
 #include "sim/trace.hh"
+#include "svc/client.hh"
+#include "svc/server.hh"
 #include "workloads/kernels.hh"
 
 using namespace rr;
@@ -72,6 +96,23 @@ struct Options
     std::uint64_t chunkBytes = 0; // --chunk-bytes; 0 = format default
     bool allowPartial = false;   // replay: accept partial/torn files
     rnr::IngestMode ingest = rnr::IngestMode::Auto; // --ingest
+
+    // serve / submit (the replay service; see docs/SERVICE.md)
+    std::string socketPath;      // --socket; default $RRSIM_SOCKET
+    int tcpPort = 0;             // --tcp (serve: listen; submit: connect)
+    std::uint64_t capacity = 1024; // --capacity: global queue bound
+    std::uint64_t quota = 256;   // --quota: per-tenant queue bound
+    std::uint32_t execJobs = 2;  // --exec-jobs: concurrent job slots
+    double timeoutSec = 0.0;     // --timeout: per-job seconds (0 = off)
+    bool daemonize = false;      // --daemonize: fork into background
+    std::string pidfile;         // --pidfile: write daemon pid here
+    std::string tenant = "default"; // --tenant
+    std::uint64_t weight = 1;    // --weight: fair-share weight [1,100]
+    std::string tag;             // --tag: correlation tag on events
+    bool noWait = false;         // --no-wait: exit after acceptance
+    bool noDrain = false;        // --no-drain: shutdown aborts jobs
+    std::string submitOp;        // submit positional 1
+    std::string submitTarget;    // submit positional 2
 };
 
 [[noreturn]] void
@@ -79,8 +120,8 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: rrsim <list|record|replay|inspect|sweep> [kernel] "
-        "[options]\n"
+        "usage: rrsim <list|record|replay|inspect|sweep|serve|submit> "
+        "[kernel] [options]\n"
         "  --cores N        cores/threads (default 8)\n"
         "  --scale S        problem-size multiplier (default 1)\n"
         "  --mode base|opt  recorder design (default opt)\n"
@@ -112,6 +153,29 @@ usage()
         "streamed\n"
         "                   fallback), mmap (zero-copy, required), or "
         "stream\n"
+        "service (rrsim serve / rrsim submit; see docs/SERVICE.md):\n"
+        "  --socket PATH    Unix socket (default $RRSIM_SOCKET or "
+        "/tmp/rrsim.sock)\n"
+        "  --tcp PORT       serve: also listen on 127.0.0.1:PORT; "
+        "submit: connect there\n"
+        "  --capacity N     serve: global queued-job bound (default "
+        "1024)\n"
+        "  --quota N        serve: per-tenant queued-job bound "
+        "(default 256)\n"
+        "  --exec-jobs N    serve: concurrently running jobs (default "
+        "2)\n"
+        "  --timeout SEC    serve: default per-job timeout; submit: "
+        "this job's timeout\n"
+        "  --daemonize      serve: fork into the background once "
+        "listening\n"
+        "  --pidfile FILE   serve: write the daemon pid to FILE\n"
+        "  --tenant NAME    submit: tenant for quota/fair-share "
+        "(default 'default')\n"
+        "  --weight W       submit: tenant fair-share weight 1..100\n"
+        "  --tag TAG        submit: correlation tag echoed on events\n"
+        "  --no-wait        submit: exit once the job is accepted\n"
+        "  --no-drain       submit shutdown: abort queued/running "
+        "jobs\n"
         "sweep takes a kernel name or 'all' for the whole suite.\n"
         "flags may appear before or after the command.\n");
     std::exit(2);
@@ -190,6 +254,38 @@ parse(int argc, char **argv)
             o.chunkBytes = parseNum(next());
         } else if (arg == "--allow-partial") {
             o.allowPartial = true;
+        } else if (arg == "--socket") {
+            o.socketPath = next();
+        } else if (arg == "--tcp") {
+            o.tcpPort = static_cast<int>(parseNum(next()));
+            if (o.tcpPort <= 0 || o.tcpPort > 65535)
+                usage();
+        } else if (arg == "--capacity") {
+            o.capacity = parseNum(next());
+        } else if (arg == "--quota") {
+            o.quota = parseNum(next());
+        } else if (arg == "--exec-jobs") {
+            o.execJobs = static_cast<std::uint32_t>(parseNum(next()));
+        } else if (arg == "--timeout") {
+            const std::string v = next();
+            char *end = nullptr;
+            o.timeoutSec = std::strtod(v.c_str(), &end);
+            if (v.empty() || (end && *end) || o.timeoutSec < 0.0)
+                usage();
+        } else if (arg == "--daemonize") {
+            o.daemonize = true;
+        } else if (arg == "--pidfile") {
+            o.pidfile = next();
+        } else if (arg == "--tenant") {
+            o.tenant = next();
+        } else if (arg == "--weight") {
+            o.weight = parseNum(next());
+        } else if (arg == "--tag") {
+            o.tag = next();
+        } else if (arg == "--no-wait") {
+            o.noWait = true;
+        } else if (arg == "--no-drain") {
+            o.noDrain = true;
         } else if (arg == "--ingest") {
             const std::string m = next();
             if (m == "auto")
@@ -209,6 +305,32 @@ parse(int argc, char **argv)
     o.command = positional[0];
     if (o.command == "list") {
         if (positional.size() > 1)
+            usage();
+    } else if (o.command == "serve") {
+        if (positional.size() != 1)
+            usage();
+    } else if (o.command == "submit") {
+        if (positional.size() < 2 || positional.size() > 3)
+            usage();
+        o.submitOp = positional[1];
+        if (positional.size() == 3)
+            o.submitTarget = positional[2];
+        const bool needs_target =
+            o.submitOp == "record" || o.submitOp == "replay" ||
+            o.submitOp == "verify" || o.submitOp == "stats" ||
+            o.submitOp == "cancel";
+        const bool bare = o.submitOp == "ping" ||
+                          o.submitOp == "status" ||
+                          o.submitOp == "shutdown";
+        if (!needs_target && !bare)
+            usage();
+        if (needs_target && o.submitTarget.empty())
+            usage();
+        if (bare && !o.submitTarget.empty())
+            usage();
+        if (o.submitOp == "cancel" &&
+            o.submitTarget.find_first_not_of("0123456789") !=
+                std::string::npos)
             usage();
     } else {
         if (positional.size() != 2)
@@ -384,7 +506,7 @@ cmdRecord(const Options &o)
         }
         if (sim::FaultInjector::enabled())
             extra.push_back(&sim::FaultInjector::get()->stats());
-        return maybeExportStats(o, *run.machine, extra) ? 0 : 1;
+        return maybeExportStats(o, *run.machine, extra) ? 0 : 3;
     } catch (const rnr::LogStoreError &e) {
         // A planned crash-at fault firing is this run's expected
         // product: a torn staging file for `rrlog repair` to salvage.
@@ -664,7 +786,7 @@ runEngineReplay(const Options &o, Run &run,
                 ok ? "OK" : "MISMATCH",
                 (unsigned long long)par_res.instructions);
     if (!maybeExportStats(o, *run.machine, {&par_res.engineStats}))
-        return 1;
+        return 3;
     return ok ? 0 : 1;
 }
 
@@ -717,7 +839,7 @@ cmdReplay(const Options &o)
                 ok ? "OK" : "MISMATCH",
                 (unsigned long long)res.instructions);
     if (!maybeExportStats(o, *run.machine))
-        return 1;
+        return 3;
     return ok ? 0 : 1;
 }
 
@@ -766,7 +888,7 @@ cmdInspect(const Options &o)
             }
         }
     }
-    return maybeExportStats(o, *run.machine) ? 0 : 1;
+    return maybeExportStats(o, *run.machine) ? 0 : 3;
 }
 
 int
@@ -843,13 +965,272 @@ cmdSweep(const Options &o)
                 stats.instructionsPerSecond() / 1e6);
     if (!o.statsJson.empty() &&
         !writeStatsFile(o.statsJson, {&runner.aggregatedStats()}))
-        return 1;
+        return 3;
     return 0;
+}
+
+// --- replay service (rrsim serve / rrsim submit) ---------------------
+
+svc::Server *g_server = nullptr;
+
+void
+onServeSignal(int sig)
+{
+    if (g_server)
+        g_server->requestStop(sig != SIGINT); // SIGTERM drains
+}
+
+std::string
+socketPathOf(const Options &o)
+{
+    if (!o.socketPath.empty())
+        return o.socketPath;
+    const char *env = std::getenv("RRSIM_SOCKET");
+    if (env && *env)
+        return env;
+    return "/tmp/rrsim.sock";
+}
+
+/**
+ * Fork the daemon. The parent polls the socket until the child
+ * listens (then exits 0) or the child dies (then propagates its exit
+ * code); the child detaches from the terminal and carries on.
+ */
+int
+daemonizeParent(const std::string &sock, pid_t child)
+{
+    for (int i = 0; i < 100; ++i) {
+        int status = 0;
+        if (::waitpid(child, &status, WNOHANG) == child)
+            return WIFEXITED(status) ? WEXITSTATUS(status) : 3;
+        std::string err;
+        if (svc::Client::connectUnix(sock, err))
+            return 0;
+        ::usleep(100 * 1000);
+    }
+    std::fprintf(stderr,
+                 "rrsim: daemon did not start listening on %s\n",
+                 sock.c_str());
+    return 3;
+}
+
+int
+cmdServe(const Options &o)
+{
+    const std::string sock = socketPathOf(o);
+    if (o.daemonize) {
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            std::fprintf(stderr, "rrsim: fork: %s\n",
+                         std::strerror(errno));
+            return 3;
+        }
+        if (pid > 0)
+            return daemonizeParent(sock, pid);
+        ::setsid();
+        // Detach stdio so whoever spawned us (a ctest fixture, a
+        // shell) does not wait on our inherited pipes.
+        if (std::freopen("/dev/null", "r", stdin) == nullptr ||
+            std::freopen("/dev/null", "w", stdout) == nullptr ||
+            std::freopen("/dev/null", "w", stderr) == nullptr) {
+            // Keep going; worst case the parent's pipes stay open.
+        }
+    }
+    if (!o.pidfile.empty()) {
+        std::ofstream pf(o.pidfile);
+        if (!pf) {
+            std::fprintf(stderr, "rrsim: cannot write pidfile %s\n",
+                         o.pidfile.c_str());
+            return 3;
+        }
+        pf << ::getpid() << "\n";
+    }
+
+    svc::Server::Options sopts;
+    sopts.socketPath = sock;
+    sopts.tcpPort = o.tcpPort;
+    sopts.queue.capacity = o.capacity;
+    sopts.queue.tenantQuota = o.quota;
+    sopts.sched.executors = o.execJobs;
+    sopts.sched.defaultTimeoutSec = o.timeoutSec;
+
+    try {
+        svc::Server server(sopts);
+        g_server = &server;
+        std::signal(SIGPIPE, SIG_IGN);
+        std::signal(SIGTERM, onServeSignal);
+        std::signal(SIGINT, onServeSignal);
+        if (!o.daemonize) {
+            std::printf("serving on      %s%s (capacity %llu, quota "
+                        "%llu, %u executors)\n",
+                        sock.c_str(),
+                        server.boundTcpPort()
+                            ? (" + 127.0.0.1:" +
+                               std::to_string(server.boundTcpPort()))
+                                  .c_str()
+                            : "",
+                        (unsigned long long)o.capacity,
+                        (unsigned long long)o.quota, o.execJobs);
+            std::fflush(stdout);
+        }
+        server.run();
+        g_server = nullptr;
+    } catch (const std::runtime_error &e) {
+        std::fprintf(stderr, "rrsim: serve: %s\n", e.what());
+        return 3;
+    }
+    if (!o.pidfile.empty())
+        std::remove(o.pidfile.c_str());
+    return 0;
+}
+
+/** Compose the submit/control request line for the daemon. */
+std::string
+buildRequest(const Options &o)
+{
+    std::string j = "{\"op\":" + svc::jsonQuote(o.submitOp);
+    j += ",\"tenant\":" + svc::jsonQuote(o.tenant);
+    if (o.weight != 1)
+        j += ",\"weight\":" + std::to_string(o.weight);
+    if (!o.tag.empty())
+        j += ",\"tag\":" + svc::jsonQuote(o.tag);
+    if (o.timeoutSec > 0.0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3f", o.timeoutSec);
+        j += ",\"timeout\":";
+        j += buf;
+    }
+    if (o.submitOp == "record" || o.submitOp == "replay" ||
+        o.submitOp == "verify" || o.submitOp == "stats") {
+        const bool is_file = o.submitOp != "record" &&
+                             (o.submitOp != "replay" ||
+                              looksLikeLogFile(o.submitTarget));
+        j += (is_file ? ",\"file\":" : ",\"kernel\":") +
+             svc::jsonQuote(o.submitTarget);
+        j += ",\"cores\":" + std::to_string(o.cores);
+        j += ",\"scale\":" + std::to_string(o.scale);
+        j += ",\"mode\":\"";
+        j += o.mode == sim::RecorderMode::Base ? "base" : "opt";
+        j += "\"";
+        if (o.interval)
+            j += ",\"interval\":" + std::to_string(o.interval);
+        if (o.deps)
+            j += ",\"deps\":true";
+        if (!o.outFile.empty())
+            j += ",\"out\":" + svc::jsonQuote(o.outFile);
+        if (o.jobs)
+            j += ",\"jobs\":" + std::to_string(o.jobs);
+        if (o.ingest != rnr::IngestMode::Auto)
+            j += std::string(",\"ingest\":\"") +
+                 (o.ingest == rnr::IngestMode::Mmap ? "mmap"
+                                                    : "stream") +
+                 "\"";
+        if (o.allowPartial)
+            j += ",\"allowPartial\":true";
+    } else if (o.submitOp == "cancel") {
+        j += ",\"job\":" + o.submitTarget;
+    } else if (o.submitOp == "shutdown") {
+        j += std::string(",\"drain\":") +
+             (o.noDrain ? "false" : "true");
+    }
+    j += "}";
+    return j;
+}
+
+/** Exit code for a terminal event line, per the 0/1/2/3 convention. */
+int
+exitCodeForEvent(const svc::Json &ev)
+{
+    const std::string &kind = ev.get("event").asString();
+    if (kind == "completed" || kind == "pong" || kind == "status" ||
+        kind == "shutdown" || kind == "cancel_ok")
+        return 0;
+    if (kind == "failed") {
+        const std::string &cls = ev.get("error").asString();
+        if (cls == "INVALID")
+            return 2;
+        if (cls == "IO")
+            return 3;
+        return 1;
+    }
+    if (kind == "rejected")
+        return ev.get("error").asString() == "BAD_REQUEST" ? 2 : 1;
+    return 1; // cancelled, or something unrecognized
+}
+
+int
+cmdSubmit(const Options &o)
+{
+    std::string err;
+    std::optional<svc::Client> cli;
+    if (o.tcpPort > 0)
+        cli = svc::Client::connectTcp("127.0.0.1", o.tcpPort, err);
+    else
+        cli = svc::Client::connectUnix(socketPathOf(o), err);
+    if (!cli) {
+        std::fprintf(stderr, "rrsim: %s\n", err.c_str());
+        return 3;
+    }
+    if (!cli->sendLine(buildRequest(o), err)) {
+        std::fprintf(stderr, "rrsim: %s\n", err.c_str());
+        return 3;
+    }
+
+    const bool is_job = o.submitOp == "record" ||
+                        o.submitOp == "replay" ||
+                        o.submitOp == "verify" || o.submitOp == "stats";
+    std::uint64_t job = 0;
+    for (;;) {
+        std::optional<std::string> line = cli->readLine(err);
+        if (!line) {
+            std::fprintf(stderr, "rrsim: connection closed%s%s\n",
+                         err.empty() ? "" : ": ", err.c_str());
+            return 3;
+        }
+        std::printf("%s\n", line->c_str());
+        std::fflush(stdout);
+        std::string perr;
+        std::optional<svc::Json> ev = svc::parseJson(*line, perr);
+        if (!ev)
+            continue;
+        const std::string &kind = ev->get("event").asString();
+        if (!is_job)
+            return exitCodeForEvent(*ev);
+        if (kind == "rejected")
+            return exitCodeForEvent(*ev);
+        if (kind == "accepted") {
+            job = svc::eventJobId(*ev);
+            if (o.noWait)
+                return 0;
+            continue;
+        }
+        if (svc::eventIsTerminal(*ev) && svc::eventJobId(*ev) == job)
+            return exitCodeForEvent(*ev);
+    }
+}
+
+bool
+knownKernelCli(const std::string &name)
+{
+    const auto &names = workloads::kernelNames();
+    return std::find(names.begin(), names.end(), name) != names.end();
 }
 
 int
 dispatch(const Options &o)
 {
+    // Unknown kernels are usage errors (exit 2), caught up front —
+    // workloads::buildKernel() aborts the process on unknown names.
+    const bool kernel_cmd =
+        o.command == "record" || o.command == "inspect" ||
+        (o.command == "sweep" && o.kernel != "all") ||
+        (o.command == "replay" && !looksLikeLogFile(o.kernel));
+    if (kernel_cmd && !knownKernelCli(o.kernel)) {
+        std::fprintf(stderr,
+                     "rrsim: unknown kernel '%s' (see `rrsim list`)\n",
+                     o.kernel.c_str());
+        return 2;
+    }
     if (o.command == "record")
         return cmdRecord(o);
     if (o.command == "replay")
@@ -858,6 +1239,10 @@ dispatch(const Options &o)
         return cmdInspect(o);
     if (o.command == "sweep")
         return cmdSweep(o);
+    if (o.command == "serve")
+        return cmdServe(o);
+    if (o.command == "submit")
+        return cmdSubmit(o);
     usage();
 }
 

@@ -1,5 +1,6 @@
 #include "svc/job_queue.hh"
 
+#include <iterator>
 #include <vector>
 
 namespace rr::svc
@@ -25,13 +26,20 @@ JobQueue::admit(JobDesc job, std::uint64_t weight)
             res.error = ErrorCode::QueueFull;
             return res;
         }
-        Tenant &t = tenants_[job.tenant];
-        t.weight = weight;
-        if (t.fifo.size() >= opts_.tenantQuota) {
+        // Don't create a map entry until the job is actually taken —
+        // tenant names are client-chosen, and entries for tenants
+        // with no queued work must not accumulate.
+        auto it = tenants_.find(job.tenant);
+        const std::size_t tenant_depth =
+            it == tenants_.end() ? 0 : it->second.fifo.size();
+        if (tenant_depth >= opts_.tenantQuota) {
             ++counters_.rejectedQuota;
             res.error = ErrorCode::QuotaExceeded;
             return res;
         }
+        Tenant &t =
+            it == tenants_.end() ? tenants_[job.tenant] : it->second;
+        t.weight = weight;
         job.id = nextId_++;
         job.enqueued = std::chrono::steady_clock::now();
         res.admitted = true;
@@ -50,20 +58,23 @@ JobQueue::popLocked()
 {
     // Smooth weighted round-robin over tenants with queued work.
     std::int64_t total = 0;
-    Tenant *best = nullptr;
-    for (auto &[name, t] : tenants_) {
+    auto best = tenants_.end();
+    for (auto it = tenants_.begin(); it != tenants_.end(); ++it) {
+        Tenant &t = it->second;
         if (t.fifo.empty())
             continue;
         t.credit += static_cast<std::int64_t>(t.weight);
         total += static_cast<std::int64_t>(t.weight);
-        if (!best || t.credit > best->credit)
-            best = &t;
+        if (best == tenants_.end() || t.credit > best->second.credit)
+            best = it;
     }
-    best->credit -= total;
-    JobDesc job = std::move(best->fifo.front());
-    best->fifo.pop_front();
+    best->second.credit -= total;
+    JobDesc job = std::move(best->second.fifo.front());
+    best->second.fifo.pop_front();
     --depth_;
     ++counters_.popped;
+    if (best->second.fifo.empty())
+        tenants_.erase(best); // keep the map bounded by queued work
     return job;
 }
 
@@ -92,7 +103,8 @@ std::optional<JobDesc>
 JobQueue::cancel(std::uint64_t job_id)
 {
     std::lock_guard lock(mu_);
-    for (auto &[name, t] : tenants_) {
+    for (auto tit = tenants_.begin(); tit != tenants_.end(); ++tit) {
+        Tenant &t = tit->second;
         for (auto it = t.fifo.begin(); it != t.fifo.end(); ++it) {
             if (it->id != job_id)
                 continue;
@@ -100,6 +112,8 @@ JobQueue::cancel(std::uint64_t job_id)
             t.fifo.erase(it);
             --depth_;
             ++counters_.cancelled;
+            if (t.fifo.empty())
+                tenants_.erase(tit);
             return job;
         }
     }
@@ -111,7 +125,8 @@ JobQueue::cancelConnection(std::uint64_t conn)
 {
     std::vector<JobDesc> out;
     std::lock_guard lock(mu_);
-    for (auto &[name, t] : tenants_) {
+    for (auto tit = tenants_.begin(); tit != tenants_.end();) {
+        Tenant &t = tit->second;
         for (auto it = t.fifo.begin(); it != t.fifo.end();) {
             if (it->conn == conn) {
                 out.push_back(std::move(*it));
@@ -122,6 +137,7 @@ JobQueue::cancelConnection(std::uint64_t conn)
                 ++it;
             }
         }
+        tit = t.fifo.empty() ? tenants_.erase(tit) : std::next(tit);
     }
     return out;
 }
@@ -131,11 +147,10 @@ JobQueue::drainAll()
 {
     std::vector<JobDesc> out;
     std::lock_guard lock(mu_);
-    for (auto &[name, t] : tenants_) {
+    for (auto &[name, t] : tenants_)
         for (auto &job : t.fifo)
             out.push_back(std::move(job));
-        t.fifo.clear();
-    }
+    tenants_.clear();
     counters_.cancelled += out.size();
     depth_ = 0;
     return out;
@@ -171,6 +186,13 @@ JobQueue::tenantDepth(const std::string &tenant) const
     std::lock_guard lock(mu_);
     auto it = tenants_.find(tenant);
     return it == tenants_.end() ? 0 : it->second.fifo.size();
+}
+
+std::size_t
+JobQueue::tenantCount() const
+{
+    std::lock_guard lock(mu_);
+    return tenants_.size();
 }
 
 JobQueue::Counters

@@ -25,6 +25,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -115,6 +116,14 @@ class JobQueue
 
     std::uint64_t depth() const;
     std::uint64_t tenantDepth(const std::string &tenant) const;
+
+    /**
+     * Number of tenants with queued work. A tenant's map entry is
+     * erased as soon as its FIFO empties, so a long-lived daemon's
+     * memory is bounded by queued jobs, not by the number of distinct
+     * (client-chosen) tenant names ever seen.
+     */
+    std::size_t tenantCount() const;
 
     /** Lifetime counters: admitted / rejected_full / rejected_quota. */
     struct Counters

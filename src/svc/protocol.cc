@@ -611,6 +611,16 @@ parseJobParams(const Json &o, JobKind kind, JobParams &p,
         !uintField(o, "interval", p.intervalCap, error) ||
         !uintField(o, "jobs", jobs, error))
         return false;
+    // Range-check the full 64-bit values BEFORE narrowing: a value
+    // like 2^32+1 must be rejected, not silently wrapped into range.
+    if (cores == 0 || cores > 256) {
+        error = "field 'cores' must be in [1,256]";
+        return false;
+    }
+    if (jobs > 256) {
+        error = "field 'jobs' must be in [0,256]";
+        return false;
+    }
     p.cores = static_cast<std::uint32_t>(cores);
     p.jobs = static_cast<std::uint32_t>(jobs);
     p.deps = o.get("deps").asBool(p.deps);
@@ -662,10 +672,6 @@ parseJobParams(const Json &o, JobKind kind, JobParams &p,
             return false;
         }
         break;
-    }
-    if (p.cores == 0 || p.cores > 256) {
-        error = "field 'cores' must be in [1,256]";
-        return false;
     }
     return true;
 }

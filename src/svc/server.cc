@@ -156,6 +156,13 @@ Server::deliver(std::uint64_t conn_id, const std::string &event)
         return;
     it->second.outbuf += event;
     it->second.outbuf += '\n';
+    if (it->second.outbuf.size() > opts_.maxOutbufBytes) {
+        // Peer stopped reading. Mirror the request-line cap: drop the
+        // connection rather than buffer without bound — its jobs keep
+        // running, further events are discarded.
+        it->second.outbuf.clear();
+        closeFd(it->second.fd);
+    }
 }
 
 void
@@ -195,8 +202,14 @@ Server::statusBody()
 void
 Server::beginShutdown(bool drain)
 {
-    if (draining_ && !drainMode_)
-        return; // already aborting; nothing stronger exists
+    if (draining_ && !drainMode_) {
+        // Already aborting: a repeated abort request stops waiting on
+        // connections that will not drain their output.
+        if (!drain)
+            for (auto &[id, conn] : conns_)
+                closeFd(conn.fd);
+        return;
+    }
     draining_ = true;
     drainMode_ = drainMode_ && drain;
     // Fail further connects fast rather than queueing them in the
@@ -310,16 +323,18 @@ Server::handleReadable(Conn &conn)
             continue;
         }
         if (n == 0) {
-            // Peer closed: drop the connection. Its queued/running
-            // jobs keep going; their events are simply discarded.
-            closeFd(conn.fd);
-            return;
+            // Peer sent FIN. Complete request lines already buffered
+            // must still be parsed below — data and FIN often arrive
+            // in the same poll wake, and submit-and-hangup is legal —
+            // so fall through to the line loop before winding down.
+            conn.eof = true;
+            break;
         }
         if (errno == EAGAIN || errno == EWOULDBLOCK)
             break;
         if (errno == EINTR)
             continue;
-        closeFd(conn.fd);
+        closeFd(conn.fd); // hard read error: state is unusable
         return;
     }
 
@@ -338,14 +353,24 @@ Server::handleReadable(Conn &conn)
     }
     if (start)
         conn.inbuf.erase(0, start);
+
+    if (conn.eof && conn.fd >= 0) {
+        // Flush what we owe a half-closed peer, then close; a fully
+        // closed peer fails the first write (EPIPE) and closes there.
+        conn.closing = true;
+        if (conn.outbuf.empty())
+            closeFd(conn.fd);
+    }
 }
 
 void
 Server::flushWrites(Conn &conn)
 {
     while (!conn.outbuf.empty()) {
-        const ssize_t n =
-            ::write(conn.fd, conn.outbuf.data(), conn.outbuf.size());
+        // MSG_NOSIGNAL: a peer that closed mid-stream must yield
+        // EPIPE here, not a process-killing SIGPIPE.
+        const ssize_t n = ::send(conn.fd, conn.outbuf.data(),
+                                 conn.outbuf.size(), MSG_NOSIGNAL);
         if (n > 0) {
             conn.outbuf.erase(0, static_cast<std::size_t>(n));
             continue;
@@ -383,7 +408,9 @@ Server::run()
             pfdConn.push_back(0);
         }
         for (auto &[id, conn] : conns_) {
-            short ev = POLLIN;
+            // After EOF the fd stays readable forever; polling POLLIN
+            // would busy-loop, so wait only for the output to drain.
+            short ev = conn.eof ? 0 : POLLIN;
             if (!conn.outbuf.empty())
                 ev |= POLLOUT;
             pfds.push_back({conn.fd, ev, 0});
@@ -451,8 +478,26 @@ Server::run()
                 if (!conn.outbuf.empty())
                     flushed = false;
             if (queue_.depth() == 0 && snap.running == 0 &&
-                mailbox_empty && flushed)
-                break;
+                mailbox_empty) {
+                if (flushed)
+                    break;
+                // Only unread client sockets remain. Bound the flush
+                // phase so a client that stopped reading cannot hang
+                // shutdown forever.
+                const auto now = std::chrono::steady_clock::now();
+                if (flushDeadline_ ==
+                    std::chrono::steady_clock::time_point{}) {
+                    flushDeadline_ =
+                        now + std::chrono::milliseconds(
+                                  opts_.flushTimeoutMs);
+                } else if (now >= flushDeadline_) {
+                    for (auto &[id, conn] : conns_)
+                        closeFd(conn.fd);
+                    break;
+                }
+            } else {
+                flushDeadline_ = {};
+            }
         }
     }
 

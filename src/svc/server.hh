@@ -23,6 +23,7 @@
 #ifndef RR_SVC_SERVER_HH
 #define RR_SVC_SERVER_HH
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -49,6 +50,19 @@ class Server
         Scheduler::Options sched;
         /** A request line longer than this closes the connection. */
         std::uint64_t maxLineBytes = 1 << 20;
+        /**
+         * Per-connection pending-event cap: a client that stops
+         * reading is disconnected once this much output is buffered
+         * (its jobs keep running; further events are dropped).
+         */
+        std::uint64_t maxOutbufBytes = 8 << 20;
+        /**
+         * During shutdown, how long to keep flushing connections
+         * after all jobs have finished before force-closing the
+         * stragglers. Bounds drain against clients that stopped
+         * reading.
+         */
+        std::uint64_t flushTimeoutMs = 5000;
     };
 
     explicit Server(Options opts);
@@ -81,6 +95,7 @@ class Server
         std::string inbuf;
         std::string outbuf;
         bool closing = false; ///< flush outbuf, then close
+        bool eof = false;     ///< peer sent FIN; stop polling POLLIN
     };
 
     void setupListeners();
@@ -112,6 +127,9 @@ class Server
 
     bool draining_ = false;  ///< shutdown initiated
     bool drainMode_ = true;  ///< finish queued jobs?
+    /** Set when shutdown is only waiting on unflushed connections;
+     *  expiry force-closes them so drain cannot hang forever. */
+    std::chrono::steady_clock::time_point flushDeadline_{};
 };
 
 } // namespace rr::svc

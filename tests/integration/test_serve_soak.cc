@@ -539,6 +539,111 @@ TEST_F(ServeTest, DaemonResultsAreByteIdenticalToDirectRuns)
     ::unlink(probe.c_str());
 }
 
+// --- submit-and-hangup ------------------------------------------------
+
+TEST_F(ServeTest, SubmitAndHangupStillAdmitsBufferedRequest)
+{
+    const std::string probe = makeProbeLog("hangup");
+    startServer(Server::Options{});
+
+    // Write the request and close immediately: the data and the FIN
+    // usually arrive in the same poll wake, and the server must parse
+    // the buffered line anyway — fire-and-forget is legal.
+    {
+        Client client = connect();
+        std::string error;
+        ASSERT_TRUE(client.sendLine(R"({"op":"stats","file":)" +
+                                        jsonQuote(probe) +
+                                        R"(,"tag":"fire-and-forget"})",
+                                    error))
+            << error;
+        client.close();
+    }
+
+    // Observable through a second connection: the job was admitted
+    // (not silently dropped) and runs to completion.
+    Client monitor = connect();
+    std::string error;
+    bool done = false;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    std::int64_t admitted = 0;
+    while (!done && std::chrono::steady_clock::now() < deadline) {
+        ASSERT_TRUE(monitor.sendLine(R"({"op":"status"})", error))
+            << error;
+        auto line = monitor.readLine(error, 5.0);
+        ASSERT_TRUE(line.has_value()) << error;
+        const Json e = parseEvent(*line);
+        admitted = e.get("server").get("queue").get("admitted").asInt();
+        const Json &sched = e.get("server").get("scheduler");
+        done = sched.get("completed").asInt() +
+                   sched.get("failed").asInt() >=
+               1;
+        if (!done)
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_TRUE(done) << "hung-up submit never completed";
+    EXPECT_EQ(admitted, 1);
+    ::unlink(probe.c_str());
+}
+
+// --- shutdown cannot hang on a client that stopped reading ------------
+
+TEST_F(ServeTest, ShutdownIsBoundedWhenAClientStopsReading)
+{
+    const std::string probe = makeProbeLog("deaf");
+    Server::Options opts;
+    opts.queue.capacity = 4000;
+    opts.queue.tenantQuota = 4000;
+    opts.sched.executors = 2;
+    opts.flushTimeoutMs = 300;
+    startServer(opts);
+
+    // A client that submits a pile of jobs and never reads a byte:
+    // its events fill the socket buffer and then the server-side
+    // outbuf, which used to wedge drain-shutdown forever.
+    Client deaf = connect();
+    std::string error;
+    const std::string req = R"({"op":"stats","file":)" +
+                            jsonQuote(probe) + R"(,"tag":")" +
+                            std::string(120, 'x') + R"("})";
+    constexpr int kJobs = 1000;
+    for (int i = 0; i < kJobs; ++i)
+        ASSERT_TRUE(deaf.sendLine(req, error)) << error;
+
+    // Wait until every job has finished so the only thing shutdown
+    // still waits on is the deaf client's unflushed output.
+    Client monitor = connect();
+    const auto workDeadline =
+        std::chrono::steady_clock::now() + std::chrono::minutes(5);
+    for (;;) {
+        ASSERT_LT(std::chrono::steady_clock::now(), workDeadline)
+            << "jobs never finished";
+        ASSERT_TRUE(monitor.sendLine(R"({"op":"status"})", error))
+            << error;
+        auto line = monitor.readLine(error, 5.0);
+        ASSERT_TRUE(line.has_value()) << error;
+        const Json e = parseEvent(*line);
+        const Json &sched = e.get("server").get("scheduler");
+        if (sched.get("completed").asInt() +
+                sched.get("failed").asInt() +
+                sched.get("cancelled").asInt() >=
+            kJobs)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    server_->requestStop(/*drain=*/true);
+    thread_.join();
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_LT(elapsed, std::chrono::seconds(30))
+        << "drain-shutdown stalled on an unread connection";
+    EXPECT_TRUE(serverError_.empty()) << serverError_;
+    server_.reset();
+    ::unlink(probe.c_str());
+}
+
 // --- queued descriptors stay cheap ------------------------------------
 
 TEST_F(ServeTest, ThousandsOfQueuedJobsStayDescriptorSized)

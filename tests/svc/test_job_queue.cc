@@ -141,6 +141,38 @@ TEST(JobQueue, WrrSkipsEmptyTenantsWithoutStarvation)
     EXPECT_FALSE(q.tryPop().has_value());
 }
 
+TEST(JobQueue, TenantEntriesAreErasedWhenTheirFifoEmpties)
+{
+    // Tenant names are client-chosen; a client cycling names must not
+    // grow the tenant map without bound. An entry exists only while
+    // its tenant has queued work.
+    JobQueue q;
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(q.admit(job("tenant" + std::to_string(i))).admitted);
+        ASSERT_TRUE(q.tryPop().has_value());
+    }
+    EXPECT_EQ(q.tenantCount(), 0u);
+
+    // Every removal path erases emptied tenants.
+    const auto a = q.admit(job("a"));
+    q.admit(job("b", "x", /*conn=*/7));
+    q.admit(job("c"));
+    EXPECT_EQ(q.tenantCount(), 3u);
+    ASSERT_TRUE(q.cancel(a.jobId).has_value());
+    EXPECT_EQ(q.tenantCount(), 2u);
+    EXPECT_EQ(q.cancelConnection(7).size(), 1u);
+    EXPECT_EQ(q.tenantCount(), 1u);
+    EXPECT_EQ(q.drainAll().size(), 1u);
+    EXPECT_EQ(q.tenantCount(), 0u);
+
+    // A quota rejection of a brand-new tenant leaves no entry behind.
+    JobQueue::Options opts;
+    opts.tenantQuota = 0;
+    JobQueue strict(opts);
+    EXPECT_FALSE(strict.admit(job("ghost")).admitted);
+    EXPECT_EQ(strict.tenantCount(), 0u);
+}
+
 TEST(JobQueue, CancelRemovesOnlyTheTargetJob)
 {
     JobQueue q;

@@ -162,6 +162,11 @@ TEST(ProtocolRequest, SemanticRejections)
         R"({"op":"record","kernel":"fft","cores":0})",
         R"({"op":"record","kernel":"fft","cores":999})",
         R"({"op":"record","kernel":"fft","cores":-1})",
+        // 2^32+1 and 2^32: must not wrap into range via uint32
+        // truncation (4294967297 % 2^32 = 1, 4294967296 % 2^32 = 0).
+        R"({"op":"record","kernel":"fft","cores":4294967297})",
+        R"({"op":"replay","file":"a.rrlog","jobs":4294967296})",
+        R"({"op":"replay","file":"a.rrlog","jobs":999})",
         R"({"op":"record","kernel":"fft","mode":"weird"})",
         R"({"op":"record","kernel":"fft","ingest":"weird"})",
         R"({"op":"nope"})",                        // unknown op

@@ -89,7 +89,8 @@ Recorded::hubCounter(const std::string &c) const
 
 Recorded
 record(const App &app, std::uint32_t cores,
-       std::vector<sim::RecorderConfig> policies)
+       std::vector<sim::RecorderConfig> policies,
+       sim::CoherenceKind coherence)
 {
     workloads::WorkloadParams wp;
     wp.numThreads = cores;
@@ -99,6 +100,7 @@ record(const App &app, std::uint32_t cores,
 
     sim::MachineConfig cfg;
     cfg.numCores = cores;
+    cfg.coherence = coherence;
     r.machine = std::make_unique<machine::Machine>(
         cfg, r.workload.program, policies);
     r.initial = r.machine->initialMemory();
@@ -113,9 +115,12 @@ namespace
 benchUsage(const char *prog)
 {
     std::fprintf(stderr,
-                 "usage: %s [--jobs N] [--timing] [--stats-json FILE]\n"
+                 "usage: %s [--jobs N] [--timing] [--stats-json FILE]"
+                 " [--coherence K]\n"
                  "  --jobs N           concurrent recordings "
                  "(default: all host cores; env RR_JOBS)\n"
+                 "  --coherence K      coherence backend: snoopy "
+                 "(default) or directory\n"
                  "  --timing           print wall-clock and simulated-"
                  "instruction throughput\n"
                  "  --stats-json FILE  export aggregated recording "
@@ -154,6 +159,12 @@ parseBenchOptions(int argc, char **argv)
             o.statsJson = argv[++i];
         } else if (arg.rfind("--stats-json=", 0) == 0) {
             o.statsJson = arg.substr(13);
+        } else if (arg == "--coherence" && i + 1 < argc) {
+            if (!sim::parseCoherenceKind(argv[++i], o.coherence))
+                benchUsage(argv[0]);
+        } else if (arg.rfind("--coherence=", 0) == 0) {
+            if (!sim::parseCoherenceKind(arg.substr(12), o.coherence))
+                benchUsage(argv[0]);
         } else {
             benchUsage(argv[0]);
         }
@@ -169,7 +180,8 @@ recordAll(const std::vector<RecordJob> &jobs, const BenchOptions &opt)
     std::vector<Recorded> out(jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         runner.enqueue(jobs[i].app.name, [&runner, &jobs, &out, &opt, i] {
-            out[i] = record(jobs[i].app, jobs[i].cores, jobs[i].policies);
+            out[i] = record(jobs[i].app, jobs[i].cores, jobs[i].policies,
+                            jobs[i].coherence);
             runner.countInstructions(out[i].result.totalInstructions);
             if (!opt.statsJson.empty()) {
                 std::vector<const sim::StatSet *> sets;
@@ -202,7 +214,7 @@ recordSuite(std::uint32_t cores,
 {
     std::vector<RecordJob> jobs;
     for (const App &app : apps())
-        jobs.push_back({app, cores, policies});
+        jobs.push_back({app, cores, policies, opt.coherence});
     return recordAll(jobs, opt);
 }
 

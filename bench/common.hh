@@ -72,7 +72,9 @@ struct Recorded
 
 /** Record one app; uses the calibrated scale unless overridden. */
 Recorded record(const App &app, std::uint32_t cores,
-                std::vector<rr::sim::RecorderConfig> policies);
+                std::vector<rr::sim::RecorderConfig> policies,
+                rr::sim::CoherenceKind coherence =
+                    rr::sim::CoherenceKind::Snoopy);
 
 /** Common bench command-line options. */
 struct BenchOptions
@@ -83,12 +85,15 @@ struct BenchOptions
     bool timing = false;
     /** Export the aggregated recording stats as JSON after recordAll. */
     std::string statsJson;
+    /** Coherence backend for every recording (`--coherence`). */
+    rr::sim::CoherenceKind coherence = rr::sim::CoherenceKind::Snoopy;
 };
 
 /**
- * Parse `--jobs N` / `-j N` / `--timing` / `--stats-json FILE`; honors
- * RR_JOBS when the flag is absent and opens the trace sink when
- * RR_TRACE is set. Exits with a usage message on unknown arguments.
+ * Parse `--jobs N` / `-j N` / `--timing` / `--stats-json FILE` /
+ * `--coherence snoopy|directory`; honors RR_JOBS when the flag is
+ * absent and opens the trace sink when RR_TRACE is set. Exits with a
+ * usage message on unknown arguments.
  */
 BenchOptions parseBenchOptions(int argc, char **argv);
 
@@ -98,6 +103,7 @@ struct RecordJob
     App app;
     std::uint32_t cores = 8;
     std::vector<rr::sim::RecorderConfig> policies;
+    rr::sim::CoherenceKind coherence = rr::sim::CoherenceKind::Snoopy;
 };
 
 /**

@@ -100,28 +100,57 @@ main(int argc, char **argv)
     pol[1].maxIntervalInstructions = 4096;
     pol[1].recordDependencies = true;
 
-    const std::vector<Recorded> suite = recordSuite(8, pol, opt);
-    std::vector<rr::rnr::ParallelSchedule> s1s(suite.size());
-    std::vector<rr::rnr::ParallelSchedule> s4s(suite.size());
-    forEachParallel(suite.size() * 2, opt, [&](std::size_t j) {
-        const std::size_t i = j / 2;
-        if (j % 2 == 0)
-            s1s[i] = scheduleFor(suite[i], 0);
+    // The same 1K-cap configuration recorded on the home-directory
+    // backend (Section 4.3): the dependency edges come from the sparse
+    // routed snoop stream instead of the ring broadcast, so this column
+    // shows parallel replay neither needs dense snooping nor loses its
+    // speedup without it.
+    std::vector<rr::sim::RecorderConfig> dpol(1);
+    dpol[0] = pol[0];
+
+    std::vector<RecordJob> jobs;
+    for (const App &app : apps())
+        jobs.push_back({app, 8, pol, rr::sim::CoherenceKind::Snoopy});
+    for (const App &app : apps())
+        jobs.push_back(
+            {app, 8, dpol, rr::sim::CoherenceKind::Directory});
+    const std::vector<Recorded> runs = recordAll(jobs, opt);
+    const std::size_t napps = apps().size();
+    // Recorded is move-only, so address the halves of `runs` in place.
+    const auto suite = [&](std::size_t i) -> const Recorded & {
+        return runs[i];
+    };
+    const auto dsuite = [&](std::size_t i) -> const Recorded & {
+        return runs[napps + i];
+    };
+
+    std::vector<rr::rnr::ParallelSchedule> s1s(napps);
+    std::vector<rr::rnr::ParallelSchedule> s4s(napps);
+    std::vector<rr::rnr::ParallelSchedule> d1s(napps);
+    forEachParallel(napps * 3, opt, [&](std::size_t j) {
+        const std::size_t i = j / 3;
+        if (j % 3 == 0)
+            s1s[i] = scheduleFor(suite(i), 0);
+        else if (j % 3 == 1)
+            s4s[i] = scheduleFor(suite(i), 1);
         else
-            s4s[i] = scheduleFor(suite[i], 1);
+            d1s[i] = scheduleFor(dsuite(i), 0);
     });
 
     // The engine runs are themselves multi-threaded (8 workers each),
     // so they go one at a time — overlapping them would just have the
     // engines contend for the same host cores and distort every
     // measured duration.
-    std::vector<double> m1s(suite.size());
-    for (std::size_t i = 0; i < suite.size(); ++i)
-        m1s[i] = measuredSpeedup(suite[i], 0, 8);
+    std::vector<double> m1s(napps);
+    std::vector<double> md1s(napps);
+    for (std::size_t i = 0; i < napps; ++i) {
+        m1s[i] = measuredSpeedup(suite(i), 0, 8);
+        md1s[i] = measuredSpeedup(dsuite(i), 0, 8);
+    }
 
     printColumns({"app", "model-1K", "measured-1K", "model-4K",
-                  "edges-1K", "edges/interval"});
-    double sum1k = 0, summ = 0, sum4k = 0;
+                  "dir-1K", "dir-meas", "edges/interval"});
+    double sum1k = 0, summ = 0, sum4k = 0, sumd = 0, sumdm = 0;
     for (std::size_t i = 0; i < apps().size(); ++i) {
         const App &app = apps()[i];
         const auto &s1 = s1s[i];
@@ -129,11 +158,14 @@ main(int argc, char **argv)
         sum1k += s1.speedup();
         summ += m1s[i];
         sum4k += s4.speedup();
+        sumd += d1s[i].speedup();
+        sumdm += md1s[i];
         printCell(app.name);
         printCell(s1.speedup(), 2);
         printCell(m1s[i], 2);
         printCell(s4.speedup(), 2);
-        printCell(static_cast<double>(s1.edges), 0);
+        printCell(d1s[i].speedup(), 2);
+        printCell(md1s[i], 2);
         printCell(static_cast<double>(s1.edges) /
                       static_cast<double>(
                           std::max<std::uint64_t>(1, s1.order.size())),
@@ -144,6 +176,8 @@ main(int argc, char **argv)
     printCell(sum1k / apps().size(), 2);
     printCell(summ / apps().size(), 2);
     printCell(sum4k / apps().size(), 2);
+    printCell(sumd / apps().size(), 2);
+    printCell(sumdm / apps().size(), 2);
     endRow();
     std::printf("(measured-1K: ParallelReplayer, 8 workers, verified "
                 "against sequential replay; upper bound is the core "
@@ -151,11 +185,16 @@ main(int argc, char **argv)
 
     const double best =
         *std::max_element(m1s.begin(), m1s.end());
-    if (best < 1.5) {
-        std::printf("FAIL: best measured speedup %.2fx < 1.5x\n", best);
+    const double dbest =
+        *std::max_element(md1s.begin(), md1s.end());
+    if (best < 1.5 || dbest < 1.5) {
+        std::printf("FAIL: best measured speedup snoopy %.2fx / "
+                    "directory %.2fx < 1.5x\n",
+                    best, dbest);
         return 1;
     }
-    std::printf("best measured speedup %.2fx (>= 1.5x threshold)\n",
-                best);
+    std::printf("best measured speedup snoopy %.2fx, directory %.2fx "
+                "(>= 1.5x threshold)\n",
+                best, dbest);
     return 0;
 }

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Protocol-independent memory-system machinery: the CoherenceProtocol
+ * base (observer/client registries and the single serialization point
+ * every backend funnels accesses through) and the backend factory.
+ */
+
+#include "mem/coherence.hh"
+
+#include "mem/backing_store.hh"
+#include "mem/directory.hh"
+#include "mem/memory_system.hh"
+
+namespace rr::mem
+{
+
+const char *
+toString(MesiState s)
+{
+    switch (s) {
+      case MesiState::Invalid: return "I";
+      case MesiState::Shared: return "S";
+      case MesiState::Exclusive: return "E";
+      case MesiState::Modified: return "M";
+    }
+    return "?";
+}
+
+CoherenceProtocol::CoherenceProtocol(const sim::MachineConfig &cfg,
+                                     BackingStore &backing,
+                                     StampClock &clock)
+    : cfg_(cfg), backing_(backing), clock_(clock), stats_("mem")
+{
+    clients_.resize(cfg.numCores, nullptr);
+    coreObservers_.resize(cfg.numCores);
+}
+
+CoherenceProtocol::~CoherenceProtocol() = default;
+
+void
+CoherenceProtocol::setClient(sim::CoreId core, MemClient *client)
+{
+    clients_.at(core) = client;
+}
+
+void
+CoherenceProtocol::addObserver(MemoryObserver *obs)
+{
+    observers_.push_back(obs);
+}
+
+void
+CoherenceProtocol::addCoreObserver(sim::CoreId core, MemoryObserver *obs)
+{
+    coreObservers_.at(core).push_back(obs);
+}
+
+std::uint64_t
+CoherenceProtocol::serialize(sim::CoreId core, const PendingAccess &acc)
+{
+    const std::uint64_t stamp = clock_.next();
+    std::uint64_t load_v = 0;
+    std::uint64_t store_v = 0;
+    switch (acc.kind) {
+      case AccessKind::Load:
+        load_v = backing_.read64(acc.word);
+        break;
+      case AccessKind::Store:
+        store_v = acc.storeValue;
+        backing_.write64(acc.word, store_v);
+        break;
+      case AccessKind::Xchg:
+        load_v = backing_.read64(acc.word);
+        store_v = acc.storeValue;
+        backing_.write64(acc.word, store_v);
+        break;
+      case AccessKind::Fadd:
+        load_v = backing_.read64(acc.word);
+        store_v = load_v + acc.storeValue;
+        backing_.write64(acc.word, store_v);
+        break;
+    }
+    const PerformEvent ev{core,    acc.tag, acc.kind, acc.word,
+                          load_v,  store_v, stamp,    now_};
+    notifyObservers(core, [&ev](MemoryObserver *obs) { obs->onPerform(ev); });
+    return load_v;
+}
+
+std::unique_ptr<MemorySystem>
+createMemorySystem(const sim::MachineConfig &cfg, BackingStore &backing,
+                   StampClock &clock)
+{
+    if (cfg.coherence == sim::CoherenceKind::Directory)
+        return std::make_unique<DirectoryMemorySystem>(cfg, backing,
+                                                       clock);
+    return std::make_unique<SnoopyMemorySystem>(cfg, backing, clock);
+}
+
+} // namespace rr::mem

@@ -10,11 +10,17 @@
 #define RR_MEM_COHERENCE_HH
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
+#include "sim/config.hh"
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace rr::mem
 {
+
+class BackingStore;
 
 enum class MesiState : std::uint8_t
 {
@@ -129,10 +135,13 @@ class MemoryObserver
     }
 
     /**
-     * A dirty (Modified) line left core @p core 's L1 without a bus
-     * transaction visible to that core's future self (capacity eviction
-     * or back-invalidation). Only meaningful for the directory-coherence
-     * extension of Section 4.3.
+     * Core @p core 's ability to observe future transactions on
+     * @p line_addr was destroyed: a dirty (Modified) line left its L1
+     * without a transaction visible to that core's future self
+     * (capacity eviction or back-invalidation), or — under the real
+     * directory backend — the home directory dropped the core from the
+     * line's tracking state. The Section 4.3 event: RelaxReplay_Opt
+     * answers it with a conservative Snoop Table bump.
      */
     virtual void
     onDirtyEviction(sim::CoreId core, sim::Addr line_addr,
@@ -157,6 +166,140 @@ class MemClient
     virtual void memCompleted(std::uint64_t tag, AccessKind kind,
                               std::uint64_t load_value, sim::Cycle when) = 0;
 };
+
+/**
+ * The coherent memory hierarchy a machine is built against: the
+ * protocol-independent contract between the cores, the MRR recorder
+ * hubs and whatever coherence backend implements it. Two backends
+ * exist — the ring-based snoopy MESI (SnoopyMemorySystem) and the
+ * home-directory MESI (DirectoryMemorySystem); createMemorySystem()
+ * picks one from sim::MachineConfig::coherence.
+ *
+ * The invariants every backend must keep (the recorder depends on
+ * them; see docs/COHERENCE.md):
+ *  - every access serializes exactly once, emitting one PerformEvent
+ *    stamped by the shared StampClock (write atomicity, Observation 1);
+ *  - between an access's perform and its counting, any conflicting
+ *    remote write either delivers a SnoopEvent to this core or is
+ *    preceded by an onDirtyEviction bump for the line at this core
+ *    (the Section 4.3 conservative fallback);
+ *  - snoop events are stamped before the requesting transaction's own
+ *    performs, so dependence-source intervals terminate with smaller
+ *    stamps than the dependent performs.
+ */
+class CoherenceProtocol
+{
+  public:
+    CoherenceProtocol(const sim::MachineConfig &cfg, BackingStore &backing,
+                      StampClock &clock);
+    virtual ~CoherenceProtocol();
+
+    CoherenceProtocol(const CoherenceProtocol &) = delete;
+    CoherenceProtocol &operator=(const CoherenceProtocol &) = delete;
+
+    /** Which protocol this backend implements. */
+    sim::CoherenceKind kind() const { return cfg_.coherence; }
+
+    /** Register the completion-callback target for a core. */
+    void setClient(sim::CoreId core, MemClient *client);
+
+    /**
+     * Register a broadcast event observer (tracer, test harness): it
+     * receives every perform/snoop/eviction event for every core.
+     */
+    void addObserver(MemoryObserver *obs);
+
+    /**
+     * Register an observer that only cares about one core's events — a
+     * perform by @p core, a snoop observed by @p core, or a dirty
+     * eviction from @p core 's L1 — as the per-core MRR hubs do. The
+     * memory system then routes events directly instead of fanning
+     * every event out to every hub (which rejected all but one
+     * delivery), turning the O(cores^2) virtual-call pattern on the
+     * serialize/snoop hot path into O(cores).
+     */
+    void addCoreObserver(sim::CoreId core, MemoryObserver *obs);
+
+    /**
+     * Whether core @p core can issue an access to @p word_addr this
+     * cycle (an MSHR is free, or the access merges into a pending one).
+     */
+    virtual bool canAccept(sim::CoreId core, sim::Addr word_addr) const = 0;
+
+    /**
+     * Issue an access. The caller must have checked canAccept(). The
+     * access completes later via MemClient::memCompleted with the same
+     * @p tag; its PerformEvent is emitted at its serialization point.
+     */
+    virtual void access(sim::CoreId core, AccessKind kind,
+                        sim::Addr word_addr, std::uint64_t store_value,
+                        std::uint64_t tag) = 0;
+
+    /**
+     * Advance one cycle: process coherence requests, then fire due
+     * completions and fills. Must be called before the cores tick.
+     */
+    virtual void tick(sim::Cycle now) = 0;
+
+    sim::Cycle now() const { return now_; }
+    sim::StatSet &stats() { return stats_; }
+
+    /** MESI state of a line in a given core's L1 (for tests). */
+    virtual MesiState l1State(sim::CoreId core,
+                              sim::Addr line_addr) const = 0;
+
+    /** Number of in-flight coherence transactions (for tests). */
+    virtual std::size_t inflightCount() const = 0;
+
+    /** True when no transaction, completion or queued request remains. */
+    virtual bool quiescent() const = 0;
+
+  protected:
+    /** One access waiting on (or satisfied by) a transaction. */
+    struct PendingAccess
+    {
+        AccessKind kind;
+        sim::Addr word;
+        std::uint64_t storeValue;
+        std::uint64_t tag;
+    };
+
+    /** Serialize one access: apply/sample value, emit PerformEvent. */
+    std::uint64_t serialize(sim::CoreId core, const PendingAccess &acc);
+
+    /** Deliver a perform/snoop/eviction event for @p core. */
+    template <typename Fn>
+    void
+    notifyObservers(sim::CoreId core, Fn &&fn)
+    {
+        for (auto *obs : coreObservers_[core])
+            fn(obs);
+        for (auto *obs : observers_)
+            fn(obs);
+    }
+
+    const sim::MachineConfig &cfg_;
+    BackingStore &backing_;
+    StampClock &clock_;
+    sim::Cycle now_ = 0;
+
+    std::vector<MemClient *> clients_;
+    std::vector<MemoryObserver *> observers_;
+    std::vector<std::vector<MemoryObserver *>> coreObservers_;
+
+    sim::StatSet stats_;
+};
+
+/**
+ * Historical name of the (then only) memory system; the cores and the
+ * machine reference the protocol-independent interface through it.
+ */
+using MemorySystem = CoherenceProtocol;
+
+/** Build the backend selected by @p cfg.coherence. */
+std::unique_ptr<MemorySystem>
+createMemorySystem(const sim::MachineConfig &cfg, BackingStore &backing,
+                   StampClock &clock);
 
 } // namespace rr::mem
 

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The home-directory MESI backend (sim::CoherenceKind::Directory).
+ *
+ * Each line has a home directory entry colocated with its L2 bank that
+ * tracks the exclusive owner (E/M holder) and a full-map sharer
+ * bitvector (hence the 64-core cap enforced by MachineConfig::validate).
+ * Requests are point-to-point: a GetS forwards to the owner when one
+ * exists, a GetM invalidates exactly the listed cores, and clean/E
+ * evictions are silent — so, unlike the snoopy ring, a core only
+ * observes the transactions the directory routes to it. The recorder
+ * consequences (Section 4.3 of the paper) are:
+ *
+ *  - Silent clean evictions leave stale sharers listed; the directory
+ *    keeps sending them invalidations, so a core that performed an
+ *    access while holding the line keeps observing conflicting writes
+ *    until it is explicitly unlisted. Spurious snoops are harmless
+ *    (observerHadLine is sampled from the actual L1).
+ *  - A core is unlisted only on paths that emit the conservative
+ *    onDirtyEviction bump first: its own dirty eviction (PutM), or the
+ *    destruction of the whole entry when the inclusive L2 evicts the
+ *    line — which bumps *every* listed core.
+ *  - A request for a line with no directory entry (tracking destroyed,
+ *    or cold) is conservatively broadcast to all cores, mirroring what
+ *    a real directory's "no info -> act as if shared by all" fallback
+ *    does.
+ *
+ * Scaling: one grant per home bank per cycle (bank = line % numCores)
+ * instead of the snoopy ring's single global grant, and point-to-point
+ * hop latencies independent of the core count — the properties the
+ * 32/64-core runs in bench/fig14_scalability exercise.
+ */
+
+#ifndef RR_MEM_DIRECTORY_HH
+#define RR_MEM_DIRECTORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/memory_system.hh"
+
+namespace rr::mem
+{
+
+class DirectoryMemorySystem final : public CacheMemorySystem
+{
+  public:
+    DirectoryMemorySystem(const sim::MachineConfig &cfg,
+                          BackingStore &backing, StampClock &clock);
+
+    // --- test accessors ---------------------------------------------
+    /** Whether a directory entry exists for @p line_addr. */
+    bool dirHasEntry(sim::Addr line_addr) const;
+    /** Owner core of @p line_addr, or -1 (no entry / no owner). */
+    std::int32_t dirOwner(sim::Addr line_addr) const;
+    /** Sharer bitmask of @p line_addr (0 when no entry). */
+    std::uint64_t dirSharers(sim::Addr line_addr) const;
+    std::uint32_t numBanks() const { return numBanks_; }
+
+  protected:
+    /**
+     * Inclusive-L2 install; destroying the victim's directory entry
+     * bumps every listed core (they all lose snoop visibility).
+     */
+    bool installL2(sim::Addr line) override;
+
+  private:
+    /** Home directory entry: full-map sharers + exclusive owner. */
+    struct DirEntry
+    {
+        std::int32_t owner = -1; ///< E/M holder; -1 when none
+        std::uint64_t sharers = 0;
+    };
+
+    void processRequests() override;
+    void grant(const BusRequest &req);
+
+    std::uint32_t
+    bankOf(sim::Addr line) const
+    {
+        return static_cast<std::uint32_t>((line / sim::kLineBytes) %
+                                          numBanks_);
+    }
+
+    sim::FlatMap<DirEntry> dir_;
+    std::uint32_t numBanks_;
+    std::vector<bool> bankGranted_; ///< per-cycle scratch
+};
+
+} // namespace rr::mem
+
+#endif // RR_MEM_DIRECTORY_HH

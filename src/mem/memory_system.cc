@@ -9,113 +9,54 @@
 namespace rr::mem
 {
 
-const char *
-toString(MesiState s)
-{
-    switch (s) {
-      case MesiState::Invalid: return "I";
-      case MesiState::Shared: return "S";
-      case MesiState::Exclusive: return "E";
-      case MesiState::Modified: return "M";
-    }
-    return "?";
-}
+// --- CacheMemorySystem: protocol-independent hierarchy machinery ----
 
-MemorySystem::MemorySystem(const sim::MachineConfig &cfg,
-                           BackingStore &backing, StampClock &clock)
-    : cfg_(cfg), backing_(backing), clock_(clock),
+CacheMemorySystem::CacheMemorySystem(const sim::MachineConfig &cfg,
+                                     BackingStore &backing,
+                                     StampClock &clock)
+    : CoherenceProtocol(cfg, backing, clock),
       l2_(sim::CacheConfig{cfg.totalL2Bytes(), cfg.l2.associativity,
-                           cfg.l2.mshrEntries, cfg.l2.hitLatency}),
-      stats_("mem")
+                           cfg.l2.mshrEntries, cfg.l2.hitLatency})
 {
-    clients_.resize(cfg.numCores, nullptr);
     l1s_.reserve(cfg.numCores);
     for (std::uint32_t c = 0; c < cfg.numCores; ++c)
         l1s_.emplace_back(cfg.l1);
     mshrs_.resize(cfg.numCores);
     mshrByLine_.resize(cfg.numCores);
-    coreObservers_.resize(cfg.numCores);
 }
 
-void
-MemorySystem::setClient(sim::CoreId core, MemClient *client)
-{
-    clients_.at(core) = client;
-}
-
-void
-MemorySystem::addObserver(MemoryObserver *obs)
-{
-    observers_.push_back(obs);
-}
-
-void
-MemorySystem::addCoreObserver(sim::CoreId core, MemoryObserver *obs)
-{
-    coreObservers_.at(core).push_back(obs);
-}
-
-MemorySystem::Mshr *
-MemorySystem::mshrFor(sim::CoreId core, sim::Addr line) const
+CacheMemorySystem::Mshr *
+CacheMemorySystem::mshrFor(sim::CoreId core, sim::Addr line) const
 {
     Mshr *const *slot = mshrByLine_[core].find(line);
     return slot ? *slot : nullptr;
 }
 
 std::size_t
-MemorySystem::freeMshrs(sim::CoreId core) const
+CacheMemorySystem::freeMshrs(sim::CoreId core) const
 {
     return cfg_.l1.mshrEntries - mshrs_.at(core).size();
 }
 
 bool
-MemorySystem::lineHasAnyMshr(sim::Addr line) const
+CacheMemorySystem::lineHasAnyMshr(sim::Addr line) const
 {
     const std::uint32_t *count = lineMshrCount_.find(line);
     return count != nullptr && *count > 0;
 }
 
 bool
-MemorySystem::canAccept(sim::CoreId core, sim::Addr word_addr) const
+CacheMemorySystem::canAccept(sim::CoreId core, sim::Addr word_addr) const
 {
     const sim::Addr line = sim::lineAddr(word_addr);
     return mshrFor(core, line) != nullptr || freeMshrs(core) > 0;
 }
 
-std::uint64_t
-MemorySystem::serialize(sim::CoreId core, const PendingAccess &acc)
-{
-    const std::uint64_t stamp = clock_.next();
-    std::uint64_t load_v = 0;
-    std::uint64_t store_v = 0;
-    switch (acc.kind) {
-      case AccessKind::Load:
-        load_v = backing_.read64(acc.word);
-        break;
-      case AccessKind::Store:
-        store_v = acc.storeValue;
-        backing_.write64(acc.word, store_v);
-        break;
-      case AccessKind::Xchg:
-        load_v = backing_.read64(acc.word);
-        store_v = acc.storeValue;
-        backing_.write64(acc.word, store_v);
-        break;
-      case AccessKind::Fadd:
-        load_v = backing_.read64(acc.word);
-        store_v = load_v + acc.storeValue;
-        backing_.write64(acc.word, store_v);
-        break;
-    }
-    const PerformEvent ev{core,    acc.tag, acc.kind, acc.word,
-                          load_v,  store_v, stamp,    now_};
-    notifyObservers(core, [&ev](MemoryObserver *obs) { obs->onPerform(ev); });
-    return load_v;
-}
-
 void
-MemorySystem::scheduleHitDone(sim::CoreId core, const PendingAccess &acc,
-                              std::uint64_t load_value, sim::Cycle when)
+CacheMemorySystem::scheduleHitDone(sim::CoreId core,
+                                   const PendingAccess &acc,
+                                   std::uint64_t load_value,
+                                   sim::Cycle when)
 {
     Event ev{};
     ev.when = when;
@@ -129,16 +70,16 @@ MemorySystem::scheduleHitDone(sim::CoreId core, const PendingAccess &acc,
 }
 
 void
-MemorySystem::schedule(Event ev)
+CacheMemorySystem::schedule(Event ev)
 {
     ev.order = ++eventOrder_;
     events_.push(ev);
 }
 
 void
-MemorySystem::access(sim::CoreId core, AccessKind kind,
-                     sim::Addr word_addr, std::uint64_t store_value,
-                     std::uint64_t tag)
+CacheMemorySystem::access(sim::CoreId core, AccessKind kind,
+                          sim::Addr word_addr, std::uint64_t store_value,
+                          std::uint64_t tag)
 {
     RR_ASSERT(canAccept(core, word_addr), "access without canAccept");
     stats_.counter(isWriteKind(kind) ? "accesses_write" : "accesses_read")++;
@@ -146,7 +87,7 @@ MemorySystem::access(sim::CoreId core, AccessKind kind,
 }
 
 void
-MemorySystem::accessInternal(sim::CoreId core, const PendingAccess &acc)
+CacheMemorySystem::accessInternal(sim::CoreId core, const PendingAccess &acc)
 {
     const sim::Addr line = sim::lineAddr(acc.word);
 
@@ -186,11 +127,11 @@ MemorySystem::accessInternal(sim::CoreId core, const PendingAccess &acc)
 }
 
 void
-MemorySystem::tick(sim::Cycle now)
+CacheMemorySystem::tick(sim::Cycle now)
 {
     now_ = now;
     deliverDelayedSnoops();
-    grantPhase();
+    processRequests();
 
     while (!events_.empty() && events_.top().when <= now_) {
         Event ev = events_.top();
@@ -205,31 +146,25 @@ MemorySystem::tick(sim::Cycle now)
     }
 }
 
-void
-MemorySystem::grantPhase()
+bool
+CacheMemorySystem::grantBlocked(const BusRequest &req) const
 {
-    for (auto it = busQueue_.begin(); it != busQueue_.end(); ++it) {
-        if (inflight_.count(it->line))
-            continue;
-        // An L2-victimless grant is impossible only if every way of the
-        // target L2 set is pinned by pending transactions; skip then.
-        if (it->kind != BusKind::PutM && !l2_.find(it->line)) {
-            const auto blocked = [this](sim::Addr victim) {
-                return inflight_.count(victim) > 0 ||
-                       lineHasAnyMshr(victim);
-            };
-            if (!l2_.victimFor(it->line, blocked))
-                continue;
-        }
-        BusRequest req = *it;
-        busQueue_.erase(it);
-        grant(req);
-        return;
+    if (inflight_.count(req.line))
+        return true;
+    // A victimless fill is impossible only when every way of the target
+    // L2 set is pinned by pending transactions; block then.
+    if (req.kind != BusKind::PutM && !l2_.find(req.line)) {
+        const auto blocked = [this](sim::Addr victim) {
+            return inflight_.count(victim) > 0 || lineHasAnyMshr(victim);
+        };
+        if (!const_cast<CacheArray &>(l2_).victimFor(req.line, blocked))
+            return true;
     }
+    return false;
 }
 
 bool
-MemorySystem::installL2(sim::Addr line)
+CacheMemorySystem::installL2(sim::Addr line)
 {
     if (CacheArray::Line *hit = l2_.find(line)) {
         l2_.touch(*hit);
@@ -267,7 +202,165 @@ MemorySystem::installL2(sim::Addr line)
 }
 
 void
-MemorySystem::grant(const BusRequest &req)
+CacheMemorySystem::deliverSnoopTo(sim::CoreId dest, const SnoopEvent &ev)
+{
+    if (sim::FaultInjector::enabled() && !coreObservers_[dest].empty()) {
+        auto *inj = sim::FaultInjector::get();
+        // Drop or delay the *recorder-side* delivery only; the
+        // broadcast observers (tracers, ground-truth listeners) always
+        // see the snoop, so execution is unperturbed and the recorded
+        // log is what degrades.
+        if (inj->dropSnoop(dest)) {
+            stats_.counter("fault_snoops_dropped")++;
+            if (sim::TraceSink::enabled())
+                sim::TraceSink::get()->instant(
+                    sim::TraceSink::kRecordPid, dest, "fault",
+                    "snoop-dropped", now_,
+                    {{"line", ev.lineAddr}, {"requester", ev.requester}});
+            for (auto *obs : observers_)
+                obs->onSnoop(dest, ev);
+            return;
+        }
+        if (inj->delaySnoop(dest)) {
+            stats_.counter("fault_snoops_delayed")++;
+            if (sim::TraceSink::enabled())
+                sim::TraceSink::get()->instant(
+                    sim::TraceSink::kRecordPid, dest, "fault",
+                    "snoop-delayed", now_,
+                    {{"line", ev.lineAddr},
+                     {"cycles", inj->plan().delaySnoopCycles}});
+            delayedSnoops_.push_back(DelayedSnoop{
+                now_ + inj->plan().delaySnoopCycles, dest, ev});
+            for (auto *obs : observers_)
+                obs->onSnoop(dest, ev);
+            return;
+        }
+    }
+    notifyObservers(dest, [&ev, dest](MemoryObserver *obs) {
+        obs->onSnoop(dest, ev);
+    });
+}
+
+void
+CacheMemorySystem::deliverDelayedSnoops()
+{
+    while (!delayedSnoops_.empty() &&
+           delayedSnoops_.front().deliverAt <= now_) {
+        const DelayedSnoop d = delayedSnoops_.front();
+        delayedSnoops_.pop_front();
+        for (auto *obs : coreObservers_[d.dest])
+            obs->onSnoop(d.dest, d.ev);
+    }
+}
+
+void
+CacheMemorySystem::evictL1Line(sim::CoreId core, CacheArray::Line &way)
+{
+    stats_.counter("l1_evictions")++;
+    if (way.state == MesiState::Modified) {
+        const std::uint64_t stamp = clock_.next();
+        notifyObservers(core, [&](MemoryObserver *obs) {
+            obs->onDirtyEviction(core, way.tag, stamp);
+        });
+        busQueue_.push_back(BusRequest{core, way.tag, BusKind::PutM,
+                                       nullptr});
+    }
+    way.state = MesiState::Invalid;
+}
+
+void
+CacheMemorySystem::completeFill(Mshr *mshr)
+{
+    const sim::CoreId core = mshr->core;
+    const sim::Addr line = mshr->line;
+    CacheArray &l1 = l1s_[core];
+
+    CacheArray::Line *way = l1.find(line);
+    if (!way) {
+        // Not an upgrade: pick a victim way. Skip ways pinned by this
+        // core's pending upgrades.
+        const auto blocked = [this, core](sim::Addr victim) {
+            return mshrFor(core, victim) != nullptr;
+        };
+        way = l1.victimFor(line, blocked);
+        if (!way) {
+            // Whole set pinned; retry next cycle (extremely rare).
+            Event retry{};
+            retry.when = now_ + 1;
+            retry.type = Event::Fill;
+            retry.mshr = mshr;
+            retry.core = core;
+            schedule(retry);
+            return;
+        }
+        if (way->valid())
+            evictL1Line(core, *way);
+        l1.install(*way, line, mshr->fillState);
+    } else {
+        // Upgrade completion (or refill over a stale S copy).
+        way->state = mshr->fillState;
+        l1.touch(*way);
+    }
+
+    inflight_.erase(line);
+
+    // Retire the MSHR, then replay accesses the transaction could not
+    // satisfy (writers merged into a GetS, or late arrivals).
+    std::vector<PendingAccess> leftovers = std::move(mshr->waiting);
+    mshrByLine_[core].erase(line);
+    auto &list = mshrs_[core];
+    for (auto it = list.begin(); it != list.end(); ++it) {
+        if (&*it == mshr) {
+            list.erase(it);
+            break;
+        }
+    }
+    std::uint32_t *cnt = lineMshrCount_.find(line);
+    RR_ASSERT(cnt != nullptr && *cnt > 0, "MSHR line count out of sync");
+    if (--*cnt == 0)
+        lineMshrCount_.erase(line);
+
+    for (const PendingAccess &acc : leftovers)
+        accessInternal(core, acc);
+}
+
+MesiState
+CacheMemorySystem::l1State(sim::CoreId core, sim::Addr line_addr) const
+{
+    return l1s_.at(core).stateOf(sim::lineAddr(line_addr));
+}
+
+bool
+CacheMemorySystem::quiescent() const
+{
+    if (!busQueue_.empty() || !events_.empty() || !inflight_.empty() ||
+        !delayedSnoops_.empty())
+        return false;
+    for (const auto &list : mshrs_) {
+        if (!list.empty())
+            return false;
+    }
+    return true;
+}
+
+// --- SnoopyMemorySystem: the ring-based snoopy MESI backend ---------
+
+void
+SnoopyMemorySystem::processRequests()
+{
+    // The ring bus grants at most one transaction per cycle.
+    for (auto it = busQueue_.begin(); it != busQueue_.end(); ++it) {
+        if (grantBlocked(*it))
+            continue;
+        BusRequest req = *it;
+        busQueue_.erase(it);
+        grant(req);
+        return;
+    }
+}
+
+void
+SnoopyMemorySystem::grant(const BusRequest &req)
 {
     if (req.kind == BusKind::PutM) {
         stats_.counter("bus_putm")++;
@@ -369,8 +462,9 @@ MemorySystem::grant(const BusRequest &req)
 }
 
 void
-MemorySystem::emitSnoop(sim::CoreId requester, sim::Addr line,
-                        bool is_write, const std::vector<bool> &had_line)
+SnoopyMemorySystem::emitSnoop(sim::CoreId requester, sim::Addr line,
+                              bool is_write,
+                              const std::vector<bool> &had_line)
 {
     SnoopEvent ev{requester, line,  is_write,
                   false,     clock_.next(), now_};
@@ -378,143 +472,8 @@ MemorySystem::emitSnoop(sim::CoreId requester, sim::Addr line,
         if (c == requester)
             continue;
         ev.observerHadLine = had_line.empty() ? false : had_line[c];
-        if (sim::FaultInjector::enabled() && !coreObservers_[c].empty()) {
-            auto *inj = sim::FaultInjector::get();
-            // Drop or delay the *recorder-side* delivery only; the
-            // broadcast observers (tracers, ground-truth listeners)
-            // always see the snoop, so execution is unperturbed and the
-            // recorded log is what degrades.
-            if (inj->dropSnoop(c)) {
-                stats_.counter("fault_snoops_dropped")++;
-                if (sim::TraceSink::enabled())
-                    sim::TraceSink::get()->instant(
-                        sim::TraceSink::kRecordPid, c, "fault",
-                        "snoop-dropped", now_,
-                        {{"line", line}, {"requester", requester}});
-                for (auto *obs : observers_)
-                    obs->onSnoop(c, ev);
-                continue;
-            }
-            if (inj->delaySnoop(c)) {
-                stats_.counter("fault_snoops_delayed")++;
-                if (sim::TraceSink::enabled())
-                    sim::TraceSink::get()->instant(
-                        sim::TraceSink::kRecordPid, c, "fault",
-                        "snoop-delayed", now_,
-                        {{"line", line},
-                         {"cycles", inj->plan().delaySnoopCycles}});
-                delayedSnoops_.push_back(DelayedSnoop{
-                    now_ + inj->plan().delaySnoopCycles, c, ev});
-                for (auto *obs : observers_)
-                    obs->onSnoop(c, ev);
-                continue;
-            }
-        }
-        notifyObservers(c,
-                        [&ev, c](MemoryObserver *obs) { obs->onSnoop(c, ev); });
+        deliverSnoopTo(c, ev);
     }
-}
-
-void
-MemorySystem::deliverDelayedSnoops()
-{
-    while (!delayedSnoops_.empty() &&
-           delayedSnoops_.front().deliverAt <= now_) {
-        const DelayedSnoop d = delayedSnoops_.front();
-        delayedSnoops_.pop_front();
-        for (auto *obs : coreObservers_[d.dest])
-            obs->onSnoop(d.dest, d.ev);
-    }
-}
-
-void
-MemorySystem::evictL1Line(sim::CoreId core, CacheArray::Line &way)
-{
-    stats_.counter("l1_evictions")++;
-    if (way.state == MesiState::Modified) {
-        const std::uint64_t stamp = clock_.next();
-        notifyObservers(core, [&](MemoryObserver *obs) {
-            obs->onDirtyEviction(core, way.tag, stamp);
-        });
-        busQueue_.push_back(BusRequest{core, way.tag, BusKind::PutM,
-                                       nullptr});
-    }
-    way.state = MesiState::Invalid;
-}
-
-void
-MemorySystem::completeFill(Mshr *mshr)
-{
-    const sim::CoreId core = mshr->core;
-    const sim::Addr line = mshr->line;
-    CacheArray &l1 = l1s_[core];
-
-    CacheArray::Line *way = l1.find(line);
-    if (!way) {
-        // Not an upgrade: pick a victim way. Skip ways pinned by this
-        // core's pending upgrades.
-        const auto blocked = [this, core](sim::Addr victim) {
-            return mshrFor(core, victim) != nullptr;
-        };
-        way = l1.victimFor(line, blocked);
-        if (!way) {
-            // Whole set pinned; retry next cycle (extremely rare).
-            Event retry{};
-            retry.when = now_ + 1;
-            retry.type = Event::Fill;
-            retry.mshr = mshr;
-            retry.core = core;
-            schedule(retry);
-            return;
-        }
-        if (way->valid())
-            evictL1Line(core, *way);
-        l1.install(*way, line, mshr->fillState);
-    } else {
-        // Upgrade completion (or refill over a stale S copy).
-        way->state = mshr->fillState;
-        l1.touch(*way);
-    }
-
-    inflight_.erase(line);
-
-    // Retire the MSHR, then replay accesses the transaction could not
-    // satisfy (writers merged into a GetS, or late arrivals).
-    std::vector<PendingAccess> leftovers = std::move(mshr->waiting);
-    mshrByLine_[core].erase(line);
-    auto &list = mshrs_[core];
-    for (auto it = list.begin(); it != list.end(); ++it) {
-        if (&*it == mshr) {
-            list.erase(it);
-            break;
-        }
-    }
-    std::uint32_t *cnt = lineMshrCount_.find(line);
-    RR_ASSERT(cnt != nullptr && *cnt > 0, "MSHR line count out of sync");
-    if (--*cnt == 0)
-        lineMshrCount_.erase(line);
-
-    for (const PendingAccess &acc : leftovers)
-        accessInternal(core, acc);
-}
-
-MesiState
-MemorySystem::l1State(sim::CoreId core, sim::Addr line_addr) const
-{
-    return l1s_.at(core).stateOf(sim::lineAddr(line_addr));
-}
-
-bool
-MemorySystem::quiescent() const
-{
-    if (!busQueue_.empty() || !events_.empty() || !inflight_.empty() ||
-        !delayedSnoops_.empty())
-        return false;
-    for (const auto &list : mshrs_) {
-        if (!list.empty())
-            return false;
-    }
-    return true;
 }
 
 } // namespace rr::mem

@@ -1,23 +1,24 @@
 /**
  * @file
- * The coherent memory hierarchy: per-core private L1s, a shared L2, and
- * a ring-based snoopy MESI bus with a single global serialization point.
+ * The cache-hierarchy half of the memory system, shared by both
+ * coherence backends, and the ring-based snoopy MESI backend.
  *
- * Model summary (see DESIGN.md):
- *  - Every access serializes exactly once: at its L1 hit, or at the bus
+ * Model summary (see DESIGN.md and docs/COHERENCE.md):
+ *  - Every access serializes exactly once: at its L1 hit, or at the
  *    grant of the transaction it rides, or at the post-fill replay. At
  *    serialization the access's value is applied to / sampled from the
  *    BackingStore and a PerformEvent is emitted. Stamp order is the
  *    machine's single memory linearization; this yields write atomicity
  *    by construction (paper Observation 1).
- *  - The bus grants at most one transaction per cycle and never grants a
- *    transaction on a line with an in-flight (granted, unfilled)
- *    transaction, mirroring MSHR/transient-state blocking in real
- *    protocols.
- *  - Snoop events are broadcast to every core but the requester at grant
- *    time (ring snoopy: all caches observe all transactions), stamped
- *    just before the transaction's own perform events so that recorder
- *    interval ordering is dependence-consistent.
+ *  - Requests are never granted on a line with an in-flight (granted,
+ *    unfilled) transaction, mirroring MSHR/transient-state blocking in
+ *    real protocols. The snoopy bus grants at most one transaction per
+ *    cycle; the directory backend (directory.hh) grants one per home
+ *    bank per cycle.
+ *  - Snoopy: snoop events are broadcast to every core but the requester
+ *    at grant time (ring snoopy: all caches observe all transactions),
+ *    stamped just before the transaction's own perform events so that
+ *    recorder interval ordering is dependence-consistent.
  *  - Caches hold tags + MESI only; values live in the BackingStore.
  */
 
@@ -41,73 +42,33 @@
 namespace rr::mem
 {
 
-class MemorySystem
+/**
+ * Everything both backends share: the per-core L1s, the inclusive
+ * shared L2, MSHRs with same-line merging, the event queue that fires
+ * completions and fills, and the fault-injection-aware snoop delivery.
+ * A backend supplies the request-processing policy (processRequests)
+ * and may refine the eviction/install paths.
+ */
+class CacheMemorySystem : public CoherenceProtocol
 {
   public:
-    MemorySystem(const sim::MachineConfig &cfg, BackingStore &backing,
-                 StampClock &clock);
+    CacheMemorySystem(const sim::MachineConfig &cfg, BackingStore &backing,
+                      StampClock &clock);
 
-    /** Register the completion-callback target for a core. */
-    void setClient(sim::CoreId core, MemClient *client);
+    bool canAccept(sim::CoreId core, sim::Addr word_addr) const override;
 
-    /**
-     * Register a broadcast event observer (tracer, test harness): it
-     * receives every perform/snoop/eviction event for every core.
-     */
-    void addObserver(MemoryObserver *obs);
-
-    /**
-     * Register an observer that only cares about one core's events — a
-     * perform by @p core, a snoop observed by @p core, or a dirty
-     * eviction from @p core 's L1 — as the per-core MRR hubs do. The
-     * memory system then routes events directly instead of fanning
-     * every event out to every hub (which rejected all but one
-     * delivery), turning the O(cores^2) virtual-call pattern on the
-     * serialize/snoop hot path into O(cores).
-     */
-    void addCoreObserver(sim::CoreId core, MemoryObserver *obs);
-
-    /**
-     * Whether core @p core can issue an access to @p word_addr this
-     * cycle (an MSHR is free, or the access merges into a pending one).
-     */
-    bool canAccept(sim::CoreId core, sim::Addr word_addr) const;
-
-    /**
-     * Issue an access. The caller must have checked canAccept(). The
-     * access completes later via MemClient::memCompleted with the same
-     * @p tag; its PerformEvent is emitted at its serialization point.
-     */
     void access(sim::CoreId core, AccessKind kind, sim::Addr word_addr,
-                std::uint64_t store_value, std::uint64_t tag);
+                std::uint64_t store_value, std::uint64_t tag) override;
 
-    /**
-     * Advance one cycle: run the bus grant phase, then fire due
-     * completions and fills. Must be called before the cores tick.
-     */
-    void tick(sim::Cycle now);
+    void tick(sim::Cycle now) override;
 
-    sim::Cycle now() const { return now_; }
-    sim::StatSet &stats() { return stats_; }
+    MesiState l1State(sim::CoreId core, sim::Addr line_addr) const override;
 
-    /** MESI state of a line in a given core's L1 (for tests). */
-    MesiState l1State(sim::CoreId core, sim::Addr line_addr) const;
+    std::size_t inflightCount() const override { return inflight_.size(); }
 
-    /** Number of in-flight bus transactions (for tests). */
-    std::size_t inflightCount() const { return inflight_.size(); }
+    bool quiescent() const override;
 
-    /** True when no transaction, completion or queued request remains. */
-    bool quiescent() const;
-
-  private:
-    struct PendingAccess
-    {
-        AccessKind kind;
-        sim::Addr word;
-        std::uint64_t storeValue;
-        std::uint64_t tag;
-    };
-
+  protected:
     struct Mshr
     {
         sim::Addr line;
@@ -149,14 +110,16 @@ class MemorySystem
         }
     };
 
-    /** Serialize one access: apply/sample value, emit PerformEvent. */
-    std::uint64_t serialize(sim::CoreId core, const PendingAccess &acc);
+    /**
+     * Grant queued requests for this cycle (the per-protocol policy:
+     * one bus grant for the snoopy ring, one grant per home bank for
+     * the directory). Runs before due events fire.
+     */
+    virtual void processRequests() = 0;
 
     /** Issue path shared by external accesses and post-fill replays. */
     void accessInternal(sim::CoreId core, const PendingAccess &acc);
 
-    void grantPhase();
-    void grant(const BusRequest &req);
     void completeFill(Mshr *mshr);
     void scheduleHitDone(sim::CoreId core, const PendingAccess &acc,
                          std::uint64_t load_value, sim::Cycle when);
@@ -166,52 +129,29 @@ class MemorySystem
     std::size_t freeMshrs(sim::CoreId core) const;
     bool lineHasAnyMshr(sim::Addr line) const;
 
+    /**
+     * Whether @p req may be granted now: its line has no in-flight
+     * transaction and (for fills) the L2 can produce a victim way.
+     */
+    bool grantBlocked(const BusRequest &req) const;
+
     /** Evict @p way from core @p core 's L1 (PutM + notifications). */
-    void evictL1Line(sim::CoreId core, CacheArray::Line &way);
+    virtual void evictL1Line(sim::CoreId core, CacheArray::Line &way);
 
     /** Install @p line into the L2, evicting/back-invalidating. */
-    bool installL2(sim::Addr line);
-
-    void emitSnoop(sim::CoreId requester, sim::Addr line, bool is_write,
-                   const std::vector<bool> &had_line);
+    virtual bool installL2(sim::Addr line);
 
     /**
-     * A snoop whose delivery to one core's *recorder-side* observers
-     * (coreObservers_) was postponed by fault injection. The broadcast
-     * observers saw the event at its original grant cycle, so injected
-     * delays perturb only what the recorder hardware observes, never the
-     * simulated execution itself.
+     * Deliver one snoop to core @p dest 's observers, consulting the
+     * fault injector: an injected drop or delay perturbs only what the
+     * *recorder-side* observers (coreObservers_) see — the broadcast
+     * observers (tracers, ground-truth listeners) always see the event
+     * at its true cycle, so the simulated execution is unperturbed and
+     * only the recorded log degrades.
      */
-    struct DelayedSnoop
-    {
-        sim::Cycle deliverAt;
-        sim::CoreId dest;
-        SnoopEvent ev;
-    };
+    void deliverSnoopTo(sim::CoreId dest, const SnoopEvent &ev);
 
-    /** Fire delayed snoops that are due at now_ (fault injection). */
-    void deliverDelayedSnoops();
-
-    const sim::MachineConfig &cfg_;
-    BackingStore &backing_;
-    StampClock &clock_;
-    sim::Cycle now_ = 0;
     std::uint64_t eventOrder_ = 0;
-
-    /** Deliver a perform/snoop/eviction event for @p core. */
-    template <typename Fn>
-    void
-    notifyObservers(sim::CoreId core, Fn &&fn)
-    {
-        for (auto *obs : coreObservers_[core])
-            fn(obs);
-        for (auto *obs : observers_)
-            fn(obs);
-    }
-
-    std::vector<MemClient *> clients_;
-    std::vector<MemoryObserver *> observers_;
-    std::vector<std::vector<MemoryObserver *>> coreObservers_;
 
     std::vector<CacheArray> l1s_;
     CacheArray l2_;
@@ -227,12 +167,39 @@ class MemorySystem
     sim::FlatMap<std::uint32_t> lineMshrCount_;
 
     std::deque<BusRequest> busQueue_;
-    /** FIFO by construction: the injected delay is one fixed constant. */
-    std::deque<DelayedSnoop> delayedSnoops_;
     sim::FlatSet inflight_;
     std::priority_queue<Event, std::vector<Event>, EventLater> events_;
 
-    sim::StatSet stats_;
+  private:
+    /**
+     * A snoop whose delivery to one core's *recorder-side* observers
+     * was postponed by fault injection; see deliverSnoopTo.
+     */
+    struct DelayedSnoop
+    {
+        sim::Cycle deliverAt;
+        sim::CoreId dest;
+        SnoopEvent ev;
+    };
+
+    /** Fire delayed snoops that are due at now_ (fault injection). */
+    void deliverDelayedSnoops();
+
+    /** FIFO by construction: the injected delay is one fixed constant. */
+    std::deque<DelayedSnoop> delayedSnoops_;
+};
+
+/** The ring-based snoopy MESI backend (sim::CoherenceKind::Snoopy). */
+class SnoopyMemorySystem final : public CacheMemorySystem
+{
+  public:
+    using CacheMemorySystem::CacheMemorySystem;
+
+  private:
+    void processRequests() override;
+    void grant(const BusRequest &req);
+    void emitSnoop(sim::CoreId requester, sim::Addr line, bool is_write,
+                   const std::vector<bool> &had_line);
 };
 
 } // namespace rr::mem

@@ -55,6 +55,13 @@ inline constexpr std::uint16_t kFormatVersion = 1;
  * `--allow-partial` opt-in.
  */
 inline constexpr std::uint16_t kFlagPartial = 1;
+/**
+ * The recording was made on a machine with directory (home-directory
+ * MESI) coherence; replay must rebuild the same backend. Mirrors
+ * RecordingMeta::coherence so tools can classify a file from the
+ * 24-byte header alone, before decoding the Meta chunk.
+ */
+inline constexpr std::uint16_t kFlagDirectory = 2;
 ///@}
 
 inline constexpr std::size_t kFileHeaderBytes = 24;

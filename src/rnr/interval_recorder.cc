@@ -166,7 +166,8 @@ IntervalRecorder::countMem(mem::AccessKind kind, sim::Addr word_addr,
                            std::uint64_t load_value,
                            std::uint64_t store_value,
                            std::uint32_t nmi_before,
-                           const PerformState &ps, sim::Cycle now)
+                           const PerformState &ps, sim::Cycle now,
+                           bool local_write_pending)
 {
     RR_ASSERT(!finished_, "counting after finish");
     const sim::Addr line = faultLine(sim::lineAddr(word_addr));
@@ -182,7 +183,15 @@ IntervalRecorder::countMem(mem::AccessKind kind, sim::Addr word_addr,
         // The Snoop Table's hit/miss decision: a "hit" (both counters
         // moved) means a conflicting transaction may have been observed
         // between perform and counting, so the access logs as reordered.
-        reordered = snoopTable_.conflictSince(line, ps.counts);
+        // A younger performed same-line write forces the same answer:
+        // it may itself log as reordered into this access's perform
+        // interval, and moving this access to the counting point would
+        // then replay it after that younger write (the Snoop Table is
+        // blind to local writes, so only the TRAQ can see this).
+        reordered = local_write_pending ||
+                    snoopTable_.conflictSince(line, ps.counts);
+        if (local_write_pending)
+            stats_.counter("local_order_forced_reorders")++;
         if (!reordered) {
             // Moving the perform event across intervals: the access now
             // belongs to the current interval, so its address must enter

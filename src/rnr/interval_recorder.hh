@@ -90,11 +90,24 @@ class IntervalRecorder
     /** Count a group of non-memory instructions (in program order). */
     void countNmi(std::uint32_t n, sim::Cycle now);
 
-    /** Count a memory-access instruction (in program order). */
+    /**
+     * Count a memory-access instruction (in program order).
+     *
+     * @p local_write_pending: a *younger* write to the same line has
+     * already performed (it is still in the TRAQ behind this access).
+     * The Snoop Table only observes remote transactions, so it cannot
+     * order same-core same-line accesses: if this access moved across
+     * an interval boundary and were logged in-order while the younger
+     * write logs as reordered (its perform interval), replay would run
+     * the write first — inverting same-address program order. When the
+     * flag is set and the perform moved across intervals, the access
+     * is conservatively logged as reordered (value/position from the
+     * log), which is always safe.
+     */
     void countMem(mem::AccessKind kind, sim::Addr word_addr,
                   std::uint64_t load_value, std::uint64_t store_value,
                   std::uint32_t nmi_before, const PerformState &ps,
-                  sim::Cycle now);
+                  sim::Cycle now, bool local_write_pending = false);
 
     /** Close the final interval at program end. */
     void finish(sim::Cycle now);

@@ -165,6 +165,10 @@ encodeMeta(BitWriter &w, const RecordingMeta &meta)
     fmt::writeVarint(w, meta.mode == sim::RecorderMode::Opt ? 1 : 0);
     fmt::writeVarint(w, meta.intervalCap);
     fmt::writeVarint(w, meta.deps ? 1 : 0);
+    // Trailing, only-when-set field: snoopy recordings stay bit- and
+    // fingerprint-identical to pre-directory files.
+    if (meta.coherence == sim::CoherenceKind::Directory)
+        fmt::writeVarint(w, 1);
 }
 
 RecordingMeta
@@ -186,6 +190,9 @@ decodeMeta(Cursor &c)
                            : sim::RecorderMode::Base;
     meta.intervalCap = c.varint();
     meta.deps = c.varint() != 0;
+    meta.coherence = !c.atEnd() && c.varint()
+                         ? sim::CoherenceKind::Directory
+                         : sim::CoherenceKind::Snoopy;
     return meta;
 }
 
@@ -395,6 +402,10 @@ RecordingMeta::fingerprint() const
     h = fnv1aU64(h, mode == sim::RecorderMode::Opt ? 1 : 0);
     h = fnv1aU64(h, intervalCap);
     h = fnv1aU64(h, deps ? 1 : 0);
+    // Chained only when set, so snoopy fingerprints match pre-directory
+    // files; a directory-tagged log can never pass for a snoopy one.
+    if (coherence == sim::CoherenceKind::Directory)
+        h = fnv1aU64(h, 2);
     return h;
 }
 
@@ -419,10 +430,15 @@ headerBytes(const RecordingMeta &meta, std::uint16_t flags)
     return h;
 }
 
-/** Fold an installed fault plan's log budget into the options. */
+/**
+ * Fold an installed fault plan's log budget into the options and
+ * mirror the meta's coherence tag into the header flags.
+ */
 WriterOptions
-effectiveOptions(WriterOptions opts)
+effectiveOptions(WriterOptions opts, const RecordingMeta &meta)
 {
+    if (meta.coherence == sim::CoherenceKind::Directory)
+        opts.headerFlags |= fmt::kFlagDirectory;
     if (sim::FaultInjector::enabled()) {
         const auto budget =
             sim::FaultInjector::get()->plan().logBudgetBytes;
@@ -437,8 +453,8 @@ effectiveOptions(WriterOptions opts)
 
 LogWriter::LogWriter(std::ostream &out, const RecordingMeta &meta,
                      const WriterOptions &opts)
-    : stream_(&out), meta_(meta), opts_(effectiveOptions(opts)),
-      headerFlags_(opts.headerFlags), streams_(meta.cores),
+    : stream_(&out), meta_(meta), opts_(effectiveOptions(opts, meta)),
+      headerFlags_(opts_.headerFlags), streams_(meta.cores),
       stats_("logstore")
 {
     writeFileHeader();
@@ -448,7 +464,7 @@ LogWriter::LogWriter(std::ostream &out, const RecordingMeta &meta,
 LogWriter::LogWriter(const std::string &path, const RecordingMeta &meta,
                      const WriterOptions &opts)
     : path_(path), tmpPath_(path + ".tmp"), meta_(meta),
-      opts_(effectiveOptions(opts)), headerFlags_(opts.headerFlags),
+      opts_(effectiveOptions(opts, meta)), headerFlags_(opts_.headerFlags),
       streams_(meta.cores), stats_("logstore")
 {
     file_ = std::fopen(tmpPath_.c_str(), "wb");
@@ -966,6 +982,13 @@ LogReader::LogReader(const std::string &path, IngestMode mode)
     Cursor c(meta_chunk.payload, meta_chunk.header.payloadBits,
              meta_chunk.offset, 0);
     meta_ = decodeMeta(c);
+    const bool meta_dir = meta_.coherence == sim::CoherenceKind::Directory;
+    if (meta_dir != ((flags_ & fmt::kFlagDirectory) != 0))
+        throw LogStoreError(
+            std::string("coherence tag mismatch: header flags say ") +
+                (flags_ & fmt::kFlagDirectory ? "directory" : "snoopy") +
+                ", meta chunk says " + sim::toString(meta_.coherence),
+            meta_chunk.offset, 0);
     if (meta_.fingerprint() != fingerprint_)
         throw LogStoreError(
             "configuration fingerprint mismatch: header says " +

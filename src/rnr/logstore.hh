@@ -97,6 +97,13 @@ struct RecordingMeta
     sim::RecorderMode mode = sim::RecorderMode::Opt;
     std::uint64_t intervalCap = 0; ///< 0 = INF
     bool deps = false;
+    /**
+     * Coherence backend the recording machine was built with. Replay
+     * rebuilds the same machine from it; it participates in the
+     * fingerprint, so a reader asked to replay a directory-tagged log
+     * on a snoopy machine (or vice versa) refuses cleanly.
+     */
+    sim::CoherenceKind coherence = sim::CoherenceKind::Snoopy;
 
     /**
      * 64-bit FNV-1a hash over every field above (plus the format
@@ -406,6 +413,8 @@ class LogReader
     std::uint16_t flags() const { return flags_; }
     /** Whether the file is flagged as a deliberate partial recording. */
     bool partial() const { return (flags_ & fmt::kFlagPartial) != 0; }
+    /** Whether the header tags a directory-coherence recording. */
+    bool directory() const { return (flags_ & fmt::kFlagDirectory) != 0; }
     std::uint64_t fingerprint() const { return fingerprint_; }
     std::uint32_t coreCount() const { return coreCount_; }
     const RecordingMeta &meta() const { return meta_; }

@@ -251,9 +251,27 @@ MrrHub::drainCountable(sim::Cycle now)
                      {"ooo", e.oooAtPerform}});
             }
             const mem::AccessKind kind = accessKindOf(e);
+            // Same-core same-line ordering guard: a younger write that
+            // has already performed (still queued behind this entry)
+            // may log as reordered into this access's perform interval;
+            // the recorder must then not move this access forward to
+            // its counting point. The TRAQ is the only structure that
+            // can see this — the Snoop Table ignores local traffic.
+            const sim::Addr line = sim::lineAddr(e.word);
+            bool local_write_pending = false;
+            for (const TraqEntry &y : traq_) {
+                if (y.seq <= e.seq || !y.performed ||
+                    y.kind == Kind::NmiGroup || y.kind == Kind::Load)
+                    continue;
+                if (sim::lineAddr(y.word) == line) {
+                    local_write_pending = true;
+                    break;
+                }
+            }
             for (std::size_t i = 0; i < recorders_.size(); ++i) {
                 recorders_[i]->countMem(kind, e.word, e.loadValue,
-                                        e.storeValue, e.nmi, e.ps[i], now);
+                                        e.storeValue, e.nmi, e.ps[i], now,
+                                        local_write_pending);
             }
         }
         traq_.pop_front();

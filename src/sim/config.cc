@@ -17,6 +17,32 @@ toString(RecorderMode mode)
     return "?";
 }
 
+const char *
+toString(CoherenceKind kind)
+{
+    switch (kind) {
+      case CoherenceKind::Snoopy:
+        return "snoopy";
+      case CoherenceKind::Directory:
+        return "directory";
+    }
+    return "?";
+}
+
+bool
+parseCoherenceKind(const std::string &text, CoherenceKind &out)
+{
+    if (text == "snoopy") {
+        out = CoherenceKind::Snoopy;
+        return true;
+    }
+    if (text == "directory") {
+        out = CoherenceKind::Directory;
+        return true;
+    }
+    return false;
+}
+
 namespace
 {
 
@@ -53,6 +79,9 @@ MachineConfig::validate() const
         fatal("write buffer must be non-empty");
     if (!isPow2(core.predictorEntries))
         fatal("predictor entries must be a power of two");
+    if (coherence == CoherenceKind::Directory && numCores > 64)
+        fatal("directory coherence supports at most 64 cores "
+              "(full-map sharer bitvector)");
     validateCache("L1", l1);
     validateCache("L2", l2);
 }

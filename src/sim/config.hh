@@ -66,6 +66,28 @@ struct UncoreConfig
     std::uint32_t memLatency = 150;
 };
 
+/**
+ * Which coherence backend the machine is built with (Section 4.3: the
+ * recorder must work under either; see docs/COHERENCE.md).
+ */
+enum class CoherenceKind : std::uint8_t
+{
+    /** Ring-based snoopy MESI: every core observes every transaction. */
+    Snoopy,
+    /**
+     * Home-directory MESI: per-line sharer/owner tracking; only the
+     * cores the directory lists receive invalidations/forwards, and
+     * losing tracking state (dirty eviction, back-invalidation)
+     * triggers the conservative Snoop Table bump of Section 4.3.
+     */
+    Directory,
+};
+
+const char *toString(CoherenceKind kind);
+
+/** Parse "snoopy"/"directory"; returns false on anything else. */
+bool parseCoherenceKind(const std::string &text, CoherenceKind &out);
+
 /** Which counting policy a recorder instance uses (Section 3.2). */
 enum class RecorderMode
 {
@@ -121,6 +143,7 @@ struct MachineConfig
     CacheConfig l1;                  // private, per core
     CacheConfig l2{512 * 1024, 16, 64, 12}; // per-core share of shared L2
     UncoreConfig uncore;
+    CoherenceKind coherence = CoherenceKind::Snoopy;
     std::uint64_t seed = 1;
 
     /** Total shared L2 capacity across all per-core shares. */

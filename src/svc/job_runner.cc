@@ -58,6 +58,7 @@ metaFor(const JobParams &p)
     meta.mode = p.mode;
     meta.intervalCap = p.intervalCap;
     meta.deps = p.deps;
+    meta.coherence = p.coherence;
     return meta;
 }
 
@@ -104,6 +105,7 @@ recordKernel(const JobParams &p, const CancelToken &token,
 
     sim::MachineConfig cfg;
     cfg.numCores = p.cores;
+    cfg.coherence = p.coherence;
     std::vector<sim::RecorderConfig> policies(1);
     policies[0].mode = p.mode;
     policies[0].maxIntervalInstructions = p.intervalCap;
@@ -150,7 +152,7 @@ runRecord(const JobParams &p, const CancelToken &token)
         ",\"intervals\":" + std::to_string(stats.intervals) +
         ",\"logBits\":" + std::to_string(stats.totalBits) +
         ",\"memoryFingerprint\":\"" + hex64(run.rec.memoryFingerprint) +
-        "\"";
+        "\",\"coherence\":\"" + sim::toString(p.coherence) + "\"";
     if (writer)
         r += ",\"out\":" + jsonQuote(p.outFile) +
              ",\"bytesWritten\":" +
@@ -185,6 +187,20 @@ runReplayFile(const JobParams &p, const CancelToken &token)
     JobOutcome out;
     rnr::LogReader reader(p.file, p.ingest);
     const rnr::RecordingMeta &meta = reader.meta();
+
+    // The file's protocol tag decides the replay machine; an explicit
+    // request for the other backend is a wrong-machine ask, refused.
+    if (p.coherenceSet && p.coherence != meta.coherence) {
+        out.errorClass = 1;
+        out.message = p.file + " was recorded under " +
+                      sim::toString(meta.coherence) +
+                      " coherence; refusing to replay it on a " +
+                      sim::toString(p.coherence) + " machine";
+        out.resultJson =
+            "{\"kind\":\"replay\",\"file\":" + jsonQuote(p.file) +
+            ",\"determinism\":\"coherence-mismatch\"}";
+        return out;
+    }
 
     bool verify_full = true;
     rnr::RecordingSummary summary;
@@ -226,6 +242,7 @@ runReplayFile(const JobParams &p, const CancelToken &token)
     sim::MachineConfig cfg;
     cfg.numCores = meta.cores;
     cfg.seed = meta.machineSeed;
+    cfg.coherence = meta.coherence;
     std::vector<sim::RecorderConfig> policies(1);
     policies[0].mode = meta.mode;
     machine::Machine m(cfg, w.program, policies);

@@ -637,6 +637,16 @@ parseJobParams(const Json &o, JobKind kind, JobParams &p,
             return false;
         }
     }
+    const Json &coherence = o.get("coherence");
+    if (!coherence.isNull()) {
+        if (!sim::parseCoherenceKind(coherence.asString(),
+                                     p.coherence)) {
+            error = "field 'coherence' must be \"snoopy\" or "
+                    "\"directory\"";
+            return false;
+        }
+        p.coherenceSet = true;
+    }
     const Json &ingest = o.get("ingest");
     if (!ingest.isNull()) {
         if (ingest.asString() == "auto")

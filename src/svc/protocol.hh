@@ -176,6 +176,10 @@ struct JobParams
     sim::RecorderMode mode = sim::RecorderMode::Opt;
     std::uint64_t intervalCap = 0; ///< 0 = INF
     bool deps = false;
+    sim::CoherenceKind coherence = sim::CoherenceKind::Snoopy;
+    /** True when the request named a coherence explicitly (replay:
+     *  checked against the file's tag instead of silently ignored). */
+    bool coherenceSet = false;
     std::string outFile; ///< record: stream to this .rrlog
     // replay/verify/stats: the input container.
     std::string file;

@@ -25,7 +25,7 @@ class CoreHarness : public cpu::CoreListener
         cfg.numCores = cores;
         for (auto &[addr, v] : prog_.initialData)
             backing.write64(addr, v);
-        mem = std::make_unique<mem::MemorySystem>(cfg, backing, clock);
+        mem = mem::createMemorySystem(cfg, backing, clock);
         for (sim::CoreId c = 0; c < cores; ++c) {
             cores_.push_back(std::make_unique<Core>(c, cfg, prog_, *mem,
                                                     clock));

@@ -33,7 +33,7 @@ struct Rig
         cfg.numCores = cores;
         for (auto &[addr, v] : prog.initialData)
             backing.write64(addr, v);
-        mem = std::make_unique<mem::MemorySystem>(cfg, backing, clock);
+        mem = mem::createMemorySystem(cfg, backing, clock);
         sim::RecorderConfig rc;
         for (sim::CoreId c = 0; c < cores; ++c) {
             coreList.push_back(std::make_unique<cpu::Core>(

@@ -33,7 +33,7 @@ class Fuzzer : public MemClient, public MemoryObserver
         : rng(seed), numLines(lines)
     {
         cfg.numCores = cores;
-        mem = std::make_unique<MemorySystem>(cfg, backing, clock);
+        mem = createMemorySystem(cfg, backing, clock);
         for (CoreId c = 0; c < cores; ++c)
             mem->setClient(c, this);
         mem->addObserver(this);
@@ -167,7 +167,7 @@ TEST(MemoryFuzz, RmwsNeverLoseUpdatesUnderContention)
     cfg.numCores = 8;
     BackingStore backing;
     StampClock clock;
-    MemorySystem mem(cfg, backing, clock);
+    SnoopyMemorySystem mem(cfg, backing, clock);
     struct Sink : MemClient
     {
         int outstanding = 0;

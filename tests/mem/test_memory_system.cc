@@ -30,7 +30,7 @@ class Harness : public MemClient, public MemoryObserver
     explicit Harness(std::uint32_t cores)
     {
         cfg.numCores = cores;
-        mem = std::make_unique<MemorySystem>(cfg, backing, clock);
+        mem = createMemorySystem(cfg, backing, clock);
         for (CoreId c = 0; c < cores; ++c)
             mem->setClient(c, this);
         mem->addObserver(this);

@@ -173,8 +173,9 @@ printMeta(const rnr::LogReader &reader)
                 m.kernel.c_str(), (unsigned long long)m.scale,
                 (unsigned long long)m.intensity,
                 (unsigned long long)m.workloadSeed);
-    std::printf("machine         %u cores, seed %llu\n", m.cores,
-                (unsigned long long)m.machineSeed);
+    std::printf("machine         %u cores, seed %llu, coherence %s\n",
+                m.cores, (unsigned long long)m.machineSeed,
+                sim::toString(m.coherence));
     std::printf("recorder        RelaxReplay_%s, interval cap %s%s\n",
                 sim::toString(m.mode),
                 m.intervalCap ? std::to_string(m.intervalCap).c_str()

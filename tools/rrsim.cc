@@ -86,6 +86,8 @@ struct Options
     sim::RecorderMode mode = sim::RecorderMode::Opt;
     std::uint64_t interval = 0; // INF
     bool deps = false;
+    sim::CoherenceKind coherence = sim::CoherenceKind::Snoopy;
+    bool coherenceSet = false; // replay: explicit --coherence given
     bool parallel = false;
     bool parallelReplay = false; // multi-threaded replay engine
     std::uint32_t jobs = 0; // sweep/replay worker threads; 0 = all cores
@@ -127,6 +129,10 @@ usage()
         "  --mode base|opt  recorder design (default opt)\n"
         "  --interval N|inf max interval size (default inf)\n"
         "  --deps           record dependency edges (parallel replay)\n"
+        "  --coherence K    coherence backend: snoopy (default) or "
+        "directory\n"
+        "                   (replay from .rrlog: must match the file's "
+        "tag)\n"
         "  --parallel       replay in dependency-DAG order "
         "(single-threaded)\n"
         "  --parallel-replay  replay on the multi-threaded engine and "
@@ -236,6 +242,10 @@ parse(int argc, char **argv)
         } else if (arg == "--interval") {
             const std::string v = next();
             o.interval = v == "inf" ? 0 : parseNum(v);
+        } else if (arg == "--coherence") {
+            if (!sim::parseCoherenceKind(next(), o.coherence))
+                usage();
+            o.coherenceSet = true;
         } else if (arg == "--deps") {
             o.deps = true;
         } else if (arg == "--parallel") {
@@ -391,6 +401,7 @@ metaFor(const Options &o)
     meta.mode = o.mode;
     meta.intervalCap = o.interval;
     meta.deps = o.deps;
+    meta.coherence = o.coherence;
     return meta;
 }
 
@@ -426,6 +437,7 @@ record(const Options &o, rnr::LogWriter *writer = nullptr)
 
     sim::MachineConfig cfg;
     cfg.numCores = o.cores;
+    cfg.coherence = o.coherence;
     std::vector<sim::RecorderConfig> policies(1);
     policies[0].mode = o.mode;
     policies[0].maxIntervalInstructions = o.interval;
@@ -456,6 +468,7 @@ printRecordingStats(const Run &run, const Options &o)
                 sim::toString(o.mode),
                 o.interval ? std::to_string(o.interval).c_str() : "INF",
                 o.deps ? ", dependency edges" : "");
+    std::printf("coherence       %s\n", sim::toString(o.coherence));
     std::printf("instructions    %llu in %llu cycles (IPC/core %.2f)\n",
                 (unsigned long long)run.rec.totalInstructions,
                 (unsigned long long)run.rec.cycles,
@@ -588,6 +601,19 @@ cmdReplayFile(const Options &o)
                     ? std::to_string(meta.intervalCap).c_str()
                     : "INF",
                 meta.deps ? ", dependency edges" : "");
+    std::printf("coherence       %s\n", sim::toString(meta.coherence));
+
+    // The log's protocol tag decides the machine; an explicit
+    // --coherence that disagrees is a request for the wrong machine
+    // and is refused rather than silently overridden.
+    if (o.coherenceSet && o.coherence != meta.coherence) {
+        std::fprintf(stderr,
+                     "rrsim: %s was recorded under %s coherence; "
+                     "refusing to replay it on a %s machine\n",
+                     o.kernel.c_str(), sim::toString(meta.coherence),
+                     sim::toString(o.coherence));
+        return 1;
+    }
 
     workloads::WorkloadParams wp;
     wp.numThreads = meta.cores;
@@ -601,6 +627,7 @@ cmdReplayFile(const Options &o)
     sim::MachineConfig cfg;
     cfg.numCores = meta.cores;
     cfg.seed = meta.machineSeed;
+    cfg.coherence = meta.coherence;
     std::vector<sim::RecorderConfig> policies(1);
     policies[0].mode = meta.mode;
     machine::Machine m(cfg, w.program, policies);
@@ -923,6 +950,7 @@ cmdSweep(const Options &o)
             const auto w = workloads::buildKernel(kernels[i], wp);
             sim::MachineConfig cfg;
             cfg.numCores = o.cores;
+            cfg.coherence = o.coherence;
             machine::Machine m(cfg, w.program, pol);
             recs[i] = m.run(5'000'000'000ULL);
             runner.countInstructions(recs[i].totalInstructions);
@@ -1116,6 +1144,9 @@ buildRequest(const Options &o)
             j += ",\"interval\":" + std::to_string(o.interval);
         if (o.deps)
             j += ",\"deps\":true";
+        if (o.coherenceSet)
+            j += std::string(",\"coherence\":\"") +
+                 sim::toString(o.coherence) + "\"";
         if (!o.outFile.empty())
             j += ",\"out\":" + svc::jsonQuote(o.outFile);
         if (o.jobs)
